@@ -1,0 +1,35 @@
+# Dep-Miner reproduction — convenience targets.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments experiments-paper examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# The paper's tables and figures at the laptop-friendly scale.
+experiments:
+	$(PYTHON) scripts/run_experiments.py --scale small --timeout 90 --isolated
+
+# The original grid with the paper's two-hour budget (long!).
+experiments-paper:
+	$(PYTHON) scripts/run_experiments.py --scale paper --timeout 7200 --isolated
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/theory_tour.py
+	$(PYTHON) examples/logical_tuning.py
+	$(PYTHON) examples/csv_profiling.py
+	$(PYTHON) examples/warehouse_audit.py
+	$(PYTHON) examples/benchmark_shootout.py --rows 300 --attrs 5
+	$(PYTHON) examples/large_table_sampling.py --rows 5000 --attrs 6
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,33 @@
+"""Ablation: the couple-memory threshold of Algorithm 2 (section 3.1).
+
+The paper bounds memory by resolving couples in chunks once a threshold
+is reached, at the cost of re-scanning state per chunk.  This sweep
+shows the time overhead as the threshold shrinks (the paper observed the
+same effect at 100k tuples, where chunking made Dep-Miner exceed its
+two-hour budget).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import cached_relation
+from repro.core.agree_sets import agree_sets_from_couples
+from repro.partitions.database import StrippedPartitionDatabase
+
+CORRELATION = 0.50
+ATTRS = 8
+ROWS = 500
+
+
+@pytest.fixture(scope="module")
+def spdb():
+    relation = cached_relation(ATTRS, ROWS, CORRELATION)
+    return StrippedPartitionDatabase.from_relation(relation)
+
+
+@pytest.mark.benchmark(group="ablation-chunking")
+@pytest.mark.parametrize("max_couples", [None, 4096, 256, 16])
+def test_chunking_threshold(benchmark, spdb, max_couples):
+    benchmark.extra_info["max_couples"] = str(max_couples)
+    benchmark(agree_sets_from_couples, spdb, max_couples)

@@ -1,0 +1,61 @@
+"""Ablation: all four miners on one cell (Dep-Miner, Dep-Miner 2, TANE,
+FDEP).
+
+The paper compares three; FDEP [SF93] is the fourth, sharing Dep-Miner's
+negative-cover front end but replacing the transversal search with
+hypothesis specialization.  All four produce the identical minimal FD
+cover (asserted), so the group compares pure algorithmic cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import cached_relation
+from repro.core.depminer import DepMiner
+from repro.fdep import Fdep
+from repro.tane.tane import Tane
+
+ATTRS = 10
+ROWS = 500
+CORRELATION = 0.5
+
+_EXPECTED = None
+
+
+def expected_fds():
+    global _EXPECTED
+    if _EXPECTED is None:
+        relation = cached_relation(ATTRS, ROWS, CORRELATION)
+        _EXPECTED = DepMiner(build_armstrong="none").run(relation).fds
+    return _EXPECTED
+
+
+@pytest.mark.benchmark(group="ablation-miners")
+def test_miner_depminer(benchmark):
+    relation = cached_relation(ATTRS, ROWS, CORRELATION)
+    miner = DepMiner(build_armstrong="none")
+    result = benchmark(miner.run, relation)
+    assert result.fds == expected_fds()
+
+
+@pytest.mark.benchmark(group="ablation-miners")
+def test_miner_depminer2(benchmark):
+    relation = cached_relation(ATTRS, ROWS, CORRELATION)
+    miner = DepMiner(build_armstrong="none", agree_algorithm="identifiers")
+    result = benchmark(miner.run, relation)
+    assert result.fds == expected_fds()
+
+
+@pytest.mark.benchmark(group="ablation-miners")
+def test_miner_tane(benchmark):
+    relation = cached_relation(ATTRS, ROWS, CORRELATION)
+    result = benchmark(Tane().run, relation)
+    assert result.fds == expected_fds()
+
+
+@pytest.mark.benchmark(group="ablation-miners")
+def test_miner_fdep(benchmark):
+    relation = cached_relation(ATTRS, ROWS, CORRELATION)
+    result = benchmark(Fdep().run, relation)
+    assert result.fds == expected_fds()

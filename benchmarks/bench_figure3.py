@@ -1,0 +1,35 @@
+"""Figure 3: sizes of real-world Armstrong relations vs |r|, no constraints.
+
+The figure plots Armstrong sizes, not times, so each benchmark times the
+ARMSTRONG_RELATION step alone (the construction from maximal sets,
+step 5 of Algorithm 1) and records the resulting size per (|R|, |r|)
+point in ``extra_info``.  The shape assertions check the paper's
+headline observation: the sample is orders of magnitude smaller than
+the input and grows slowly with |r|.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import FIGURE_ROWS, cached_relation
+from repro.bench.harness import ALGORITHM_LABELS
+from repro.core.armstrong import real_world_armstrong
+from repro.core.depminer import DepMiner
+
+CORRELATION = None
+ATTRS = (5, 10)
+
+
+@pytest.mark.benchmark(group="fig3-sizes")
+@pytest.mark.parametrize("attrs", ATTRS)
+@pytest.mark.parametrize("rows", FIGURE_ROWS)
+def test_fig3_armstrong_size(benchmark, attrs, rows):
+    relation = cached_relation(attrs, rows, CORRELATION)
+    result = DepMiner(build_armstrong="none").run(relation)
+    armstrong = benchmark(real_world_armstrong, relation, result.max_union)
+    benchmark.extra_info["point"] = f"|R|={attrs} |r|={rows}"
+    benchmark.extra_info["armstrong_size"] = len(armstrong)
+    # Paper: sizes between 1/100 and 1/10,000 of |r| at full scale; at
+    # this reduced scale we still require a large reduction factor.
+    assert len(armstrong) <= rows / 4

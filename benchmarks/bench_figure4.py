@@ -1,0 +1,40 @@
+"""Figure 4: execution times vs |r| at narrow and wide |R|, c = 30%.
+
+One timed benchmark per (|R|, |r|, algorithm) point of the two curves the
+figure plots (the paper uses |R| = 10 and |R| = 50; the scaled-down
+sweep uses the conftest's narrow/wide widths).  Comparing groups
+"fig4-narrow" and "fig4-wide" reproduces the figure's message: the gap
+between Dep-Miner and TANE widens with |R|.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import (
+    FIGURE_NARROW,
+    FIGURE_ROWS,
+    FIGURE_WIDE,
+    cached_relation,
+)
+from repro.bench.harness import ALGORITHM_NAMES, run_algorithm
+
+CORRELATION = 0.30
+
+
+@pytest.mark.benchmark(group="fig4-narrow")
+@pytest.mark.parametrize("rows", FIGURE_ROWS)
+@pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+def test_fig4_narrow(benchmark, algorithm, rows):
+    relation = cached_relation(FIGURE_NARROW, rows, CORRELATION)
+    benchmark.extra_info["point"] = f"|R|={FIGURE_NARROW} |r|={rows}"
+    benchmark(run_algorithm, algorithm, relation)
+
+
+@pytest.mark.benchmark(group="fig4-wide")
+@pytest.mark.parametrize("rows", FIGURE_ROWS)
+@pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+def test_fig4_wide(benchmark, algorithm, rows):
+    relation = cached_relation(FIGURE_WIDE, rows, CORRELATION)
+    benchmark.extra_info["point"] = f"|R|={FIGURE_WIDE} |r|={rows}"
+    benchmark(run_algorithm, algorithm, relation)

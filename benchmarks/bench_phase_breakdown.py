@@ -1,0 +1,67 @@
+"""Phase breakdown: which stage of Algorithm 1 dominates.
+
+Benchmarks each Dep-Miner phase in isolation on the same inputs: the
+strip pass, the two agree-set algorithms, the maximal-set derivation and
+the levelwise transversal search.  On correlated data the agree-set
+stage dominates at large |r|, the transversal stage at large |R| — the
+two axes along which the paper's evaluation (and our EXPERIMENTS.md
+notes) move.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import cached_relation
+from repro.core.agree_sets import (
+    agree_sets_from_couples,
+    agree_sets_from_identifiers,
+)
+from repro.core.lhs import left_hand_sides
+from repro.core.maximal_sets import complement_maximal_sets, maximal_sets
+from repro.partitions.database import StrippedPartitionDatabase
+
+ATTRS = 10
+ROWS = 1000
+CORRELATION = 0.5
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    relation = cached_relation(ATTRS, ROWS, CORRELATION)
+    spdb = StrippedPartitionDatabase.from_relation(relation)
+    agree = agree_sets_from_couples(spdb)
+    schema = relation.schema
+    max_sets = maximal_sets(agree, schema)
+    cmax = complement_maximal_sets(max_sets, schema)
+    return relation, spdb, agree, schema, cmax
+
+
+@pytest.mark.benchmark(group="phase-breakdown")
+def test_phase_strip(benchmark, inputs):
+    relation = inputs[0]
+    benchmark(StrippedPartitionDatabase.from_relation, relation)
+
+
+@pytest.mark.benchmark(group="phase-breakdown")
+def test_phase_agree_couples(benchmark, inputs):
+    spdb = inputs[1]
+    benchmark(agree_sets_from_couples, spdb)
+
+
+@pytest.mark.benchmark(group="phase-breakdown")
+def test_phase_agree_identifiers(benchmark, inputs):
+    spdb = inputs[1]
+    benchmark(agree_sets_from_identifiers, spdb)
+
+
+@pytest.mark.benchmark(group="phase-breakdown")
+def test_phase_max_sets(benchmark, inputs):
+    _relation, _spdb, agree, schema, _cmax = inputs
+    benchmark(maximal_sets, agree, schema)
+
+
+@pytest.mark.benchmark(group="phase-breakdown")
+def test_phase_transversals(benchmark, inputs):
+    *_rest, schema, cmax = inputs
+    benchmark(left_hand_sides, cmax, schema)

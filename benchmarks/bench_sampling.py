@@ -1,0 +1,34 @@
+"""Extension benchmark: direct Dep-Miner vs guided-sampling discovery.
+
+Sampling mines a small random sample and repairs it with counterexample
+pairs until the cover is exact (see ``repro.core.sampling``).  It pays
+off on duplication-heavy data, where direct mining's couple enumeration
+is quadratic in class sizes while verification stays a linear scan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import cached_relation
+from repro.core.depminer import discover_fds
+from repro.core.sampling import discover_with_sampling
+
+ATTRS = 6
+ROWS = 2000
+CORRELATION = 0.9  # duplication-heavy: large equivalence classes
+
+
+@pytest.mark.benchmark(group="sampling")
+def test_direct_discovery(benchmark):
+    relation = cached_relation(ATTRS, ROWS, CORRELATION)
+    benchmark(discover_fds, relation)
+
+
+@pytest.mark.benchmark(group="sampling")
+def test_sampling_discovery(benchmark):
+    relation = cached_relation(ATTRS, ROWS, CORRELATION)
+    result = benchmark(
+        discover_with_sampling, relation, 128
+    )
+    assert result.fds == discover_fds(relation)

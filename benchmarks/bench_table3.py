@@ -1,0 +1,32 @@
+"""Table 3: execution times and Armstrong sizes, data without constraints.
+
+One benchmark per (|R|, |r|, algorithm) cell of a scaled-down version of
+the paper's grid, at the paper's "without constraints" correlation
+setting (c = None).  The Armstrong size of each cell is recorded in the
+benchmark's ``extra_info`` so a full run reproduces both halves of the
+table: 3(a) from the timings, 3(b) from the recorded sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import TABLE_ATTRS, TABLE_ROWS, cached_relation
+from repro.bench.harness import ALGORITHM_NAMES, run_algorithm
+
+CORRELATION = None  # "without constraints"
+
+
+@pytest.mark.benchmark(group="table3-times")
+@pytest.mark.parametrize("attrs", TABLE_ATTRS)
+@pytest.mark.parametrize("rows", TABLE_ROWS)
+@pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+def test_table3_cell(benchmark, algorithm, attrs, rows):
+    relation = cached_relation(attrs, rows, CORRELATION)
+    _seconds, num_fds, size = run_algorithm(algorithm, relation)
+    benchmark.extra_info["num_fds"] = num_fds
+    benchmark.extra_info["armstrong_size"] = size
+    benchmark.extra_info["cell"] = f"|R|={attrs} |r|={rows}"
+    benchmark(run_algorithm, algorithm, relation)
+    # Table 3(b) shape: the Armstrong relation is far smaller than r.
+    assert size is not None and size < rows

@@ -1,0 +1,30 @@
+"""Table 4: execution times and Armstrong sizes, correlated data (30%).
+
+Same scaled-down grid as the Table 3 benchmarks, with the paper's
+correlation parameter c = 30% (each column drawn from (1 - c)*|r|
+distinct values).  Timings reproduce the left half of Table 4; the
+recorded ``armstrong_size`` extra-info reproduces the right half.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import TABLE_ATTRS, TABLE_ROWS, cached_relation
+from repro.bench.harness import ALGORITHM_NAMES, run_algorithm
+
+CORRELATION = 0.30
+
+
+@pytest.mark.benchmark(group="table4-times")
+@pytest.mark.parametrize("attrs", TABLE_ATTRS)
+@pytest.mark.parametrize("rows", TABLE_ROWS)
+@pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+def test_table4_cell(benchmark, algorithm, attrs, rows):
+    relation = cached_relation(attrs, rows, CORRELATION)
+    _seconds, num_fds, size = run_algorithm(algorithm, relation)
+    benchmark.extra_info["num_fds"] = num_fds
+    benchmark.extra_info["armstrong_size"] = size
+    benchmark.extra_info["cell"] = f"|R|={attrs} |r|={rows}"
+    benchmark(run_algorithm, algorithm, relation)
+    assert size is not None and size < rows

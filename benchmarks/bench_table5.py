@@ -1,0 +1,31 @@
+"""Table 5: execution times and Armstrong sizes, correlated data (50%).
+
+Same scaled-down grid as the Table 3 benchmarks, with the paper's
+correlation parameter c = 50% — the heaviest setting, where equivalence
+classes are largest and both miners and the Armstrong construction do
+the most work.  Timings reproduce the left half of Table 5; the recorded
+``armstrong_size`` extra-info reproduces the right half.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import TABLE_ATTRS, TABLE_ROWS, cached_relation
+from repro.bench.harness import ALGORITHM_NAMES, run_algorithm
+
+CORRELATION = 0.50
+
+
+@pytest.mark.benchmark(group="table5-times")
+@pytest.mark.parametrize("attrs", TABLE_ATTRS)
+@pytest.mark.parametrize("rows", TABLE_ROWS)
+@pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+def test_table5_cell(benchmark, algorithm, attrs, rows):
+    relation = cached_relation(attrs, rows, CORRELATION)
+    _seconds, num_fds, size = run_algorithm(algorithm, relation)
+    benchmark.extra_info["num_fds"] = num_fds
+    benchmark.extra_info["armstrong_size"] = size
+    benchmark.extra_info["cell"] = f"|R|={attrs} |r|={rows}"
+    benchmark(run_algorithm, algorithm, relation)
+    assert size is not None and size < rows

@@ -1,0 +1,42 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Every benchmark regenerates one of the paper's artefacts (Tables 3-5,
+Figures 2-7) at a CI-friendly scale, plus ablations of the design
+choices DESIGN.md calls out.  The grids here are intentionally small —
+the full-scale sweeps live behind ``python -m repro bench --scale paper``.
+
+Relations are generated once per (attrs, rows, correlation, seed) cell
+and cached for the whole session so the benchmark timers measure the
+algorithms, not the generator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.relation import Relation
+from repro.datagen.synthetic import generate_relation
+
+# The scaled-down |R| x |r| grid used by the table benchmarks.
+TABLE_ATTRS = (5, 10)
+TABLE_ROWS = (200, 500)
+# The |r| sweep used by the figure benchmarks, at narrow/wide |R|.
+FIGURE_ROWS = (200, 500, 1000)
+FIGURE_NARROW = 5
+FIGURE_WIDE = 12
+
+_cache = {}
+
+
+def cached_relation(attrs: int, rows: int, correlation, seed: int = 0) -> Relation:
+    key = (attrs, rows, correlation, seed)
+    if key not in _cache:
+        _cache[key] = generate_relation(
+            attrs, rows, correlation=correlation, seed=seed
+        )
+    return _cache[key]
+
+
+@pytest.fixture
+def relation_factory():
+    return cached_relation

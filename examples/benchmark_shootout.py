@@ -1,0 +1,60 @@
+"""Benchmark shootout: Dep-Miner vs Dep-Miner 2 vs TANE (section 5).
+
+Generates the paper's synthetic benchmark relations at a laptop-friendly
+scale and prints the comparison in the layout of Tables 3-5, plus the
+speedup matrix.  For the full grids behind every table and figure, use
+the harness CLI:
+
+    python -m repro bench --experiment table3 --scale small
+
+This script:
+
+    python examples/benchmark_shootout.py [--rows 2000] [--attrs 10 20]
+"""
+
+import argparse
+
+from repro.bench import (
+    armstrong_table,
+    run_grid,
+    speedup_table,
+    times_table,
+)
+from repro.datagen.workloads import WorkloadGrid
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, nargs="+",
+                        default=[500, 1000, 2000])
+    parser.add_argument("--attrs", type=int, nargs="+", default=[5, 10, 15])
+    parser.add_argument("--correlation", type=float, default=0.5,
+                        help="the paper's c parameter (0 disables)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    correlation = args.correlation if args.correlation else None
+    grid = WorkloadGrid(
+        name="shootout",
+        correlation=correlation,
+        attribute_counts=tuple(args.attrs),
+        tuple_counts=tuple(args.rows),
+        seed=args.seed,
+    )
+    print(
+        f"Running {len(grid.specs())} cells x 3 algorithms "
+        f"(c = {correlation}) ...\n"
+    )
+    result = run_grid(grid, progress=print)
+    print()
+    print(times_table(result))
+    print()
+    print(armstrong_table(result))
+    print()
+    print(speedup_table(result, baseline="tane", subject="depminer"))
+    print()
+    print(speedup_table(result, baseline="tane", subject="depminer2"))
+
+
+if __name__ == "__main__":
+    main()

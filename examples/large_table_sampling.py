@@ -1,0 +1,71 @@
+"""Guided sampling on a large synthetic table.
+
+Dep-Miner's agree-set step enumerates tuple couples, which grows with
+the square of the class sizes; on very large relations the classical
+complement is to mine a *sample* and repair it with counterexamples
+until the mined cover is exact (see ``repro.core.sampling``).  This
+script generates a large benchmark relation, runs both paths, verifies
+they produce the identical FD cover, and reports the speedup and the
+final witness-sample size.
+
+    python examples/large_table_sampling.py [--rows 50000] [--attrs 8]
+"""
+
+import argparse
+import time
+
+from repro.core.depminer import discover_fds
+from repro.core.sampling import discover_with_sampling
+from repro.datagen.synthetic import generate_relation
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=50_000)
+    parser.add_argument("--attrs", type=int, default=8)
+    parser.add_argument(
+        "--correlation", type=float, default=0.9,
+        help="sampling pays off on duplication-heavy data, where the "
+             "couple enumeration dominates direct mining",
+    )
+    parser.add_argument("--sample-size", type=int, default=512)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print(
+        f"generating |R|={args.attrs}, |r|={args.rows}, "
+        f"c={args.correlation:.0%} ..."
+    )
+    relation = generate_relation(
+        args.attrs, args.rows, correlation=args.correlation, seed=args.seed
+    )
+
+    start = time.perf_counter()
+    direct = discover_fds(relation)
+    direct_seconds = time.perf_counter() - start
+    print(
+        f"direct Dep-Miner:      {len(direct):4d} FDs in "
+        f"{direct_seconds:7.2f}s"
+    )
+
+    start = time.perf_counter()
+    sampled = discover_with_sampling(
+        relation, sample_size=args.sample_size, seed=args.seed
+    )
+    sampled_seconds = time.perf_counter() - start
+    print(
+        f"guided sampling:       {len(sampled.fds):4d} FDs in "
+        f"{sampled_seconds:7.2f}s "
+        f"({sampled.rounds} round(s), final sample "
+        f"{sampled.sample_size} tuples, "
+        f"{sampled.verifications} verification scans)"
+    )
+
+    assert sampled.fds == direct, "sampling must be exact"
+    print("covers are identical (exactness verified)")
+    if sampled_seconds > 0:
+        print(f"speedup: {direct_seconds / sampled_seconds:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

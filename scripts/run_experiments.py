@@ -1,0 +1,74 @@
+"""Run the full experiment suite and save paper-style reports.
+
+Runs each correlation grid once and renders every artefact that depends
+on it (table + time figure + size figure), so the three grids cover all
+nine experiment ids.  Results land in ``results/`` as text files, and a
+compact summary (used to fill EXPERIMENTS.md) is printed at the end.
+
+    python scripts/run_experiments.py [--scale small] [--timeout 60]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.experiments import EXPERIMENTS, experiment_report
+from repro.bench.harness import run_grid
+from repro.datagen.workloads import grid_for
+
+GRID_EXPERIMENTS = {
+    "none": ("table3", "fig2", "fig3"),
+    "c30": ("table4", "fig4", "fig5"),
+    "c50": ("table5", "fig6", "fig7"),
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", default="small")
+    parser.add_argument("--timeout", type=float, default=None)
+    parser.add_argument("--isolated", action="store_true")
+    parser.add_argument("--out", default="results")
+    args = parser.parse_args()
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    summary = {}
+    for correlation_name, experiment_names in GRID_EXPERIMENTS.items():
+        grid = grid_for(correlation_name, scale=args.scale)
+        print(f"== grid {grid.name} ==", flush=True)
+        result = run_grid(
+            grid,
+            timeout=args.timeout,
+            isolated=args.isolated,
+            progress=lambda line: print("  " + line, flush=True),
+        )
+        for name in experiment_names:
+            report = experiment_report(EXPERIMENTS[name], result)
+            path = out_dir / f"{name}_{args.scale}.txt"
+            path.write_text(report + "\n")
+            print(f"wrote {path}", flush=True)
+        summary[correlation_name] = [
+            {
+                "attrs": cell.spec.num_attributes,
+                "rows": cell.spec.num_tuples,
+                "algorithm": cell.algorithm,
+                "seconds": round(cell.seconds, 3),
+                "fds": cell.num_fds,
+                "armstrong": cell.armstrong_size,
+                "timed_out": cell.timed_out,
+            }
+            for cell in result.cells
+        ]
+    (out_dir / f"summary_{args.scale}.json").write_text(
+        json.dumps(summary, indent=2)
+    )
+    print("done")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

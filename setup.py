@@ -1,0 +1,6 @@
+"""Legacy entry point so `pip install -e . --no-use-pep517` works on
+environments without the `wheel` package (configuration in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""Benchmark harness regenerating every table and figure of section 5.3."""
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    Experiment,
+    experiment_report,
+    run_experiment,
+)
+from repro.bench.harness import (
+    ALGORITHM_LABELS,
+    ALGORITHM_NAMES,
+    CellResult,
+    GridResult,
+    run_algorithm,
+    run_cell,
+    run_grid,
+)
+from repro.bench.report import (
+    armstrong_table,
+    ascii_figure,
+    speedup_table,
+    times_table,
+)
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "ALGORITHM_LABELS",
+    "CellResult",
+    "GridResult",
+    "run_algorithm",
+    "run_cell",
+    "run_grid",
+    "Experiment",
+    "EXPERIMENTS",
+    "run_experiment",
+    "experiment_report",
+    "times_table",
+    "armstrong_table",
+    "speedup_table",
+    "ascii_figure",
+]

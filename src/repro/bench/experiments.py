@@ -1,0 +1,162 @@
+"""The experiment index: one entry per table and figure of the paper.
+
+Each experiment names a workload grid (correlation setting) and an
+output kind; :func:`run_experiment` executes it at a chosen scale and
+returns both the raw :class:`~repro.bench.harness.GridResult` and the
+paper-style textual report.
+
+| id       | paper artefact | correlation | output                         |
+|----------|----------------|-------------|--------------------------------|
+| table3   | Table 3(a)+(b) | none        | times table + sizes table      |
+| table4   | Table 4        | c = 30%     | times table + sizes table      |
+| table5   | Table 5        | c = 50%     | times table + sizes table      |
+| fig2     | Figure 2       | none        | time curves at |R| ∈ {10, 50}  |
+| fig3     | Figure 3       | none        | Armstrong-size curves, all |R| |
+| fig4     | Figure 4       | c = 30%     | time curves at |R| ∈ {10, 50}  |
+| fig5     | Figure 5       | c = 30%     | Armstrong-size curves, all |R| |
+| fig6     | Figure 6       | c = 50%     | time curves at |R| ∈ {10, 50}  |
+| fig7     | Figure 7       | c = 50%     | Armstrong-size curves, all |R| |
+
+At non-paper scales the |R| values of the figures are mapped onto the
+scale's smallest and largest attribute counts, preserving the figures'
+intent (one "narrow" and one "wide" curve set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import (
+    ALGORITHM_LABELS,
+    ALGORITHM_NAMES,
+    GridResult,
+    run_grid,
+)
+from repro.bench.report import (
+    armstrong_table,
+    ascii_figure,
+    speedup_table,
+    times_table,
+)
+from repro.datagen.workloads import grid_for
+from repro.errors import BenchmarkError
+
+__all__ = ["Experiment", "EXPERIMENTS", "run_experiment", "experiment_report"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible artefact of the paper's evaluation."""
+
+    name: str
+    paper_artifact: str
+    correlation_name: str
+    kind: str  # "tables", "times_figure" or "sizes_figure"
+    description: str
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    "table3": Experiment(
+        "table3", "Table 3 (a) and (b)", "none", "tables",
+        "Times and Armstrong sizes, data without constraints",
+    ),
+    "table4": Experiment(
+        "table4", "Table 4", "c30", "tables",
+        "Times and Armstrong sizes, correlated data (30%)",
+    ),
+    "table5": Experiment(
+        "table5", "Table 5", "c50", "tables",
+        "Times and Armstrong sizes, correlated data (50%)",
+    ),
+    "fig2": Experiment(
+        "fig2", "Figure 2", "none", "times_figure",
+        "Execution times vs |r| at narrow/wide |R|, no constraints",
+    ),
+    "fig3": Experiment(
+        "fig3", "Figure 3", "none", "sizes_figure",
+        "Armstrong sizes vs |r| for every |R|, no constraints",
+    ),
+    "fig4": Experiment(
+        "fig4", "Figure 4", "c30", "times_figure",
+        "Execution times vs |r| at narrow/wide |R|, c = 30%",
+    ),
+    "fig5": Experiment(
+        "fig5", "Figure 5", "c30", "sizes_figure",
+        "Armstrong sizes vs |r| for every |R|, c = 30%",
+    ),
+    "fig6": Experiment(
+        "fig6", "Figure 6", "c50", "times_figure",
+        "Execution times vs |r| at narrow/wide |R|, c = 50%",
+    ),
+    "fig7": Experiment(
+        "fig7", "Figure 7", "c50", "sizes_figure",
+        "Armstrong sizes vs |r| for every |R|, c = 50%",
+    ),
+}
+
+
+def run_experiment(name: str, scale: str = "small",
+                   algorithms: Sequence[str] = ALGORITHM_NAMES,
+                   timeout: Optional[float] = None,
+                   isolated: bool = False, seed: int = 0,
+                   progress=None) -> Tuple[Experiment, GridResult]:
+    """Execute the named experiment's grid and return the measurements."""
+    try:
+        experiment = EXPERIMENTS[name]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    grid = grid_for(experiment.correlation_name, scale=scale, seed=seed)
+    result = run_grid(
+        grid, algorithms=algorithms, timeout=timeout,
+        isolated=isolated, progress=progress,
+    )
+    return experiment, result
+
+
+def experiment_report(experiment: Experiment, result: GridResult) -> str:
+    """The paper-style textual artefact for the experiment."""
+    header = (
+        f"== {experiment.paper_artifact}: {experiment.description} ==\n"
+    )
+    if experiment.kind == "tables":
+        parts = [times_table(result), "", armstrong_table(result)]
+        if "tane" in result.algorithms and "depminer" in result.algorithms:
+            parts.extend(["", speedup_table(result)])
+        return header + "\n".join(parts)
+    grid = result.grid
+    if experiment.kind == "times_figure":
+        narrow = grid.attribute_counts[0]
+        wide = grid.attribute_counts[-1]
+        figures = []
+        for num_attributes in (narrow, wide):
+            series = {
+                ALGORITHM_LABELS.get(a, a): result.time_series(
+                    num_attributes, a
+                )
+                for a in result.algorithms
+            }
+            figures.append(
+                ascii_figure(
+                    series,
+                    title=f"{experiment.paper_artifact} — |R| = "
+                          f"{num_attributes}: time vs |r|",
+                )
+            )
+        return header + "\n\n".join(figures)
+    if experiment.kind == "sizes_figure":
+        series = {
+            f"|R| = {num_attributes}": [
+                (x, float(y) if y is not None else None)
+                for x, y in result.armstrong_series(num_attributes)
+            ]
+            for num_attributes in grid.attribute_counts
+        }
+        return header + ascii_figure(
+            series,
+            title=f"{experiment.paper_artifact} — Armstrong size vs |r|",
+            y_label="tuples of the real-world Armstrong relation",
+        )
+    raise BenchmarkError(f"unknown experiment kind {experiment.kind!r}")

@@ -1,0 +1,297 @@
+"""Benchmark harness: run algorithms over workload grids.
+
+Measures, for every cell of a workload grid (|R| × |r| at one
+correlation), the wall-clock time of each competing algorithm and the
+size of the real-world Armstrong relation — the two metrics of the
+paper's Tables 3–5 and Figures 2–7.
+
+Algorithms under test (the paper's three competitors):
+
+- ``depminer``  — Dep-Miner with the couples algorithm (Algorithm 2);
+- ``depminer2`` — Dep-Miner 2 with the identifier-set algorithm
+  (Algorithm 3);
+- ``tane``      — our TANE reimplementation (exact mode), with the
+  Armstrong extension of section 5.1 so the comparison covers the same
+  functionality.
+
+Cells can be executed in a forked subprocess with a hard timeout
+(``isolated=True``), reproducing the paper's ``*`` cells (memory
+overload / two-hour limit); the default runs in-process and flags
+overruns after the fact.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.depminer import DepMiner
+from repro.core.relation import Relation
+from repro.datagen.synthetic import SyntheticSpec, generate_relation
+from repro.datagen.workloads import WorkloadGrid
+from repro.errors import BenchmarkError
+from repro.tane.armstrong_ext import tane_with_armstrong
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "ALGORITHM_LABELS",
+    "CellResult",
+    "GridResult",
+    "run_algorithm",
+    "run_cell",
+    "run_grid",
+]
+
+# The paper's three competitors (run by default)...
+ALGORITHM_NAMES = ("depminer", "depminer2", "tane")
+
+ALGORITHM_LABELS = {
+    "depminer": "Dep-Miner",
+    "depminer2": "Dep-Miner 2",
+    "tane": "TANE",
+    "fdep": "FDEP",
+    "depminer-fast": "Dep-Miner (vec)",
+}
+
+
+def _run_depminer(relation: Relation) -> Tuple[int, Optional[int]]:
+    result = DepMiner(agree_algorithm="couples").run(relation)
+    return len(result.fds), result.armstrong_size
+
+def _run_depminer2(relation: Relation) -> Tuple[int, Optional[int]]:
+    result = DepMiner(agree_algorithm="identifiers").run(relation)
+    return len(result.fds), result.armstrong_size
+
+def _run_tane(relation: Relation) -> Tuple[int, Optional[int]]:
+    result = tane_with_armstrong(relation)
+    size = len(result.armstrong) if result.armstrong is not None else None
+    return len(result.fds), size
+
+def _run_depminer_fast(relation: Relation) -> Tuple[int, Optional[int]]:
+    result = DepMiner(agree_algorithm="vectorized").run(relation)
+    return len(result.fds), result.armstrong_size
+
+def _run_fdep(relation: Relation) -> Tuple[int, Optional[int]]:
+    # FDEP [SF93] — an extra baseline beyond the paper's comparison; it
+    # produces no Armstrong relation (like TANE without the extension).
+    from repro.fdep import Fdep
+
+    result = Fdep().run(relation)
+    return len(result.fds), None
+
+
+# ... plus extra baselines selectable by name.
+_RUNNERS: Dict[str, Callable[[Relation], Tuple[int, Optional[int]]]] = {
+    "depminer": _run_depminer,
+    "depminer2": _run_depminer2,
+    "tane": _run_tane,
+    "fdep": _run_fdep,
+    "depminer-fast": _run_depminer_fast,
+}
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One (workload cell, algorithm) measurement."""
+
+    spec: SyntheticSpec
+    algorithm: str
+    seconds: float
+    num_fds: int
+    armstrong_size: Optional[int]
+    timed_out: bool = False
+
+    @property
+    def display_time(self) -> str:
+        """Formatted like the paper's tables; ``*`` for timed-out cells."""
+        return "*" if self.timed_out else f"{self.seconds:.2f}"
+
+
+@dataclass
+class GridResult:
+    """All measurements of one grid run."""
+
+    grid: WorkloadGrid
+    algorithms: Tuple[str, ...]
+    cells: List[CellResult] = field(default_factory=list)
+
+    def cell(self, num_attributes: int, num_tuples: int,
+             algorithm: str) -> Optional[CellResult]:
+        for cell in self.cells:
+            if (
+                cell.spec.num_attributes == num_attributes
+                and cell.spec.num_tuples == num_tuples
+                and cell.algorithm == algorithm
+            ):
+                return cell
+        return None
+
+    def time_series(self, num_attributes: int,
+                    algorithm: str) -> List[Tuple[int, Optional[float]]]:
+        """(|r|, seconds) pairs at fixed |R| — one curve of a time figure."""
+        series = []
+        for num_tuples in self.grid.tuple_counts:
+            cell = self.cell(num_attributes, num_tuples, algorithm)
+            if cell is None or cell.timed_out:
+                series.append((num_tuples, None))
+            else:
+                series.append((num_tuples, cell.seconds))
+        return series
+
+    def armstrong_series(self, num_attributes: int) -> List[Tuple[int, Optional[int]]]:
+        """(|r|, Armstrong tuples) pairs at fixed |R| — one size curve."""
+        series = []
+        for num_tuples in self.grid.tuple_counts:
+            cell = self.cell(num_attributes, num_tuples, "depminer") or \
+                self.cell(num_attributes, num_tuples, "depminer2")
+            size = cell.armstrong_size if cell else None
+            series.append((num_tuples, size))
+        return series
+
+    def to_dict(self) -> dict:
+        """JSON-ready document of every measurement (for archiving runs)."""
+        return {
+            "grid": {
+                "name": self.grid.name,
+                "correlation": self.grid.correlation,
+                "attribute_counts": list(self.grid.attribute_counts),
+                "tuple_counts": list(self.grid.tuple_counts),
+                "seed": self.grid.seed,
+            },
+            "algorithms": list(self.algorithms),
+            "cells": [
+                {
+                    "attrs": cell.spec.num_attributes,
+                    "rows": cell.spec.num_tuples,
+                    "algorithm": cell.algorithm,
+                    "seconds": round(cell.seconds, 6),
+                    "num_fds": cell.num_fds,
+                    "armstrong_size": cell.armstrong_size,
+                    "timed_out": cell.timed_out,
+                }
+                for cell in self.cells
+            ],
+        }
+
+
+def run_algorithm(algorithm: str,
+                  relation: Relation) -> Tuple[float, int, Optional[int]]:
+    """Time one algorithm on one relation; returns (seconds, #FDs, size)."""
+    try:
+        runner = _RUNNERS[algorithm]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown algorithm {algorithm!r}; choose from {ALGORITHM_NAMES}"
+        ) from None
+    start = time.perf_counter()
+    num_fds, armstrong_size = runner(relation)
+    return time.perf_counter() - start, num_fds, armstrong_size
+
+
+def _run_cell_isolated(spec: SyntheticSpec, algorithm: str,
+                       timeout: float) -> Optional[Tuple[float, int, Optional[int]]]:
+    """Fork a child, run the cell, kill it at *timeout* (the paper's ``*``)."""
+    import multiprocessing
+
+    context = multiprocessing.get_context("fork")
+    queue = context.Queue()
+
+    def worker(queue):
+        relation = generate_relation(
+            spec.num_attributes, spec.num_tuples,
+            correlation=spec.correlation, seed=spec.seed,
+        )
+        queue.put(run_algorithm(algorithm, relation))
+
+    process = context.Process(target=worker, args=(queue,))
+    process.start()
+    process.join(timeout)
+    if process.is_alive():
+        process.terminate()
+        process.join()
+        return None
+    if queue.empty():
+        return None  # the child crashed (e.g. memory overload)
+    return queue.get()
+
+
+def run_cell(spec: SyntheticSpec, algorithm: str,
+             timeout: Optional[float] = None,
+             isolated: bool = False) -> CellResult:
+    """Run one algorithm on one workload cell.
+
+    With ``isolated=True`` and a *timeout*, the cell runs in a forked
+    subprocess that is terminated at the deadline (hard ``*`` cells);
+    otherwise the run completes in-process and is merely *flagged* as
+    timed out when it exceeded the budget.
+    """
+    if isolated and timeout is not None:
+        outcome = _run_cell_isolated(spec, algorithm, timeout)
+        if outcome is None:
+            return CellResult(
+                spec=spec, algorithm=algorithm, seconds=float(timeout),
+                num_fds=0, armstrong_size=None, timed_out=True,
+            )
+        seconds, num_fds, armstrong_size = outcome
+        return CellResult(
+            spec=spec, algorithm=algorithm, seconds=seconds,
+            num_fds=num_fds, armstrong_size=armstrong_size,
+        )
+    relation = generate_relation(
+        spec.num_attributes, spec.num_tuples,
+        correlation=spec.correlation, seed=spec.seed,
+    )
+    seconds, num_fds, armstrong_size = run_algorithm(algorithm, relation)
+    timed_out = timeout is not None and seconds > timeout
+    return CellResult(
+        spec=spec, algorithm=algorithm, seconds=seconds,
+        num_fds=num_fds, armstrong_size=armstrong_size,
+        timed_out=timed_out,
+    )
+
+
+def run_grid(grid: WorkloadGrid,
+             algorithms: Sequence[str] = ALGORITHM_NAMES,
+             timeout: Optional[float] = None,
+             isolated: bool = False,
+             progress: Optional[Callable[[str], None]] = None) -> GridResult:
+    """Run every algorithm over every cell of *grid*.
+
+    The relation of each cell is generated once and shared by the
+    in-process algorithms (isolated runs regenerate it in the child).
+    *progress* receives one line per finished measurement.
+    """
+    for algorithm in algorithms:
+        if algorithm not in _RUNNERS:
+            raise BenchmarkError(
+                f"unknown algorithm {algorithm!r}; "
+                f"choose from {ALGORITHM_NAMES}"
+            )
+    result = GridResult(grid=grid, algorithms=tuple(algorithms))
+    for spec in grid.specs():
+        shared: Optional[Relation] = None
+        if not isolated:
+            shared = generate_relation(
+                spec.num_attributes, spec.num_tuples,
+                correlation=spec.correlation, seed=spec.seed,
+            )
+        for algorithm in algorithms:
+            if isolated and timeout is not None:
+                cell = run_cell(
+                    spec, algorithm, timeout=timeout, isolated=True
+                )
+            else:
+                seconds, num_fds, size = run_algorithm(algorithm, shared)
+                cell = CellResult(
+                    spec=spec, algorithm=algorithm, seconds=seconds,
+                    num_fds=num_fds, armstrong_size=size,
+                    timed_out=timeout is not None and seconds > timeout,
+                )
+            result.cells.append(cell)
+            if progress is not None:
+                progress(
+                    f"{spec.label()}  {ALGORITHM_LABELS[algorithm]:<12} "
+                    f"{cell.display_time:>8}s  fds={cell.num_fds}"
+                )
+    return result

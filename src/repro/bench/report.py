@@ -1,0 +1,157 @@
+"""Paper-style reports: the tables and ASCII figures of section 5.3.
+
+:func:`times_table` and :func:`armstrong_table` render a
+:class:`~repro.bench.harness.GridResult` in the layout of Tables 3–5
+(rows ``|r|``, columns ``|R|``, one line per algorithm; ``*`` for cells
+that hit the limit).  :func:`ascii_figure` renders the figures — time or
+Armstrong-size curves against ``|r|`` — as a monospace line plot, so the
+harness regenerates every artefact of the evaluation without plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import ALGORITHM_LABELS, GridResult
+
+__all__ = ["times_table", "armstrong_table", "ascii_figure", "speedup_table"]
+
+
+def _format_grid(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [
+        max(len(str(headers[c])), *(len(str(row[c])) for row in rows))
+        if rows else len(str(headers[c]))
+        for c in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(h).rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(str(v).rjust(w) for v, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def times_table(result: GridResult) -> str:
+    """Execution times in the layout of Tables 3(a), 4 and 5 (left)."""
+    grid = result.grid
+    headers = ["|r|", "algorithm"] + [str(a) for a in grid.attribute_counts]
+    rows: List[List[str]] = []
+    for num_tuples in grid.tuple_counts:
+        for position, algorithm in enumerate(result.algorithms):
+            row = [
+                str(num_tuples) if position == 0 else "",
+                ALGORITHM_LABELS.get(algorithm, algorithm),
+            ]
+            for num_attributes in grid.attribute_counts:
+                cell = result.cell(num_attributes, num_tuples, algorithm)
+                row.append(cell.display_time if cell else "?")
+            rows.append(row)
+    correlation = (
+        "without constraints" if grid.correlation is None
+        else f"c = {grid.correlation:.0%}"
+    )
+    title = f"Execution times (seconds), data {correlation}"
+    return title + "\n" + _format_grid(headers, rows)
+
+
+def armstrong_table(result: GridResult) -> str:
+    """Armstrong sizes in the layout of Tables 3(b), 4 and 5 (right)."""
+    grid = result.grid
+    headers = ["|r|"] + [str(a) for a in grid.attribute_counts]
+    rows: List[List[str]] = []
+    for num_tuples in grid.tuple_counts:
+        row = [str(num_tuples)]
+        for num_attributes in grid.attribute_counts:
+            series = dict(result.armstrong_series(num_attributes))
+            size = series.get(num_tuples)
+            row.append("*" if size is None else str(size))
+        rows.append(row)
+    correlation = (
+        "without constraints" if grid.correlation is None
+        else f"c = {grid.correlation:.0%}"
+    )
+    title = (
+        "Sizes of real-world Armstrong relations (tuples), data "
+        + correlation
+    )
+    return title + "\n" + _format_grid(headers, rows)
+
+
+def speedup_table(result: GridResult, baseline: str = "tane",
+                  subject: str = "depminer") -> str:
+    """Baseline/subject time ratios per cell (shape check: > 1 ⇒ subject
+    wins, growing with |R| reproduces the paper's headline claim)."""
+    grid = result.grid
+    headers = ["|r|"] + [str(a) for a in grid.attribute_counts]
+    rows: List[List[str]] = []
+    for num_tuples in grid.tuple_counts:
+        row = [str(num_tuples)]
+        for num_attributes in grid.attribute_counts:
+            base = result.cell(num_attributes, num_tuples, baseline)
+            subj = result.cell(num_attributes, num_tuples, subject)
+            if (
+                base is None or subj is None or base.timed_out
+                or subj.timed_out or subj.seconds == 0
+            ):
+                row.append("*")
+            else:
+                row.append(f"{base.seconds / subj.seconds:.2f}x")
+        rows.append(row)
+    title = (
+        f"Speedup of {ALGORITHM_LABELS.get(subject, subject)} over "
+        f"{ALGORITHM_LABELS.get(baseline, baseline)}"
+    )
+    return title + "\n" + _format_grid(headers, rows)
+
+
+def ascii_figure(series: Dict[str, List[Tuple[int, Optional[float]]]],
+                 title: str, x_label: str = "|r|",
+                 y_label: str = "seconds",
+                 width: int = 64, height: int = 18) -> str:
+    """Render named (x, y) series as a monospace scatter/line figure.
+
+    ``None`` y-values (timed-out cells) are skipped.  Each series is
+    drawn with its own marker; a legend maps markers to series names.
+    """
+    markers = "o+x*#@%&"
+    points: List[Tuple[float, float, str]] = []
+    legend: List[str] = []
+    for index, (name, values) in enumerate(sorted(series.items())):
+        marker = markers[index % len(markers)]
+        legend.append(f"  {marker} = {name}")
+        for x, y in values:
+            if y is not None:
+                points.append((float(x), float(y), marker))
+    if not points:
+        return f"{title}\n(no data points)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        column = round((x - x_min) / x_span * (width - 1))
+        row = height - 1 - round((y - y_min) / y_span * (height - 1))
+        canvas[row][column] = marker
+    lines = [title]
+    for row_number, row in enumerate(canvas):
+        if row_number == 0:
+            label = f"{y_max:10.2f} |"
+        elif row_number == height - 1:
+            label = f"{y_min:10.2f} |"
+        else:
+            label = "           |"
+        lines.append(label + "".join(row))
+    lines.append("           +" + "-" * width)
+    lines.append(
+        f"            {x_min:<12.0f}{x_label:^{max(width - 24, 4)}}{x_max:>12.0f}"
+    )
+    lines.append(f"  y: {y_label}")
+    lines.extend(legend)
+    return "\n".join(lines)

@@ -1,0 +1,416 @@
+"""Command-line interface: ``python -m repro <command>`` (or ``depminer``).
+
+Commands
+--------
+
+``discover``   Mine minimal FDs (and an Armstrong sample) from a CSV file.
+``armstrong``  Write the real-world Armstrong relation of a CSV file.
+``report``     Full profiling report (FDs, keys, normal forms, sample).
+``sample``     Exact FD discovery via guided sampling (large files).
+``generate``   Emit a synthetic benchmark relation as CSV.
+``bench``      Run one of the paper's experiments (table3..fig7).
+``example``    Run the paper's worked example end-to-end.
+
+Every command prints to stdout and exits non-zero on library errors with
+a one-line message (no tracebacks for expected failure modes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    experiment_report,
+    run_experiment,
+)
+from repro.bench.harness import ALGORITHM_NAMES
+from repro.core.depminer import DepMiner
+from repro.core.relation import Relation
+from repro.datagen.synthetic import generate_relation
+from repro.datagen.workloads import SCALES
+from repro.errors import ReproError
+from repro.fd.fd import fds_to_text
+from repro.storage.csv_io import relation_from_csv, relation_to_csv
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="depminer",
+        description=(
+            "Dep-Miner: efficient discovery of functional dependencies "
+            "and real-world Armstrong relations (EDBT 2000 reproduction)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    discover = subparsers.add_parser(
+        "discover", help="mine minimal FDs from a CSV file"
+    )
+    discover.add_argument("csv", help="input CSV file (header row expected)")
+    discover.add_argument(
+        "--algorithm",
+        choices=("couples", "identifiers", "vectorized"),
+        default="couples",
+        help="agree-set algorithm (couples = Dep-Miner, identifiers = "
+             "Dep-Miner 2, vectorized = NumPy fast path)",
+    )
+    discover.add_argument(
+        "--max-couples", type=int, default=None,
+        help="memory threshold for the couples algorithm",
+    )
+    discover.add_argument(
+        "--armstrong", action="store_true",
+        help="also print the real-world Armstrong relation",
+    )
+    discover.add_argument(
+        "--stats", action="store_true",
+        help="print phase timings and artefact counts",
+    )
+    discover.add_argument(
+        "--json", dest="json_path", default=None, metavar="PATH",
+        help="also write the mined cover as a JSON document (for "
+             "'depminer diff')",
+    )
+    discover.add_argument(
+        "--max-lhs", type=int, default=None, metavar="K",
+        help="only mine FDs with at most K lhs attributes (wide-schema "
+             "mitigation; sound but incomplete)",
+    )
+    discover.add_argument(
+        "--sql-nulls", action="store_true",
+        help="treat NULL <> NULL (SQL semantics) instead of grouping "
+             "nulls together",
+    )
+
+    armstrong = subparsers.add_parser(
+        "armstrong", help="write the real-world Armstrong relation of a CSV"
+    )
+    armstrong.add_argument("csv", help="input CSV file")
+    armstrong.add_argument(
+        "--output", "-o", default=None,
+        help="output CSV path (default: print to stdout)",
+    )
+
+    generate = subparsers.add_parser(
+        "generate", help="emit a synthetic benchmark relation as CSV"
+    )
+    generate.add_argument("--attributes", "-a", type=int, required=True)
+    generate.add_argument("--tuples", "-t", type=int, required=True)
+    generate.add_argument(
+        "--correlation", "-c", type=float, default=None,
+        help="the paper's c parameter in [0, 1); omit for "
+             "'without constraints'",
+    )
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--output", "-o", default=None,
+        help="output CSV path (default: stdout)",
+    )
+
+    bench = subparsers.add_parser(
+        "bench", help="run one of the paper's experiments"
+    )
+    bench.add_argument(
+        "--experiment", "-e", choices=sorted(EXPERIMENTS), required=True,
+        help="which table/figure to regenerate",
+    )
+    bench.add_argument(
+        "--scale", choices=sorted(SCALES), default="small",
+        help="workload scale (paper = the original grid)",
+    )
+    bench.add_argument(
+        "--algorithms", nargs="+",
+        choices=tuple(ALGORITHM_NAMES) + ("fdep", "depminer-fast"),
+        default=list(ALGORITHM_NAMES),
+    )
+    bench.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-cell time budget in seconds (cells over it print '*')",
+    )
+    bench.add_argument(
+        "--isolated", action="store_true",
+        help="run each cell in a forked subprocess with a hard timeout",
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress"
+    )
+
+    report = subparsers.add_parser(
+        "report", help="full profiling report (FDs, keys, normal forms, "
+                       "Armstrong sample) for a CSV file",
+    )
+    report.add_argument("csv", help="input CSV file")
+    report.add_argument(
+        "--output", "-o", default=None,
+        help="write the markdown report here (default: stdout)",
+    )
+
+    sample = subparsers.add_parser(
+        "sample", help="exact FD discovery via guided sampling "
+                       "(for very large files)",
+    )
+    sample.add_argument("csv", help="input CSV file")
+    sample.add_argument("--sample-size", type=int, default=256)
+    sample.add_argument("--seed", type=int, default=0)
+
+    diff = subparsers.add_parser(
+        "diff", help="compare two mined FD covers (dependency drift); "
+                     "inputs are CSVs to mine or JSON covers from "
+                     "'discover --json'",
+    )
+    diff.add_argument("old", help="old cover: .json document or .csv file")
+    diff.add_argument("new", help="new cover: .json document or .csv file")
+
+    keys = subparsers.add_parser(
+        "keys", help="discover minimal unique column combinations "
+                     "(candidate keys) of a CSV file",
+    )
+    keys.add_argument("csv", help="input CSV file")
+    keys.add_argument(
+        "--sql-nulls", action="store_true",
+        help="treat NULL <> NULL when grouping",
+    )
+
+    inds = subparsers.add_parser(
+        "inds", help="discover inclusion dependencies / foreign-key "
+                     "candidates across a directory of CSV files",
+    )
+    inds.add_argument(
+        "directory", help="directory of CSV files (one table each)"
+    )
+    inds.add_argument("--max-arity", type=int, default=2)
+    inds.add_argument(
+        "--foreign-keys", action="store_true",
+        help="only print INDs whose rhs is unique (FK candidates)",
+    )
+
+    subparsers.add_parser(
+        "example", help="run the paper's worked example (section 2-4)"
+    )
+    return parser
+
+
+def _command_discover(args: argparse.Namespace) -> int:
+    relation = relation_from_csv(args.csv)
+    miner = DepMiner(
+        agree_algorithm=args.algorithm,
+        max_couples=args.max_couples,
+        build_armstrong="real-world" if args.armstrong else "none",
+        nulls_equal=not args.sql_nulls,
+        max_lhs_size=args.max_lhs,
+    )
+    result = miner.run(relation)
+    print(fds_to_text(result.fds))
+    if args.armstrong:
+        print()
+        if result.armstrong is not None:
+            print("Real-world Armstrong relation:")
+            print(result.armstrong.to_text())
+        else:
+            print(
+                "No real-world Armstrong relation exists (Proposition 1); "
+                "classical construction:"
+            )
+            print(result.classical_armstrong.to_text())
+    if args.stats:
+        print()
+        print(result.summary())
+    if args.json_path:
+        from pathlib import Path
+
+        from repro.serialize import fds_to_json
+
+        Path(args.json_path).write_text(fds_to_json(result.fds))
+        print(f"wrote JSON cover to {args.json_path}", file=sys.stderr)
+    return 0
+
+
+def _load_cover(path_text: str):
+    from pathlib import Path
+
+    from repro.core.depminer import discover_fds
+    from repro.serialize import fds_from_json
+
+    path = Path(path_text)
+    if path.suffix.lower() == ".json":
+        return fds_from_json(path.read_text())
+    return discover_fds(relation_from_csv(path))
+
+
+def _command_diff(args: argparse.Namespace) -> int:
+    from repro.explain import diff_covers
+
+    old = _load_cover(args.old)
+    new = _load_cover(args.new)
+    diff = diff_covers(old, new)
+    print(diff.render())
+    return 0 if diff.is_equivalent else 2
+
+
+def _command_armstrong(args: argparse.Namespace) -> int:
+    relation = relation_from_csv(args.csv)
+    result = DepMiner(build_armstrong="strict").run(relation)
+    armstrong = result.armstrong
+    if args.output:
+        relation_to_csv(armstrong, args.output, name="armstrong")
+        print(
+            f"wrote {len(armstrong)} tuples "
+            f"({len(relation)} in the input) to {args.output}"
+        )
+    else:
+        print(armstrong.to_text(max_rows=len(armstrong)))
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    relation = generate_relation(
+        args.attributes, args.tuples,
+        correlation=args.correlation, seed=args.seed,
+    )
+    if args.output:
+        relation_to_csv(relation, args.output, name="synthetic")
+        print(f"wrote {len(relation)} tuples to {args.output}")
+    else:
+        print(relation.to_text(max_rows=50))
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    progress = None if args.quiet else lambda line: print(line, file=sys.stderr)
+    experiment, result = run_experiment(
+        args.experiment, scale=args.scale,
+        algorithms=args.algorithms, timeout=args.timeout,
+        isolated=args.isolated, seed=args.seed, progress=progress,
+    )
+    print(experiment_report(experiment, result))
+    return 0
+
+
+def _command_example(_args: argparse.Namespace) -> int:
+    from repro.datasets import paper_example_relation
+
+    relation = paper_example_relation()
+    print("Input relation (the employee/department example):")
+    print(relation.to_text())
+    result = DepMiner().run(relation)
+    print()
+    print("Agree sets ag(r):")
+    print("  " + ", ".join(
+        s.compact() for s in result.agree_sets_view()
+    ))
+    print()
+    print("Maximal sets:")
+    for name, sets in result.max_sets_view().items():
+        print(f"  max(dep(r), {name}) = "
+              + "{" + ", ".join(s.compact() for s in sets) + "}")
+    print()
+    print(f"Minimal non-trivial FDs ({len(result.fds)}):")
+    print(fds_to_text(result.fds))
+    print()
+    print("Real-world Armstrong relation:")
+    print(result.armstrong.to_text())
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from repro.report import profile_relation
+    from pathlib import Path
+
+    relation = relation_from_csv(args.csv)
+    name = Path(args.csv).stem
+    report = profile_relation(relation, name=name)
+    markdown = report.to_markdown()
+    if args.output:
+        Path(args.output).write_text(markdown)
+        print(f"wrote report to {args.output}")
+        print(report.summary_line())
+    else:
+        print(markdown)
+    return 0
+
+
+def _command_sample(args: argparse.Namespace) -> int:
+    from repro.core.sampling import discover_with_sampling
+
+    relation = relation_from_csv(args.csv)
+    result = discover_with_sampling(
+        relation, sample_size=args.sample_size, seed=args.seed
+    )
+    print(fds_to_text(result.fds))
+    print(
+        f"\n(exact cover from a {result.sample_size}-tuple sample of "
+        f"{len(relation)}; {result.rounds} round(s), "
+        f"{result.verifications} verification scans)"
+    )
+    return 0
+
+
+def _command_keys(args: argparse.Namespace) -> int:
+    from repro.core.keys_mining import discover_keys
+
+    relation = relation_from_csv(args.csv)
+    keys = discover_keys(relation, nulls_equal=not args.sql_nulls)
+    if not keys:
+        print(
+            "no unique column combination exists "
+            "(the file contains duplicate rows)"
+        )
+        return 0
+    for key in keys:
+        print("(" + ", ".join(key.names) + ")" if key.names else "()")
+    print(f"\n{len(keys)} candidate key(s)", file=sys.stderr)
+    return 0
+
+
+def _command_inds(args: argparse.Namespace) -> int:
+    from repro.ind import discover_inds, suggest_foreign_keys
+    from repro.storage import Database
+
+    db = Database("inds")
+    loaded = db.load_directory(args.directory)
+    print(
+        f"loaded {len(loaded)} table(s): {', '.join(db.table_names())}",
+        file=sys.stderr,
+    )
+    inds = discover_inds(db, max_arity=args.max_arity)
+    if args.foreign_keys:
+        inds = suggest_foreign_keys(db, inds)
+    for ind in inds:
+        print(ind)
+    kind = "foreign-key candidate(s)" if args.foreign_keys else "IND(s)"
+    print(f"\n{len(inds)} {kind}", file=sys.stderr)
+    return 0
+
+
+_COMMANDS = {
+    "discover": _command_discover,
+    "armstrong": _command_armstrong,
+    "generate": _command_generate,
+    "bench": _command_bench,
+    "report": _command_report,
+    "sample": _command_sample,
+    "diff": _command_diff,
+    "keys": _command_keys,
+    "inds": _command_inds,
+    "example": _command_example,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Dep-Miner core: the paper's primary contribution.
+
+Modules follow the pipeline of Figure 1: attribute sets and relations
+(`attributes`, `relation`), agree sets (`agree_sets`), maximal sets
+(`maximal_sets`), left-hand sides (`lhs`), Armstrong relations
+(`armstrong`), and the orchestrator (`depminer`).
+"""
+
+from repro.core.attributes import AttributeSet, Schema
+from repro.core.depminer import DepMiner, DepMinerResult, discover, discover_fds
+from repro.core.relation import Relation
+
+__all__ = [
+    "AttributeSet",
+    "Schema",
+    "Relation",
+    "DepMiner",
+    "DepMinerResult",
+    "discover",
+    "discover_fds",
+]

@@ -1,0 +1,114 @@
+"""Vectorized agree-set computation (NumPy fast path).
+
+Algorithm 2/3 compute, for every candidate couple, the set of attributes
+on which the two tuples share a stripped equivalence class.  That
+per-couple, per-attribute work is branchy Python — and the phase
+breakdown benchmark shows it dominating Dep-Miner's runtime.  This
+module performs the same computation column-at-a-time with NumPy:
+
+1. per attribute, a ``row → class id`` array (``-1`` for singletons);
+2. the candidate couples as two parallel index arrays;
+3. per attribute, one vectorized comparison marks the agreeing couples,
+   OR-ing the attribute's bit into a per-couple mask accumulator
+   (``uint64`` lanes, several lanes for schemas wider than 63 bits);
+4. one ``np.unique`` pass collapses the couples into the distinct agree
+   sets.
+
+Extensionally identical to the paper's algorithms (the property suite
+holds all of them equal); typically an order of magnitude faster in
+CPython.  Selectable as ``agree_algorithm="vectorized"``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.partitions.database import StrippedPartitionDatabase
+
+__all__ = ["agree_sets_vectorized"]
+
+_BITS_PER_LANE = 63  # keep clear of uint64 sign pitfalls in conversions
+
+
+def _couple_arrays(
+    spdb: StrippedPartitionDatabase,
+    mc: Optional[List[Tuple[int, ...]]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The deduplicated candidate couples as two parallel index arrays.
+
+    Pairs within each maximal class come from ``np.triu_indices``;
+    cross-class duplicates (overlapping maximal classes share couples)
+    are collapsed with one ``np.unique`` over a combined key.
+    """
+    classes = spdb.maximal_classes() if mc is None else mc
+    by_size: Dict[int, List[Tuple[int, ...]]] = {}
+    for cls in classes:
+        by_size.setdefault(len(cls), []).append(cls)
+    lefts: List[np.ndarray] = []
+    rights: List[np.ndarray] = []
+    # One batched triu per class *size*: thousands of tiny classes cost
+    # two array operations instead of two allocations each.
+    for size, group in by_size.items():
+        members = np.asarray(group, dtype=np.int64)  # (k, size)
+        i, j = np.triu_indices(size, k=1)
+        lefts.append(members[:, i].ravel())
+        rights.append(members[:, j].ravel())
+    if not lefts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    left = np.concatenate(lefts)
+    right = np.concatenate(rights)
+    keys = left * np.int64(spdb.num_rows) + right
+    _unique, first_index = np.unique(keys, return_index=True)
+    return left[first_index], right[first_index]
+
+
+def agree_sets_vectorized(spdb: StrippedPartitionDatabase,
+                          mc: Optional[List[Tuple[int, ...]]] = None,
+                          stats: Optional[Dict[str, int]] = None) -> Set[int]:
+    """``ag(r)`` via NumPy lane accumulation — same output as the others."""
+    num_rows = spdb.num_rows
+    width = len(spdb.schema)
+    left, right = _couple_arrays(spdb, mc)
+    visited = int(left.shape[0])
+    if stats is not None:
+        stats["num_couples"] = visited
+
+    result: Set[int] = set()
+    if visited:
+        num_lanes = (width + _BITS_PER_LANE - 1) // _BITS_PER_LANE
+        lanes = np.zeros((num_lanes, visited), dtype=np.uint64)
+        for attribute, partition in spdb:
+            class_of = np.full(num_rows, -1, dtype=np.int64)
+            if partition.num_classes:
+                members = np.fromiter(
+                    (row for cls in partition for row in cls),
+                    dtype=np.int64,
+                    count=partition.num_rows_in_classes,
+                )
+                ids = np.repeat(
+                    np.arange(partition.num_classes, dtype=np.int64),
+                    [len(cls) for cls in partition],
+                )
+                class_of[members] = ids
+            left_ids = class_of[left]
+            agree = (left_ids >= 0) & (left_ids == class_of[right])
+            lane, bit = divmod(attribute, _BITS_PER_LANE)
+            lanes[lane, agree] |= np.uint64(1 << bit)
+        if num_lanes == 1:
+            for value in np.unique(lanes[0]):
+                result.add(int(value))
+        else:
+            distinct = np.unique(lanes.T, axis=0)
+            for row in distinct:
+                mask = 0
+                for lane in range(num_lanes):
+                    mask |= int(row[lane]) << (lane * _BITS_PER_LANE)
+                result.add(mask)
+
+    total_pairs = num_rows * (num_rows - 1) // 2
+    if visited < total_pairs:
+        result.add(0)
+    return result

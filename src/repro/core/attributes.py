@@ -1,0 +1,369 @@
+"""Schemas and attribute sets.
+
+The paper implements attribute sets as *bit vectors* "to provide set
+operations in constant time" (section 5).  We mirror that design: a
+:class:`Schema` assigns each attribute a bit position, and an
+:class:`AttributeSet` is an immutable wrapper around a Python ``int``
+bitmask.  CPython's arbitrary-precision integers give branch-free set
+algebra (``|``, ``&``, ``-`` as ``& ~``) that is both faster and more
+memory-compact than ``frozenset`` for the schema widths the paper uses
+(10–60 attributes).
+
+Inner loops of the mining algorithms operate on raw ``int`` masks for
+speed; :class:`AttributeSet` is the user-facing, schema-aware view used at
+API boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple, Union
+
+from repro.errors import SchemaError, SchemaMismatchError
+
+__all__ = ["Schema", "AttributeSet", "iter_bits", "popcount", "mask_of_indices"]
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits in *mask* (cardinality of the attribute set)."""
+    return bin(mask).count("1")
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of the set bits of *mask* in increasing order.
+
+    >>> list(iter_bits(0b1011))
+    [0, 1, 3]
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def mask_of_indices(indices: Iterable[int]) -> int:
+    """Build a bitmask from an iterable of bit positions."""
+    mask = 0
+    for index in indices:
+        mask |= 1 << index
+    return mask
+
+
+class Schema:
+    """An ordered, immutable list of attribute names.
+
+    Each attribute receives the bit position equal to its index, so the
+    schema defines the mapping between human-readable names and the
+    bitmasks used everywhere else.
+
+    >>> schema = Schema(["empnum", "depnum", "year"])
+    >>> schema.index_of("year")
+    2
+    >>> len(schema)
+    3
+    """
+
+    __slots__ = ("_names", "_index", "_universe_mask", "_hash")
+
+    def __init__(self, names: Sequence[str]):
+        names = tuple(str(name) for name in names)
+        if not names:
+            raise SchemaError("a schema needs at least one attribute")
+        seen = set()
+        for name in names:
+            if not name:
+                raise SchemaError("attribute names must be non-empty strings")
+            if name in seen:
+                raise SchemaError(f"duplicate attribute name: {name!r}")
+            seen.add(name)
+        self._names = names
+        self._index = {name: i for i, name in enumerate(names)}
+        self._universe_mask = (1 << len(names)) - 1
+        self._hash = hash(names)
+
+    @classmethod
+    def of_width(cls, width: int, prefix: str = "") -> "Schema":
+        """Build a schema of *width* generated attribute names.
+
+        Widths up to 26 use single letters ``A..Z`` (matching the paper's
+        examples); wider schemas use ``A1, A2, ...``.
+
+        >>> Schema.of_width(3).names
+        ('A', 'B', 'C')
+        """
+        if width < 1:
+            raise SchemaError("schema width must be positive")
+        if prefix:
+            names = [f"{prefix}{i + 1}" for i in range(width)]
+        elif width <= 26:
+            names = [chr(ord("A") + i) for i in range(width)]
+        else:
+            names = [f"A{i + 1}" for i in range(width)]
+        return cls(names)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """The attribute names, in bit order."""
+        return self._names
+
+    @property
+    def universe_mask(self) -> int:
+        """Bitmask with every attribute set (the set ``R`` of the paper)."""
+        return self._universe_mask
+
+    def index_of(self, name: str) -> int:
+        """Bit position of *name*; raises :class:`SchemaError` if unknown."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown attribute {name!r}; schema has {list(self._names)}"
+            ) from None
+
+    def name_of(self, index: int) -> str:
+        """Attribute name at bit position *index*."""
+        if not 0 <= index < len(self._names):
+            raise SchemaError(
+                f"attribute index {index} out of range for width {len(self._names)}"
+            )
+        return self._names[index]
+
+    def mask_of(self, attributes: Union[str, int, Iterable]) -> int:
+        """Bitmask of *attributes* given as names, indices, or a mix.
+
+        Accepts a single name, a single index, an :class:`AttributeSet`,
+        or any iterable of names/indices.
+        """
+        if isinstance(attributes, AttributeSet):
+            if attributes.schema != self:
+                raise SchemaMismatchError(
+                    "attribute set belongs to a different schema"
+                )
+            return attributes.mask
+        if isinstance(attributes, str):
+            return 1 << self.index_of(attributes)
+        if isinstance(attributes, int):
+            self.name_of(attributes)  # bounds check
+            return 1 << attributes
+        mask = 0
+        for item in attributes:
+            mask |= self.mask_of(item)
+        return mask
+
+    def attribute_set(self, attributes: Union[str, int, Iterable] = ()) -> "AttributeSet":
+        """Build an :class:`AttributeSet` over this schema.
+
+        >>> Schema.of_width(4).attribute_set("AC").names
+        Traceback (most recent call last):
+        ...
+        repro.errors.SchemaError: unknown attribute 'AC'; schema has ['A', 'B', 'C', 'D']
+        >>> Schema.of_width(4).attribute_set(["A", "C"]).names
+        ('A', 'C')
+        """
+        return AttributeSet(self, self.mask_of(attributes))
+
+    def from_mask(self, mask: int) -> "AttributeSet":
+        """Wrap a raw bitmask into an :class:`AttributeSet`."""
+        return AttributeSet(self, mask)
+
+    def universe(self) -> "AttributeSet":
+        """The full attribute set ``R``."""
+        return AttributeSet(self, self._universe_mask)
+
+    def empty(self) -> "AttributeSet":
+        """The empty attribute set."""
+        return AttributeSet(self, 0)
+
+    def singletons(self) -> Iterator["AttributeSet"]:
+        """Yield each single-attribute set, in schema order."""
+        for i in range(len(self._names)):
+            yield AttributeSet(self, 1 << i)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return isinstance(other, Schema) and self._names == other._names
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self._names)!r})"
+
+
+class AttributeSet:
+    """An immutable set of attributes over a fixed :class:`Schema`.
+
+    Supports the usual set algebra through operators, mirroring
+    ``frozenset`` semantics but backed by a bitmask:
+
+    >>> schema = Schema.of_width(5)
+    >>> x = schema.attribute_set("ABD")  # doctest: +SKIP
+    >>> x = schema.attribute_set(["A", "B", "D"])
+    >>> y = schema.attribute_set(["B", "C"])
+    >>> sorted((x | y).names)
+    ['A', 'B', 'C', 'D']
+    >>> (x & y).names
+    ('B',)
+    >>> (x - y).names
+    ('A', 'D')
+    >>> x.complement().names
+    ('C', 'E')
+    """
+
+    __slots__ = ("_schema", "_mask")
+
+    def __init__(self, schema: Schema, mask: int):
+        if mask < 0 or mask & ~schema.universe_mask:
+            raise SchemaError(
+                f"mask {bin(mask)} has bits outside schema width {len(schema)}"
+            )
+        self._schema = schema
+        self._mask = mask
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def mask(self) -> int:
+        """The underlying bitmask."""
+        return self._mask
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """The member attribute names in schema order."""
+        name_of = self._schema.name_of
+        return tuple(name_of(i) for i in iter_bits(self._mask))
+
+    def indices(self) -> Tuple[int, ...]:
+        """The member bit positions in increasing order."""
+        return tuple(iter_bits(self._mask))
+
+    def is_empty(self) -> bool:
+        return self._mask == 0
+
+    def complement(self) -> "AttributeSet":
+        """``R \\ X`` — the complement with respect to the schema."""
+        return AttributeSet(
+            self._schema, self._schema.universe_mask & ~self._mask
+        )
+
+    def _coerce_mask(self, other: object) -> int:
+        if isinstance(other, AttributeSet):
+            if other._schema != self._schema:
+                raise SchemaMismatchError(
+                    "cannot combine attribute sets from different schemas"
+                )
+            return other._mask
+        return self._schema.mask_of(other)  # type: ignore[arg-type]
+
+    # -- set algebra ------------------------------------------------------
+
+    def union(self, other) -> "AttributeSet":
+        return AttributeSet(self._schema, self._mask | self._coerce_mask(other))
+
+    def intersection(self, other) -> "AttributeSet":
+        return AttributeSet(self._schema, self._mask & self._coerce_mask(other))
+
+    def difference(self, other) -> "AttributeSet":
+        return AttributeSet(self._schema, self._mask & ~self._coerce_mask(other))
+
+    def symmetric_difference(self, other) -> "AttributeSet":
+        return AttributeSet(self._schema, self._mask ^ self._coerce_mask(other))
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+    __xor__ = symmetric_difference
+
+    def issubset(self, other) -> bool:
+        other_mask = self._coerce_mask(other)
+        return self._mask & ~other_mask == 0
+
+    def issuperset(self, other) -> bool:
+        other_mask = self._coerce_mask(other)
+        return other_mask & ~self._mask == 0
+
+    def is_proper_subset(self, other) -> bool:
+        other_mask = self._coerce_mask(other)
+        return self._mask != other_mask and self._mask & ~other_mask == 0
+
+    def __le__(self, other) -> bool:
+        return self.issubset(other)
+
+    def __lt__(self, other) -> bool:
+        return self.is_proper_subset(other)
+
+    def __ge__(self, other) -> bool:
+        return self.issuperset(other)
+
+    def __gt__(self, other) -> bool:
+        other_mask = self._coerce_mask(other)
+        return self._mask != other_mask and other_mask & ~self._mask == 0
+
+    def isdisjoint(self, other) -> bool:
+        return self._mask & self._coerce_mask(other) == 0
+
+    def add(self, attribute: Union[str, int]) -> "AttributeSet":
+        """Return a new set with *attribute* added (sets are immutable)."""
+        return AttributeSet(
+            self._schema, self._mask | self._schema.mask_of(attribute)
+        )
+
+    def remove(self, attribute: Union[str, int]) -> "AttributeSet":
+        """Return a new set with *attribute* removed."""
+        return AttributeSet(
+            self._schema, self._mask & ~self._schema.mask_of(attribute)
+        )
+
+    # -- container protocol ----------------------------------------------
+
+    def __contains__(self, attribute: object) -> bool:
+        if isinstance(attribute, str) and attribute not in self._schema:
+            return False
+        try:
+            return bool(self._mask & self._schema.mask_of(attribute))  # type: ignore[arg-type]
+        except SchemaError:
+            return False
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names)
+
+    def __len__(self) -> int:
+        return popcount(self._mask)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AttributeSet):
+            return self._schema == other._schema and self._mask == other._mask
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._schema, self._mask))
+
+    def __bool__(self) -> bool:
+        return self._mask != 0
+
+    def __repr__(self) -> str:
+        if not self._mask:
+            return "{}"
+        return "{" + ", ".join(self.names) + "}"
+
+    def compact(self) -> str:
+        """Compact string such as ``BDE`` — the paper's notation.
+
+        Joins names with no separator when every name is a single
+        character, otherwise with commas.
+        """
+        names = self.names
+        if all(len(name) == 1 for name in names):
+            return "".join(names) if names else "∅"
+        return ",".join(names) if names else "∅"

@@ -1,0 +1,53 @@
+"""Candidate-key discovery from data (unique column combinations).
+
+A set ``X`` is a key of the *instance* ``r`` exactly when no two tuples
+agree on all of ``X`` — i.e. ``X`` is contained in no agree set.  The
+minimal such sets are therefore the minimal transversals of the
+complements of the *maximal agree sets*:
+
+    ``keys(r) = Tr({R \\ X : X ∈ Max⊆ ag(r)})``
+
+which drops straight out of the same machinery Dep-Miner uses for FD
+left-hand sides (it is the ``A = "every attribute"`` analogue of
+section 3.3).  This is the instance-level counterpart of
+:func:`repro.fd.keys.candidate_keys`, which works from a declared FD
+set; the two agree on any relation whose FDs were mined from the data,
+and the tests assert that.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.agree_sets import agree_sets
+from repro.core.attributes import AttributeSet
+from repro.core.relation import Relation
+from repro.hypergraph.hypergraph import maximize_sets
+from repro.hypergraph.transversals import minimal_transversals
+from repro.partitions.database import StrippedPartitionDatabase
+
+__all__ = ["discover_keys"]
+
+
+def discover_keys(relation: Relation, method: str = "levelwise",
+                  nulls_equal: bool = True) -> List[AttributeSet]:
+    """All minimal unique column combinations of *relation*.
+
+    Duplicate tuples make the result empty (nothing distinguishes them,
+    so no attribute set is unique); an empty or single-tuple relation is
+    keyed by the empty set.  *method* picks the transversal algorithm.
+    """
+    spdb = StrippedPartitionDatabase.from_relation(
+        relation, nulls_equal=nulls_equal
+    )
+    agree = agree_sets(spdb)
+    schema = relation.schema
+    universe = schema.universe_mask
+    maximal_agree = maximize_sets(agree)
+    if universe in maximal_agree:
+        return []  # duplicate tuples: no attribute set is unique
+    edges = [universe & ~mask for mask in maximal_agree]
+    return [
+        AttributeSet(schema, mask)
+        for mask in minimal_transversals(edges, len(schema), method=method)
+    ]

@@ -1,0 +1,82 @@
+"""Left-hand sides of minimal FDs (section 3.3, algorithm ``LEFT_HAND_SIDE``).
+
+``lhs(dep(r), A)`` — the minimal attribute sets determining ``A`` — equals
+the set of minimal transversals of the simple hypergraph
+``cmax(dep(r), A)`` (section 2).  The paper computes them with a levelwise
+algorithm adapting Apriori-gen; that algorithm lives in
+:mod:`repro.hypergraph.transversals` and is shared with the TANE→Armstrong
+extension (which needs the inverse direction ``Tr(lhs) = cmax``).
+
+Corner cases, both exercised by the tests:
+
+- ``cmax(dep(r), A) = ∅`` (no edge): ``A`` is constant, the only minimal
+  transversal is ``∅`` and the minimal FD is ``∅ → A``.
+- ``{A}`` itself always appears in ``lhs(dep(r), A)`` when ``A`` is not
+  constant (every edge of ``cmax`` contains ``A``); ``FD_OUTPUT`` filters
+  the trivial ``A → A`` (Algorithm 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.core.attributes import AttributeSet, Schema
+from repro.fd.fd import FD, sort_fds
+from repro.hypergraph.transversals import minimal_transversals
+
+__all__ = ["left_hand_sides", "fd_output"]
+
+
+def left_hand_sides(cmax: Dict[int, List[int]], schema: Schema,
+                    method: str = "levelwise",
+                    max_size: int = None) -> Dict[int, List[int]]:
+    """``lhs(dep(r), A)`` for every attribute, as bitmask lists.
+
+    *cmax* maps each attribute index to the edges of ``cmax(dep(r), A)``;
+    *method* selects the transversal algorithm (``"levelwise"`` is the
+    paper's Algorithm 5, ``"berge"`` the sequential baseline, ``"dfs"``
+    the FastFDs-style search).  *max_size* bounds the lhs size and is
+    only supported by the levelwise method: the result is then every
+    minimal lhs of at most that many attributes (sound but incomplete —
+    the usual wide-schema trade-off).
+    """
+    width = len(schema)
+    if max_size is not None:
+        if method != "levelwise":
+            from repro.errors import ReproError
+
+            raise ReproError(
+                "max_size is only supported by the levelwise method"
+            )
+        from repro.hypergraph.transversals import (
+            minimal_transversals_levelwise,
+        )
+
+        return {
+            attribute: minimal_transversals_levelwise(
+                edges, width, max_size=max_size
+            )
+            for attribute, edges in cmax.items()
+        }
+    return {
+        attribute: minimal_transversals(edges, width, method=method)
+        for attribute, edges in cmax.items()
+    }
+
+
+def fd_output(lhs_sets: Dict[int, List[int]], schema: Schema) -> List[FD]:
+    """Algorithm 6 (``FD_OUTPUT``): minimal non-trivial FDs from lhs sets.
+
+    Emits ``X → A`` for every ``X ∈ lhs(dep(r), A)`` except the trivial
+    ``{A} → A``.  (Any other lhs containing ``A`` cannot occur: minimal
+    transversals of ``cmax(dep(r), A)`` that contain ``A`` are exactly
+    ``{A}``, because ``A`` alone already hits every edge.)
+    """
+    fds: List[FD] = []
+    for attribute, masks in lhs_sets.items():
+        bit = 1 << attribute
+        for mask in masks:
+            if mask == bit:
+                continue
+            fds.append(FD(AttributeSet(schema, mask), attribute))
+    return sort_fds(fds)

@@ -1,0 +1,111 @@
+"""Maximal sets and their complements (section 3.2, algorithm ``CMAX_SET``).
+
+For an attribute ``A``, ``max(dep(r), A)`` is the family of maximal
+attribute sets *not* determining ``A``.  Lemma 3 characterises it directly
+from the agree sets:
+
+    ``max(dep(r), A) = Max⊆ { X ∈ ag(r) : A ∉ X }``
+
+The empty agree set participates like any other candidate: it is the
+maximal non-determining set for ``A`` precisely when ``A`` is not constant
+yet no non-empty agree set avoids ``A`` (e.g. two tuples disagreeing on
+everything).  When *no* candidate exists at all, ``A`` is constant in the
+relation and ``max(dep(r), A) = ∅``, which downstream yields the FD
+``∅ → A``.
+
+``cmax(dep(r), A)`` is the edge-wise complement ``{R \\ X}``; it is a
+simple hypergraph whose minimal transversals are the lhs of the minimal
+FDs with rhs ``A`` (section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.core.attributes import Schema
+from repro.hypergraph.hypergraph import maximize_sets
+
+__all__ = [
+    "maximal_sets",
+    "complement_maximal_sets",
+    "max_set_union",
+    "disagree_sets",
+    "cmax_from_disagree_sets",
+]
+
+
+def maximal_sets(agree: Iterable[int], schema: Schema) -> Dict[int, List[int]]:
+    """``max(dep(r), A)`` for every attribute, from ``ag(r)`` bitmasks.
+
+    Returns a mapping ``attribute index → sorted list of maximal masks``.
+    An attribute mapped to an empty list is constant in the relation.
+    """
+    agree = list(agree)
+    result: Dict[int, List[int]] = {}
+    for attribute in range(len(schema)):
+        bit = 1 << attribute
+        candidates = [mask for mask in agree if not mask & bit]
+        result[attribute] = maximize_sets(candidates)
+    return result
+
+
+def complement_maximal_sets(max_sets: Dict[int, List[int]],
+                            schema: Schema) -> Dict[int, List[int]]:
+    """``cmax(dep(r), A) = {R \\ X : X ∈ max(dep(r), A)}`` per attribute.
+
+    The complement of an antichain of maximal sets is an antichain of
+    minimal sets, i.e. a simple hypergraph — no extra minimisation is
+    needed.  Note every edge contains ``A`` itself (since ``A ∉ X``).
+    """
+    universe = schema.universe_mask
+    return {
+        attribute: sorted(universe & ~mask for mask in masks)
+        for attribute, masks in max_sets.items()
+    }
+
+
+def disagree_sets(agree: Iterable[int], schema: Schema) -> List[int]:
+    """``d(r) = {R \\ X : X ∈ ag(r)}`` — the complements of the agree sets.
+
+    Figure 1 of the paper shows this alternative route (the upper
+    branch): agree sets → complement/R → disagree sets → complements of
+    maximal sets.  Footnote 3 credits [MR94a] with the corresponding
+    characterisation.
+    """
+    universe = schema.universe_mask
+    return sorted({universe & ~mask for mask in agree})
+
+
+def cmax_from_disagree_sets(disagree: Iterable[int],
+                            schema: Schema) -> Dict[int, List[int]]:
+    """``cmax(dep(r), A) = Min⊆ {D ∈ d(r) : A ∈ D}`` per attribute.
+
+    The dual of Lemma 3: complementation maps the *maximal* agree sets
+    avoiding ``A`` to the *minimal* disagree sets containing ``A``.
+    Extensionally equal to composing :func:`maximal_sets` with
+    :func:`complement_maximal_sets` (asserted by the tests); provided so
+    both branches of the paper's Figure 1 exist in code.
+    """
+    from repro.hypergraph.hypergraph import minimize_sets
+
+    disagree = list(disagree)
+    result: Dict[int, List[int]] = {}
+    for attribute in range(len(schema)):
+        bit = 1 << attribute
+        candidates = [mask for mask in disagree if mask & bit]
+        result[attribute] = minimize_sets(candidates)
+    return result
+
+
+def max_set_union(max_sets: Dict[int, List[int]]) -> List[int]:
+    """``MAX(dep(r)) = ⋃_A max(dep(r), A)`` with duplicates removed.
+
+    The same maximal set is typically maximal for several attributes; the
+    union keeps it once.  Sorted for determinism.  ``MAX(dep(r))`` equals
+    ``GEN(dep(r))``, the intersection generators of the closed-set family
+    [MR86, MR94b], which is what the Armstrong construction consumes.
+    """
+    union: Set[int] = set()
+    for masks in max_sets.values():
+        union.update(masks)
+    return sorted(union)

@@ -1,0 +1,404 @@
+"""Relations (relation instances) over a :class:`~repro.core.attributes.Schema`.
+
+A :class:`Relation` is a finite multiset of tuples.  We store it
+column-oriented: one Python list per attribute.  Column orientation is the
+natural layout for every algorithm in the paper — partitions, agree sets
+and projections all scan single columns — and matches how the original
+system streamed columns out of the DBMS through ODBC.
+
+Tuples are identified by their 0-based row index ("a positive integer
+unique to t", section 3.1).  Values may be any hashable Python objects;
+equality is plain ``==`` (two ``None`` values agree, like SQL ``GROUP BY``
+semantics rather than SQL ``=`` semantics, which is what partition-based
+FD miners use in practice).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.attributes import AttributeSet, Schema, iter_bits
+from repro.errors import RelationError, SchemaMismatchError
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """An immutable relation instance (set/multiset of tuples).
+
+    >>> r = Relation.from_rows(Schema(["a", "b"]), [(1, "x"), (2, "y")])
+    >>> len(r)
+    2
+    >>> r.row(1)
+    (2, 'y')
+    """
+
+    __slots__ = ("_schema", "_columns", "_size")
+
+    def __init__(self, schema: Schema, columns: Sequence[Sequence[Any]]):
+        if len(columns) != len(schema):
+            raise RelationError(
+                f"expected {len(schema)} columns, got {len(columns)}"
+            )
+        columns = [list(column) for column in columns]
+        sizes = {len(column) for column in columns}
+        if len(sizes) > 1:
+            raise RelationError(f"ragged columns: lengths {sorted(sizes)}")
+        self._schema = schema
+        self._columns = columns
+        self._size = len(columns[0]) if columns else 0
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Sequence[Any]]) -> "Relation":
+        """Build a relation from an iterable of row tuples."""
+        columns: List[List[Any]] = [[] for _ in range(len(schema))]
+        width = len(schema)
+        for row_number, row in enumerate(rows):
+            row = tuple(row)
+            if len(row) != width:
+                raise RelationError(
+                    f"row {row_number} has arity {len(row)}, schema has {width}"
+                )
+            for column, value in zip(columns, row):
+                column.append(value)
+        return cls(schema, columns)
+
+    @classmethod
+    def from_columns(cls, schema: Schema, columns: Sequence[Sequence[Any]]) -> "Relation":
+        """Build a relation from per-attribute value lists."""
+        return cls(schema, columns)
+
+    @classmethod
+    def from_dicts(cls, rows: Iterable[Mapping[str, Any]],
+                   schema: Schema = None) -> "Relation":
+        """Build a relation from dict rows; the schema defaults to the keys
+        of the first row (in insertion order)."""
+        rows = list(rows)
+        if schema is None:
+            if not rows:
+                raise RelationError(
+                    "cannot infer a schema from an empty sequence of dicts"
+                )
+            schema = Schema(list(rows[0].keys()))
+        try:
+            return cls.from_rows(
+                schema, ([row[name] for name in schema.names] for row in rows)
+            )
+        except KeyError as exc:
+            raise RelationError(f"row is missing attribute {exc}") from None
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def attributes(self) -> AttributeSet:
+        """The full attribute set ``R`` of this relation."""
+        return self._schema.universe()
+
+    def __len__(self) -> int:
+        return self._size
+
+    def column(self, attribute) -> List[Any]:
+        """The list of values of *attribute*, in row order."""
+        if isinstance(attribute, int):
+            index = attribute
+            self._schema.name_of(index)
+        else:
+            index = self._schema.index_of(attribute)
+        return self._columns[index]
+
+    def row(self, index: int) -> Tuple[Any, ...]:
+        """The *index*-th tuple."""
+        if not 0 <= index < self._size:
+            raise RelationError(
+                f"row index {index} out of range for relation of size {self._size}"
+            )
+        return tuple(column[index] for column in self._columns)
+
+    def rows(self) -> Iterator[Tuple[Any, ...]]:
+        """Iterate over all tuples in row order."""
+        return (self.row(i) for i in range(self._size))
+
+    __iter__ = rows
+
+    def restrict(self, row_index: int, attributes: AttributeSet) -> Tuple[Any, ...]:
+        """``t[X]`` — the restriction of tuple *row_index* to *attributes*."""
+        self._check_schema(attributes)
+        return tuple(
+            self._columns[i][row_index] for i in iter_bits(attributes.mask)
+        )
+
+    def distinct_values(self, attribute) -> List[Any]:
+        """``πA(r)`` — the distinct values of *attribute*, in first-seen order."""
+        seen: Dict[Any, None] = {}
+        for value in self.column(attribute):
+            if value not in seen:
+                seen[value] = None
+        return list(seen)
+
+    def active_domain_sizes(self) -> Dict[str, int]:
+        """``|πA(r)|`` for every attribute A — used by Proposition 1."""
+        return {
+            name: len(set(self.column(name))) for name in self._schema.names
+        }
+
+    # -- relational operations ---------------------------------------------
+
+    def project(self, attributes, distinct: bool = True) -> "Relation":
+        """Relational projection onto *attributes*.
+
+        With ``distinct=True`` (the default, matching relational algebra)
+        duplicate projected tuples are removed.
+        """
+        if not isinstance(attributes, AttributeSet):
+            attributes = self._schema.attribute_set(attributes)
+        self._check_schema(attributes)
+        names = attributes.names
+        sub_schema = Schema(names)
+        indices = attributes.indices()
+        seen = set()
+        rows = []
+        for i in range(self._size):
+            row = tuple(self._columns[j][i] for j in indices)
+            if distinct:
+                if row in seen:
+                    continue
+                seen.add(row)
+            rows.append(row)
+        return Relation.from_rows(sub_schema, rows)
+
+    def select(self, predicate) -> "Relation":
+        """Relational selection: keep rows for which *predicate(row)* holds."""
+        return Relation.from_rows(
+            self._schema, (row for row in self.rows() if predicate(row))
+        )
+
+    def distinct(self) -> "Relation":
+        """Remove duplicate tuples (sets vs multisets)."""
+        seen = set()
+        rows = []
+        for row in self.rows():
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        return Relation.from_rows(self._schema, rows)
+
+    def take(self, row_indices: Iterable[int]) -> "Relation":
+        """A new relation made of the given rows (used to sample)."""
+        return Relation.from_rows(self._schema, (self.row(i) for i in row_indices))
+
+    def rename(self, mapping: Mapping[str, str]) -> "Relation":
+        """A copy with attributes renamed (values shared, not copied).
+
+        Useful before :meth:`natural_join` to control which columns are
+        matched: rename a column *to* a shared name to join on it, or
+        away from one to avoid an accidental match.
+        """
+        unknown = [name for name in mapping if name not in self._schema]
+        if unknown:
+            raise RelationError(
+                f"cannot rename unknown attribute(s) {unknown}"
+            )
+        new_names = [
+            mapping.get(name, name) for name in self._schema.names
+        ]
+        return Relation.from_columns(Schema(new_names), self._columns)
+
+    def natural_join(self, other: "Relation") -> "Relation":
+        """Natural join on the attributes the two schemas share.
+
+        Used to *verify* decompositions on instances: a split of ``r``
+        is lossless exactly when joining the fragment projections gives
+        ``r`` back (no spurious tuples).  Hash join on the common
+        attributes; with no common attribute this is the cross product.
+        The result schema lists this relation's attributes first, then
+        the other's remaining ones; duplicates are removed (projections
+        are set-semantics).
+        """
+        left_names = self._schema.names
+        right_names = other.schema.names
+        common = [name for name in left_names if name in other.schema]
+        right_only = [name for name in right_names if name not in self._schema]
+        result_schema = Schema(list(left_names) + right_only)
+        right_common_idx = [other.schema.index_of(name) for name in common]
+        right_only_idx = [other.schema.index_of(name) for name in right_only]
+        left_common_idx = [self._schema.index_of(name) for name in common]
+        buckets: Dict[Tuple[Any, ...], List[int]] = {}
+        for j in range(len(other)):
+            key = tuple(other.column(i)[j] for i in right_common_idx)
+            buckets.setdefault(key, []).append(j)
+        seen = set()
+        rows = []
+        for i in range(self._size):
+            left_row = self.row(i)
+            key = tuple(left_row[a] for a in left_common_idx)
+            for j in buckets.get(key, ()):
+                row = left_row + tuple(
+                    other.column(a)[j] for a in right_only_idx
+                )
+                if row not in seen:
+                    seen.add(row)
+                    rows.append(row)
+        return Relation.from_rows(result_schema, rows)
+
+    # -- FD checking ---------------------------------------------------------
+
+    def tuples_agree(self, i: int, j: int, attributes: AttributeSet) -> bool:
+        """Do tuples *i* and *j* agree on every attribute of *attributes*?"""
+        self._check_schema(attributes)
+        columns = self._columns
+        return all(
+            columns[a][i] == columns[a][j] for a in iter_bits(attributes.mask)
+        )
+
+    def agree_set_of_pair(self, i: int, j: int) -> AttributeSet:
+        """``ag(ti, tj)`` — the attributes on which tuples *i*, *j* agree."""
+        mask = 0
+        for a, column in enumerate(self._columns):
+            if column[i] == column[j]:
+                mask |= 1 << a
+        return self._schema.from_mask(mask)
+
+    def satisfies(self, lhs, rhs, nulls_equal: bool = True) -> bool:
+        """Does ``lhs → rhs`` hold in this relation (``r ⊨ X → A``)?
+
+        *lhs* may be an :class:`AttributeSet` or anything
+        :meth:`Schema.attribute_set` accepts; *rhs* likewise (it may
+        contain several attributes, meaning the conjunction of the
+        single-attribute FDs).
+
+        With the default ``nulls_equal=True``, ``None`` compares equal to
+        ``None`` (partition semantics).  With ``nulls_equal=False`` (SQL
+        ``NULL <> NULL``), two tuples only *agree* on an attribute when
+        both values are non-null and equal — a tuple with a null in the
+        lhs can therefore never participate in a violation.
+
+        Implemented by hashing each tuple's lhs-projection and checking
+        that all tuples in a group share the rhs-projection — O(n·p).
+        """
+        if not isinstance(lhs, AttributeSet):
+            lhs = self._schema.attribute_set(lhs)
+        if not isinstance(rhs, AttributeSet):
+            rhs = self._schema.attribute_set(rhs)
+        self._check_schema(lhs)
+        self._check_schema(rhs)
+        lhs_indices = lhs.indices()
+        rhs_indices = rhs.indices()
+        columns = self._columns
+        witness: Dict[Tuple[Any, ...], Tuple[Any, ...]] = {}
+        for i in range(self._size):
+            key = tuple(columns[a][i] for a in lhs_indices)
+            if not nulls_equal and any(v is None for v in key):
+                continue  # this tuple agrees with nobody on the lhs
+            value = tuple(columns[a][i] for a in rhs_indices)
+            if key not in witness:
+                witness[key] = value
+                continue
+            previous = witness[key]
+            if previous != value:
+                return False
+            if not nulls_equal and any(v is None for v in value):
+                # Equal keys but a null on the rhs: under SQL semantics
+                # the two tuples do not agree on the rhs.
+                return False
+        return True
+
+    def find_violation(self, lhs, rhs) -> Optional[Tuple[int, int]]:
+        """A pair of row indices witnessing that ``lhs → rhs`` fails.
+
+        Returns ``None`` when the FD holds.  Same hashing scan as
+        :meth:`satisfies`, but keeps one representative row per lhs
+        group so the counterexample can be reported — this powers the
+        guided-sampling miner in :mod:`repro.core.sampling`.
+        """
+        if not isinstance(lhs, AttributeSet):
+            lhs = self._schema.attribute_set(lhs)
+        if not isinstance(rhs, AttributeSet):
+            rhs = self._schema.attribute_set(rhs)
+        self._check_schema(lhs)
+        self._check_schema(rhs)
+        lhs_indices = lhs.indices()
+        rhs_indices = rhs.indices()
+        columns = self._columns
+        witness: Dict[Tuple[Any, ...], Tuple[Tuple[Any, ...], int]] = {}
+        for i in range(self._size):
+            key = tuple(columns[a][i] for a in lhs_indices)
+            value = tuple(columns[a][i] for a in rhs_indices)
+            previous = witness.setdefault(key, (value, i))
+            if previous[0] != value:
+                return (previous[1], i)
+        return None
+
+    def is_superkey(self, attributes) -> bool:
+        """Is *attributes* a superkey (determines every attribute)?"""
+        if not isinstance(attributes, AttributeSet):
+            attributes = self._schema.attribute_set(attributes)
+        indices = attributes.indices()
+        columns = self._columns
+        seen = set()
+        for i in range(self._size):
+            key = tuple(columns[a][i] for a in indices)
+            if key in seen:
+                return False
+            seen.add(key)
+        return True
+
+    # -- misc ---------------------------------------------------------------
+
+    def _check_schema(self, attributes: AttributeSet) -> None:
+        if attributes.schema != self._schema:
+            raise SchemaMismatchError(
+                "attribute set belongs to a different schema than the relation"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self._schema == other._schema
+            and sorted(map(repr, self.rows())) == sorted(map(repr, other.rows()))
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation(schema={list(self._schema.names)!r}, "
+            f"size={self._size})"
+        )
+
+    def to_text(self, max_rows: int = 20) -> str:
+        """A small aligned textual rendering (for examples and the CLI)."""
+        header = list(self._schema.names)
+        shown = [
+            [str(v) for v in self.row(i)]
+            for i in range(min(self._size, max_rows))
+        ]
+        widths = [
+            max(len(header[c]), *(len(row[c]) for row in shown))
+            if shown
+            else len(header[c])
+            for c in range(len(header))
+        ]
+        lines = [
+            "  ".join(name.ljust(w) for name, w in zip(header, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in shown:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        if self._size > max_rows:
+            lines.append(f"... ({self._size - max_rows} more rows)")
+        return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Synthetic benchmark data generation (section 5.2's benchmark database)."""
+
+from repro.datagen.realistic import (
+    DATASET_BUILDERS,
+    flights_dataset,
+    hospital_dataset,
+    orders_dataset,
+    write_bundle,
+)
+from repro.datagen.synthetic import SyntheticSpec, generate_columns, generate_relation
+from repro.datagen.workloads import CORRELATIONS, SCALES, WorkloadGrid, grid_for
+
+__all__ = [
+    "SyntheticSpec",
+    "generate_relation",
+    "generate_columns",
+    "WorkloadGrid",
+    "grid_for",
+    "SCALES",
+    "CORRELATIONS",
+    "DATASET_BUILDERS",
+    "hospital_dataset",
+    "flights_dataset",
+    "orders_dataset",
+    "write_bundle",
+]

@@ -1,0 +1,254 @@
+"""Realistic-looking profiling datasets with planted FD structure.
+
+FD-discovery papers after this one standardised on small real datasets
+(bridges, echocardiogram, adult, ...).  Those files are not bundled
+here; instead this module *synthesises* datasets with the same character
+— categorical columns, hierarchies, denormalised joins, a sprinkle of
+nulls — with a known, documented set of planted dependencies, which the
+tests then require the miners to find (and nothing stronger at the
+planted positions).
+
+Each generator is deterministic given ``seed`` and returns a
+:class:`~repro.core.relation.Relation`; ``write_bundle`` exports them as
+CSV files for the examples and the CLI.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core.attributes import Schema
+from repro.core.relation import Relation
+from repro.storage.csv_io import relation_to_csv
+
+__all__ = [
+    "hospital_dataset",
+    "flights_dataset",
+    "orders_dataset",
+    "cities_dataset",
+    "wards_dataset",
+    "airports_dataset",
+    "products_dataset",
+    "customers_dataset",
+    "write_bundle",
+    "DATASET_BUILDERS",
+    "REFERENCE_BUILDERS",
+]
+
+_CITIES = [
+    ("lyon", "france", "eur"),
+    ("paris", "france", "eur"),
+    ("geneva", "switzerland", "chf"),
+    ("turin", "italy", "eur"),
+    ("dresden", "germany", "eur"),
+    ("graz", "austria", "eur"),
+]
+
+_WARDS = [
+    ("cardiology", "west"),
+    ("oncology", "east"),
+    ("neurology", "west"),
+    ("pediatrics", "north"),
+]
+
+
+def cities_dataset(seed: int = 0) -> Relation:
+    """Reference table for the hospital admissions (city hierarchy)."""
+    schema = Schema(["city", "country", "currency"])
+    return Relation.from_rows(schema, _CITIES)
+
+
+def wards_dataset(seed: int = 0) -> Relation:
+    """Reference table for the hospital admissions (ward → wing)."""
+    schema = Schema(["ward", "wing"])
+    return Relation.from_rows(schema, _WARDS)
+
+
+def hospital_dataset(num_rows: int = 400, seed: int = 0) -> Relation:
+    """Admissions: planted FDs ``patient_id → name``, ``ward → wing``,
+    ``city → country`` (denormalised patient/ward/city hierarchies).
+    Planted INDs: ``city ⊆ cities.city``, ``ward ⊆ wards.ward``."""
+    rng = random.Random(f"hospital/{seed}")
+    schema = Schema(
+        ["admission_id", "patient_id", "name", "ward", "wing",
+         "city", "country", "age"]
+    )
+    patients = {
+        patient_id: (f"patient_{patient_id}", rng.choice(_CITIES),
+                     rng.randint(1, 99))
+        for patient_id in range(num_rows // 3 + 2)
+    }
+    rows = []
+    for admission in range(num_rows):
+        patient_id = rng.randrange(len(patients))
+        name, (city, country, _currency), age = patients[patient_id]
+        ward, wing = rng.choice(_WARDS)
+        rows.append(
+            (admission, patient_id, name, ward, wing, city, country, age)
+        )
+    return Relation.from_rows(schema, rows)
+
+
+_AIRPORTS = ["lys", "cdg", "gva", "trn", "drs", "grz", "vie", "mxp"]
+
+
+def airports_dataset(seed: int = 0) -> Relation:
+    """Reference table for the flight legs (airport codes)."""
+    rng = random.Random(f"airports/{seed}")
+    schema = Schema(["code", "city", "runways"])
+    cities = [c for c, _country, _cur in _CITIES] + ["vienna", "milan"]
+    rows = [
+        (code, cities[i % len(cities)], rng.randint(1, 4))
+        for i, code in enumerate(_AIRPORTS)
+    ]
+    return Relation.from_rows(schema, rows)
+
+
+def flights_dataset(num_rows: int = 500, seed: int = 0) -> Relation:
+    """Flight legs: planted FDs ``flight_no → (origin, destination,
+    carrier)`` and ``(origin, destination) → distance_km``.  Planted
+    INDs: ``origin ⊆ airports.code``, ``destination ⊆ airports.code``."""
+    rng = random.Random(f"flights/{seed}")
+    schema = Schema(
+        ["leg_id", "flight_no", "carrier", "origin", "destination",
+         "distance_km", "day", "delay_min"]
+    )
+    airports = list(_AIRPORTS)
+    distances: Dict[tuple, int] = {}
+    flights: Dict[str, tuple] = {}
+    for number in range(40):
+        carrier = rng.choice(["af", "lh", "os", "lx"])
+        origin, destination = rng.sample(airports, 2)
+        flights[f"{carrier}{100 + number}"] = (carrier, origin, destination)
+        distances.setdefault(
+            (origin, destination), rng.randrange(200, 1800)
+        )
+    rows = []
+    flight_numbers = sorted(flights)
+    for leg in range(num_rows):
+        flight_no = rng.choice(flight_numbers)
+        carrier, origin, destination = flights[flight_no]
+        rows.append(
+            (
+                leg,
+                flight_no,
+                carrier,
+                origin,
+                destination,
+                distances[(origin, destination)],
+                rng.choice(["mon", "tue", "wed", "thu", "fri"]),
+                rng.choice([0, 0, 0, 5, 10, 25, 60]),
+            )
+        )
+    return Relation.from_rows(schema, rows)
+
+
+def _product_pool(seed: int) -> Dict[str, tuple]:
+    rng = random.Random(f"orders-products/{seed}")
+    return {
+        f"p{code:03d}": (
+            rng.choice(["tools", "paper", "food", "tech"]),
+            rng.randrange(1, 500),
+        )
+        for code in range(50)
+    }
+
+
+def _customer_pool(seed: int) -> Dict[str, str]:
+    rng = random.Random(f"orders-customers/{seed}")
+    return {
+        f"c{code:03d}": rng.choice(["retail", "wholesale", "public"])
+        for code in range(40)
+    }
+
+
+def products_dataset(seed: int = 0) -> Relation:
+    """Reference table for the order lines (product catalog)."""
+    schema = Schema(["product_id", "category", "unit_price"])
+    pool = _product_pool(seed)
+    return Relation.from_rows(
+        schema,
+        [(pid, cat, price) for pid, (cat, price) in sorted(pool.items())],
+    )
+
+
+def customers_dataset(seed: int = 0) -> Relation:
+    """Reference table for the order lines (customer master)."""
+    schema = Schema(["customer_id", "segment"])
+    pool = _customer_pool(seed)
+    return Relation.from_rows(schema, sorted(pool.items()))
+
+
+def orders_dataset(num_rows: int = 300, seed: int = 0,
+                   null_rate: float = 0.05) -> Relation:
+    """Order lines with nulls: planted FDs ``product → (category,
+    unit_price)`` and ``customer → segment``; ``discount_code`` is
+    nullable, exercising both null semantics.  Planted INDs:
+    ``product ⊆ products.product_id``, ``customer ⊆
+    customers.customer_id``."""
+    rng = random.Random(f"orders/{seed}")
+    schema = Schema(
+        ["line_id", "order_id", "customer", "segment", "product",
+         "category", "unit_price", "quantity", "discount_code"]
+    )
+    products = _product_pool(seed)
+    customers = _customer_pool(seed)
+    rows = []
+    product_names = sorted(products)
+    customer_names = sorted(customers)
+    for line in range(num_rows):
+        product = rng.choice(product_names)
+        customer = rng.choice(customer_names)
+        category, unit_price = products[product]
+        discount = (
+            None if rng.random() < 1 - null_rate
+            else rng.choice(["SPRING", "VIP", "BULK"])
+        )
+        rows.append(
+            (
+                line,
+                rng.randrange(num_rows // 2 + 1),
+                customer,
+                customers[customer],
+                product,
+                category,
+                unit_price,
+                rng.randint(1, 20),
+                discount,
+            )
+        )
+    return Relation.from_rows(schema, rows)
+
+
+DATASET_BUILDERS = {
+    "hospital": hospital_dataset,
+    "flights": flights_dataset,
+    "orders": orders_dataset,
+}
+
+REFERENCE_BUILDERS = {
+    "cities": cities_dataset,
+    "wards": wards_dataset,
+    "airports": airports_dataset,
+    "products": products_dataset,
+    "customers": customers_dataset,
+}
+
+
+def write_bundle(directory, seed: int = 0,
+                 include_references: bool = True) -> List[Path]:
+    """Export the realistic datasets (and their reference tables) as
+    CSV files into *directory*."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    builders = dict(DATASET_BUILDERS)
+    if include_references:
+        builders.update(REFERENCE_BUILDERS)
+    written = []
+    for name, builder in sorted(builders.items()):
+        path = directory / f"{name}.csv"
+        relation_to_csv(builder(seed=seed), path, name=name)
+        written.append(path)
+    return written

@@ -1,0 +1,108 @@
+"""Named benchmark workloads — the grids behind every table and figure.
+
+The paper's evaluation (section 5.3) runs one grid per correlation
+setting: ``|R| ∈ {10, 20, 30, 40, 50, 60}`` × ``|r| ∈ {10k, 20k, 30k,
+50k, 100k}``, for ``c ∈ {None, 30%, 50%}`` (Tables 3, 4, 5), and the
+figures plot slices of those grids (times at ``|R| ∈ {10, 50}``,
+Armstrong sizes across all ``|R|``).
+
+Pure-Python absolute speeds differ from the 1999 C++ binary, so each
+workload comes in four scales sharing the same *shape*:
+
+- ``paper`` — the original grid (hours of runtime in pure Python);
+- ``small`` — the default for the harness CLI (minutes);
+- ``medium`` — the |r| axis stretched to 10k rows (tens of minutes);
+- ``tiny``  — for the pytest-benchmark suite and CI (seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.datagen.synthetic import SyntheticSpec
+from repro.errors import BenchmarkError
+
+__all__ = ["WorkloadGrid", "grid_for", "SCALES", "CORRELATIONS"]
+
+CORRELATIONS: Dict[str, Optional[float]] = {
+    "none": None,   # Table 3 / Figures 2-3: data without constraints
+    "c30": 0.30,    # Table 4 / Figures 4-5
+    "c50": 0.50,    # Table 5 / Figures 6-7
+}
+
+SCALES: Dict[str, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {
+    # (attribute counts, tuple counts)
+    "paper": ((10, 20, 30, 40, 50, 60),
+              (10_000, 20_000, 30_000, 50_000, 100_000)),
+    "small": ((10, 15, 20), (500, 1_000, 2_000)),
+    "medium": ((10, 15, 20), (2_000, 5_000, 10_000)),
+    "tiny": ((5, 10), (200, 500)),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadGrid:
+    """A |R| × |r| grid at one correlation setting."""
+
+    name: str
+    correlation: Optional[float]
+    attribute_counts: Tuple[int, ...]
+    tuple_counts: Tuple[int, ...]
+    seed: int = 0
+
+    def specs(self) -> List[SyntheticSpec]:
+        """All cells, row-major (|r| outer, |R| inner, like the tables)."""
+        return [
+            SyntheticSpec(
+                num_attributes=num_attributes,
+                num_tuples=num_tuples,
+                correlation=self.correlation,
+                seed=self.seed,
+            )
+            for num_tuples in self.tuple_counts
+            for num_attributes in self.attribute_counts
+        ]
+
+    def column_specs(self, num_attributes: int) -> List[SyntheticSpec]:
+        """The |r|-sweep at a fixed |R| (one curve of a time figure)."""
+        if num_attributes not in self.attribute_counts:
+            raise BenchmarkError(
+                f"|R|={num_attributes} is not in this grid "
+                f"({self.attribute_counts})"
+            )
+        return [
+            SyntheticSpec(
+                num_attributes=num_attributes,
+                num_tuples=num_tuples,
+                correlation=self.correlation,
+                seed=self.seed,
+            )
+            for num_tuples in self.tuple_counts
+        ]
+
+
+def grid_for(correlation_name: str, scale: str = "small",
+             seed: int = 0) -> WorkloadGrid:
+    """Build the named workload grid.
+
+    *correlation_name* is ``"none"``, ``"c30"`` or ``"c50"``; *scale* is
+    ``"paper"``, ``"small"`` or ``"tiny"``.
+    """
+    if correlation_name not in CORRELATIONS:
+        raise BenchmarkError(
+            f"unknown correlation {correlation_name!r}; "
+            f"choose from {sorted(CORRELATIONS)}"
+        )
+    if scale not in SCALES:
+        raise BenchmarkError(
+            f"unknown scale {scale!r}; choose from {sorted(SCALES)}"
+        )
+    attribute_counts, tuple_counts = SCALES[scale]
+    return WorkloadGrid(
+        name=f"{correlation_name}-{scale}",
+        correlation=CORRELATIONS[correlation_name],
+        attribute_counts=attribute_counts,
+        tuple_counts=tuple_counts,
+        seed=seed,
+    )

@@ -1,0 +1,91 @@
+"""Bundled example relations.
+
+Small, well-understood datasets used by the examples, the CLI's
+``example`` command and the golden tests.  The first is the paper's own
+running example (section 2, example 1); the others are classic textbook
+schemas exercising different FD structures.
+"""
+
+from __future__ import annotations
+
+from repro.core.attributes import Schema
+from repro.core.relation import Relation
+
+__all__ = [
+    "paper_example_relation",
+    "paper_example_schema",
+    "course_schedule_relation",
+    "supplier_parts_relation",
+]
+
+
+def paper_example_schema(short_names: bool = False) -> Schema:
+    """The employee/department schema of example 1.
+
+    With ``short_names=True`` the attributes are renamed ``A..E`` as the
+    paper does "for briefness".
+    """
+    if short_names:
+        return Schema(["A", "B", "C", "D", "E"])
+    return Schema(["empnum", "depnum", "year", "depname", "mgr"])
+
+
+def paper_example_relation(short_names: bool = False) -> Relation:
+    """The 7-tuple relation of example 1 (assignment of employees to
+    departments)."""
+    rows = [
+        (1, 1, 85, "Biochemistry", 5),
+        (1, 5, 94, "Admission", 12),
+        (2, 2, 92, "Computer Sce", 2),
+        (3, 2, 98, "Computer Sce", 2),
+        (4, 3, 98, "Geophysics", 2),
+        (5, 1, 75, "Biochemistry", 5),
+        (6, 5, 88, "Admission", 12),
+    ]
+    return Relation.from_rows(paper_example_schema(short_names), rows)
+
+
+def course_schedule_relation() -> Relation:
+    """A course-scheduling relation with a layered FD structure.
+
+    Holds ``course → teacher``, ``(room, slot) → course`` and
+    ``teacher → dept`` — the classic normalization-exercise shape, used
+    by the logical-tuning example.
+    """
+    schema = Schema(["course", "teacher", "dept", "room", "slot"])
+    rows = [
+        ("db", "smith", "cs", "r1", "mon9"),
+        ("db", "smith", "cs", "r1", "tue9"),
+        ("db", "smith", "cs", "r2", "wed9"),
+        ("os", "jones", "cs", "r1", "wed9"),
+        ("os", "jones", "cs", "r2", "mon9"),
+        ("ai", "davis", "cs", "r3", "mon9"),
+        ("ml", "davis", "cs", "r3", "tue9"),
+        ("ai", "davis", "cs", "r1", "fri9"),
+        ("calc", "wong", "math", "r4", "mon9"),
+        ("calc", "wong", "math", "r4", "tue9"),
+        ("calc", "wong", "math", "r4", "thu9"),
+        ("alg", "patel", "math", "r4", "wed9"),
+        ("alg", "patel", "math", "r2", "fri9"),
+    ]
+    return Relation.from_rows(schema, rows)
+
+
+def supplier_parts_relation() -> Relation:
+    """Date's suppliers-and-parts, with city functionally determined by
+    supplier and status by city."""
+    schema = Schema(["sno", "sname", "status", "city", "pno", "qty"])
+    rows = [
+        ("s1", "smith", 20, "london", "p1", 300),
+        ("s1", "smith", 20, "london", "p2", 200),
+        ("s1", "smith", 20, "london", "p3", 400),
+        ("s2", "jones", 10, "paris", "p1", 300),
+        ("s2", "jones", 10, "paris", "p2", 400),
+        ("s3", "blake", 10, "paris", "p2", 200),
+        ("s4", "clark", 20, "london", "p2", 200),
+        ("s4", "clark", 20, "london", "p4", 300),
+        ("s4", "clark", 20, "london", "p5", 400),
+        ("s5", "adams", 30, "athens", "p5", 400),
+        ("s5", "adams", 30, "athens", "p6", 100),
+    ]
+    return Relation.from_rows(schema, rows)

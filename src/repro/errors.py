@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro (Dep-Miner) library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class.  Errors are raised eagerly with actionable messages;
+the library never silently returns wrong results.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed (duplicate/empty attribute names, too wide)."""
+
+
+class SchemaMismatchError(ReproError):
+    """Two objects built over different schemas were combined."""
+
+
+class RelationError(ReproError):
+    """A relation is malformed (ragged rows, wrong arity, bad tuple ids)."""
+
+
+class ArmstrongExistenceError(ReproError):
+    """A real-world Armstrong relation does not exist (Proposition 1 fails).
+
+    Carries the offending attributes so callers can report which columns
+    lack enough distinct values.
+    """
+
+    def __init__(self, message: str, failing_attributes=()):
+        super().__init__(message)
+        self.failing_attributes = tuple(failing_attributes)
+
+
+class StorageError(ReproError):
+    """Storage-layer failure (unknown table, malformed CSV, bad types)."""
+
+
+class QueryError(StorageError):
+    """A query against the storage layer was invalid."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark experiment was misconfigured."""

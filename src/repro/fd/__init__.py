@@ -1,0 +1,95 @@
+"""FD theory toolkit: FD objects, closure/implication, covers, candidate
+keys, normalization, Armstrong-axiom derivations, and a brute-force
+discovery oracle."""
+
+from repro.fd.axioms import Derivation, DerivationStep, derive
+from repro.fd.bruteforce import bruteforce_minimal_fds
+from repro.fd.closure import (
+    attribute_closure,
+    closed_sets,
+    closure_set,
+    equivalent_covers,
+    generators,
+    implies,
+    implies_all,
+    is_closed,
+)
+from repro.fd.cover import (
+    is_minimal_cover,
+    left_reduce,
+    minimal_cover,
+    remove_redundant,
+)
+from repro.fd.fd import FD, fds_to_text, parse_fd, sort_fds
+from repro.fd.lattice import ClosedSetLattice, build_lattice
+from repro.fd.keys import (
+    candidate_keys,
+    is_candidate_key,
+    is_superkey_for,
+    minimize_superkey,
+    prime_attributes,
+)
+from repro.fd.mvd import (
+    MVD,
+    decompose_4nf,
+    dependency_basis,
+    fourth_nf_violations,
+    implies_mvd,
+    is_4nf,
+)
+from repro.fd.normalize import (
+    Decomposition,
+    bcnf_violations,
+    decompose_bcnf,
+    is_2nf,
+    is_3nf,
+    is_bcnf,
+    is_lossless_binary_split,
+    project_fds,
+    synthesize_3nf,
+)
+
+__all__ = [
+    "FD",
+    "parse_fd",
+    "sort_fds",
+    "fds_to_text",
+    "attribute_closure",
+    "closure_set",
+    "implies",
+    "implies_all",
+    "equivalent_covers",
+    "is_closed",
+    "closed_sets",
+    "generators",
+    "left_reduce",
+    "remove_redundant",
+    "minimal_cover",
+    "is_minimal_cover",
+    "ClosedSetLattice",
+    "build_lattice",
+    "candidate_keys",
+    "is_candidate_key",
+    "is_superkey_for",
+    "minimize_superkey",
+    "prime_attributes",
+    "MVD",
+    "dependency_basis",
+    "implies_mvd",
+    "fourth_nf_violations",
+    "is_4nf",
+    "decompose_4nf",
+    "Decomposition",
+    "project_fds",
+    "bcnf_violations",
+    "is_bcnf",
+    "is_3nf",
+    "is_2nf",
+    "decompose_bcnf",
+    "synthesize_3nf",
+    "is_lossless_binary_split",
+    "derive",
+    "Derivation",
+    "DerivationStep",
+    "bruteforce_minimal_fds",
+]

@@ -1,0 +1,146 @@
+"""Armstrong-axiom derivations with readable proof traces.
+
+Given ``F ⊨ X → A``, :func:`derive` produces a step-by-step proof using
+the three Armstrong axioms (reflexivity, augmentation, transitivity).
+The trace is reconstructed from the closure computation: the FDs fired to
+grow ``X⁺`` are replayed as augmentation + transitivity steps.
+
+This is a documentation/explanation facility — the DBA-facing complement
+of the mining algorithms ("why does this FD follow from the mined
+cover?") — not a performance-critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.attributes import AttributeSet, Schema, iter_bits
+from repro.errors import ReproError
+from repro.fd.fd import FD
+
+__all__ = ["DerivationStep", "Derivation", "derive"]
+
+
+@dataclass(frozen=True)
+class DerivationStep:
+    """One proof line: the derived statement ``lhs → rhs`` and its rule."""
+
+    lhs: AttributeSet
+    rhs: AttributeSet
+    rule: str
+    premises: Tuple[int, ...] = ()
+
+    def render(self, number: int) -> str:
+        lhs = self.lhs.compact() if self.lhs else "∅"
+        rhs = self.rhs.compact() if self.rhs else "∅"
+        cite = ""
+        if self.premises:
+            cite = " of (" + "), (".join(str(p) for p in self.premises) + ")"
+        return f"({number}) {lhs} -> {rhs}   [{self.rule}{cite}]"
+
+
+@dataclass
+class Derivation:
+    """A complete proof that ``F ⊨ target``."""
+
+    target: FD
+    steps: List[DerivationStep]
+
+    def render(self) -> str:
+        lines = [f"Proof of {self.target}:"]
+        lines.extend(
+            step.render(number)
+            for number, step in enumerate(self.steps, start=1)
+        )
+        return "\n".join(lines)
+
+    def conclusion(self) -> DerivationStep:
+        return self.steps[-1]
+
+
+def derive(fds: Sequence[FD], target: FD) -> Optional[Derivation]:
+    """Derive *target* from *fds* with the Armstrong axioms.
+
+    Returns ``None`` when the FD is **not** implied.  The proof pattern:
+
+    1. reflexivity gives ``X → X``;
+    2. each closure-expanding FD ``Y → B`` (with ``Y ⊆`` the current
+       closure) becomes: augmentation of ``Y → B`` by the closure ``C``
+       (giving ``C → C ∪ {B}``) and transitivity with the running
+       ``X → C`` step;
+    3. a final projectivity (reflexivity + transitivity) step narrows the
+       accumulated rhs to ``A``.
+    """
+    schema = target.schema
+    for fd in fds:
+        if fd.schema != schema:
+            raise ReproError("all FDs must share the target's schema")
+    x_mask = target.lhs.mask
+    steps: List[DerivationStep] = [
+        DerivationStep(
+            lhs=target.lhs, rhs=target.lhs, rule="reflexivity"
+        )
+    ]
+    closure = x_mask
+    running_index = 1  # 1-based index of the step proving X -> closure
+    remaining = list(fds)
+    progress = True
+    while progress and not closure & target.rhs_mask:
+        progress = False
+        for fd in remaining:
+            if fd.lhs.mask & ~closure:
+                continue
+            if not fd.rhs_mask & ~closure:
+                remaining.remove(fd)
+                progress = True
+                break
+            new_closure = closure | fd.rhs_mask
+            steps.append(
+                DerivationStep(
+                    lhs=schema.from_mask(fd.lhs.mask),
+                    rhs=schema.from_mask(fd.rhs_mask),
+                    rule=f"given FD {fd}",
+                )
+            )
+            given_index = len(steps)
+            steps.append(
+                DerivationStep(
+                    lhs=schema.from_mask(closure),
+                    rhs=schema.from_mask(new_closure),
+                    rule="augmentation",
+                    premises=(given_index,),
+                )
+            )
+            steps.append(
+                DerivationStep(
+                    lhs=target.lhs,
+                    rhs=schema.from_mask(new_closure),
+                    rule="transitivity",
+                    premises=(running_index, len(steps)),
+                )
+            )
+            running_index = len(steps)
+            closure = new_closure
+            remaining.remove(fd)
+            progress = True
+            break
+    if not closure & target.rhs_mask:
+        return None
+    if closure != target.rhs_mask:
+        steps.append(
+            DerivationStep(
+                lhs=schema.from_mask(closure),
+                rhs=schema.from_mask(target.rhs_mask),
+                rule="reflexivity (projection)",
+            )
+        )
+        steps.append(
+            DerivationStep(
+                lhs=target.lhs,
+                rhs=schema.from_mask(target.rhs_mask),
+                rule="transitivity",
+                premises=(running_index, len(steps)),
+            )
+        )
+    return Derivation(target=target, steps=steps)

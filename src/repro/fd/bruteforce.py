@@ -1,0 +1,51 @@
+"""Brute-force minimal FD discovery — the correctness oracle.
+
+Enumerates candidate left-hand sides per attribute in increasing size,
+checking each against the relation directly (O(n·p) per check), and
+prunes supersets of already-found lhs so only *minimal* FDs are reported.
+Exponential in the schema width; intended for the small relations of
+tests and property-based checks, where it pins down the semantics that
+Dep-Miner and TANE must both match.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List
+
+from repro.core.attributes import AttributeSet, Schema
+from repro.core.relation import Relation
+from repro.errors import ReproError
+from repro.fd.fd import FD, sort_fds
+
+__all__ = ["bruteforce_minimal_fds"]
+
+_MAX_WIDTH = 16
+
+
+def bruteforce_minimal_fds(relation: Relation) -> List[FD]:
+    """All minimal non-trivial FDs of *relation*, by exhaustive search."""
+    schema = relation.schema
+    width = len(schema)
+    if width > _MAX_WIDTH:
+        raise ReproError(
+            f"brute-force discovery is exponential; width {width} > "
+            f"{_MAX_WIDTH} (use DepMiner or Tane)"
+        )
+    fds: List[FD] = []
+    for rhs_index in range(width):
+        rhs_set = schema.from_mask(1 << rhs_index)
+        others = [a for a in range(width) if a != rhs_index]
+        found_masks: List[int] = []
+        for size in range(0, len(others) + 1):
+            for subset in combinations(others, size):
+                mask = 0
+                for attribute in subset:
+                    mask |= 1 << attribute
+                if any(mask & found == found for found in found_masks):
+                    continue  # a subset already determines rhs
+                lhs_set = AttributeSet(schema, mask)
+                if relation.satisfies(lhs_set, rhs_set):
+                    found_masks.append(mask)
+                    fds.append(FD(lhs_set, rhs_index))
+    return sort_fds(fds)

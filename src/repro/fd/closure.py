@@ -1,0 +1,138 @@
+"""Attribute closure and FD implication.
+
+``X⁺_F`` — the closure of ``X`` under a set ``F`` of FDs — is computed
+with the classical linear-time algorithm (Beeri–Bernstein): each FD keeps
+a counter of lhs attributes not yet in the closure; when a counter hits
+zero the rhs joins the closure and is propagated through an attribute →
+FDs index.
+
+Everything here operates on bitmasks plus a :class:`Schema` for width, so
+it composes directly with the mining modules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.core.attributes import AttributeSet, Schema, iter_bits
+from repro.errors import SchemaMismatchError
+from repro.fd.fd import FD
+
+__all__ = [
+    "attribute_closure",
+    "closure_set",
+    "implies",
+    "implies_all",
+    "equivalent_covers",
+    "is_closed",
+    "closed_sets",
+    "generators",
+]
+
+
+def _check_same_schema(fds: Iterable[FD], schema: Schema) -> None:
+    for fd in fds:
+        if fd.schema != schema:
+            raise SchemaMismatchError(
+                "FD {fd} is over a different schema".format(fd=fd)
+            )
+
+
+def attribute_closure(mask: int, fds: Sequence[FD], schema: Schema) -> int:
+    """``X⁺_F`` as a bitmask, in time linear in the total FD size."""
+    _check_same_schema(fds, schema)
+    counters: List[int] = []
+    rhs_bits: List[int] = []
+    by_attribute: Dict[int, List[int]] = {}
+    for fd_index, fd in enumerate(fds):
+        missing = fd.lhs.mask & ~mask
+        counters.append(len(list(iter_bits(missing))))
+        rhs_bits.append(fd.rhs_mask)
+        for attribute in iter_bits(missing):
+            by_attribute.setdefault(attribute, []).append(fd_index)
+    closure = mask
+    agenda = [
+        fd_index for fd_index, count in enumerate(counters) if count == 0
+    ]
+    while agenda:
+        fd_index = agenda.pop()
+        new_bits = rhs_bits[fd_index] & ~closure
+        closure |= rhs_bits[fd_index]
+        for attribute in iter_bits(new_bits):
+            for waiting in by_attribute.get(attribute, ()):
+                counters[waiting] -= 1
+                if counters[waiting] == 0:
+                    agenda.append(waiting)
+    return closure
+
+
+def closure_set(attributes: AttributeSet, fds: Sequence[FD]) -> AttributeSet:
+    """Schema-aware convenience wrapper around :func:`attribute_closure`."""
+    schema = attributes.schema
+    return schema.from_mask(attribute_closure(attributes.mask, fds, schema))
+
+
+def implies(fds: Sequence[FD], fd: FD) -> bool:
+    """``F ⊨ X → A`` — does *fd* follow from *fds* (Armstrong axioms)?"""
+    closure = attribute_closure(fd.lhs.mask, fds, fd.schema)
+    return bool(closure & fd.rhs_mask)
+
+
+def implies_all(fds: Sequence[FD], others: Iterable[FD]) -> bool:
+    """``F ⊨ G`` for every FD of *others*."""
+    return all(implies(fds, fd) for fd in others)
+
+
+def equivalent_covers(first: Sequence[FD], second: Sequence[FD]) -> bool:
+    """Are the two FD sets covers of each other (``F ≡ G``)?"""
+    return implies_all(first, second) and implies_all(second, first)
+
+
+def is_closed(mask: int, fds: Sequence[FD], schema: Schema) -> bool:
+    """Is ``X`` closed (``X⁺_F = X``)?"""
+    return attribute_closure(mask, fds, schema) == mask
+
+
+def closed_sets(fds: Sequence[FD], schema: Schema) -> List[int]:
+    """``CL(F)`` — every closed attribute set, as sorted bitmasks.
+
+    Exponential in the schema width by nature; intended for the small
+    schemas of tests and examples.  Computed as the closure under
+    intersection of the maximal proper closed sets, seeded with ``R``.
+    """
+    width = len(schema)
+    universe = schema.universe_mask
+    closed: Set[int] = set()
+    for mask in range(universe + 1):
+        if attribute_closure(mask, fds, schema) == mask:
+            closed.add(mask)
+    if width > 20:
+        raise SchemaMismatchError(
+            "closed_sets enumerates 2^width sets; schema too wide"
+        )
+    return sorted(closed)
+
+
+def generators(fds: Sequence[FD], schema: Schema) -> List[int]:
+    """``GEN(F)`` — the minimal family generating ``CL(F)`` by intersection.
+
+    A closed set belongs to ``GEN(F)`` iff it is *meet-irreducible*: it
+    cannot be written as the intersection of strictly larger closed sets.
+    [MR86, MR94b] prove ``GEN(F) = MAX(F)``, which the Armstrong
+    construction and the tests rely on.  ``R`` itself is excluded (it is
+    the empty intersection).
+    """
+    universe = schema.universe_mask
+    family = [mask for mask in closed_sets(fds, schema) if mask != universe]
+    result: List[int] = []
+    for mask in family:
+        strictly_larger = [
+            other for other in family + [universe]
+            if other != mask and other & mask == mask
+        ]
+        meet = universe
+        for other in strictly_larger:
+            meet &= other
+        if meet != mask:
+            result.append(mask)
+    return sorted(result)

@@ -1,0 +1,85 @@
+"""Covers of FD sets: left-reduction, redundancy removal, minimal covers.
+
+A *minimal cover* (canonical cover) of ``F`` is an equivalent FD set where
+every rhs is a single attribute (true by construction here), no lhs
+contains an extraneous attribute, and no FD is redundant.  Dep-Miner's
+output ``{X → A : X ∈ lhs(dep(r), A)}`` is already a cover of ``dep(r)``;
+these utilities let callers verify that, compare miners, and feed
+normalization.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.attributes import AttributeSet, iter_bits
+from repro.fd.closure import attribute_closure, equivalent_covers, implies
+from repro.fd.fd import FD, sort_fds
+
+__all__ = [
+    "left_reduce",
+    "remove_redundant",
+    "minimal_cover",
+    "is_minimal_cover",
+]
+
+
+def left_reduce(fds: Sequence[FD]) -> List[FD]:
+    """Remove extraneous lhs attributes from every FD.
+
+    An attribute ``B ∈ X`` is extraneous in ``X → A`` when
+    ``(X − B)⁺_F ∋ A``; removal is applied greedily attribute by
+    attribute, which is sound because extraneousness is monotone under
+    shrinking lhs within a fixed ``F``.
+    """
+    fds = list(fds)
+    reduced: List[FD] = []
+    for fd in fds:
+        schema = fd.schema
+        lhs_mask = fd.lhs.mask
+        for attribute in list(iter_bits(lhs_mask)):
+            candidate = lhs_mask & ~(1 << attribute)
+            if attribute_closure(candidate, fds, schema) & fd.rhs_mask:
+                lhs_mask = candidate
+        reduced.append(FD(AttributeSet(schema, lhs_mask), fd.rhs_index))
+    return reduced
+
+
+def remove_redundant(fds: Sequence[FD]) -> List[FD]:
+    """Drop FDs implied by the remaining ones (order-deterministic).
+
+    Scans in :func:`~repro.fd.fd.sort_fds` order so the result does not
+    depend on input ordering.
+    """
+    kept = sort_fds(set(fds))
+    index = 0
+    while index < len(kept):
+        without = kept[:index] + kept[index + 1:]
+        if implies(without, kept[index]):
+            kept = without
+        else:
+            index += 1
+    return kept
+
+
+def minimal_cover(fds: Sequence[FD]) -> List[FD]:
+    """A minimal (canonical) cover: left-reduce, then remove redundancy."""
+    return remove_redundant(left_reduce(fds))
+
+
+def is_minimal_cover(fds: Sequence[FD], of: Sequence[FD] = None) -> bool:
+    """Is *fds* a minimal cover (optionally of the FD set *of*)?"""
+    fds = list(fds)
+    if of is not None and not equivalent_covers(fds, list(of)):
+        return False
+    if len(set(fds)) != len(fds):
+        return False
+    for index, fd in enumerate(fds):
+        without = fds[:index] + fds[index + 1:]
+        if implies(without, fd):
+            return False
+        for attribute in iter_bits(fd.lhs.mask):
+            shrunk = FD(fd.lhs.remove(attribute), fd.rhs_index)
+            if implies(fds, shrunk):
+                return False
+    return True

@@ -1,0 +1,135 @@
+"""Functional dependencies ``X → A``.
+
+The paper works with single-attribute right-hand sides throughout (every
+FD set can be decomposed that way), so :class:`FD` has one rhs attribute.
+:func:`parse_fd` accepts the usual ``"B C -> A"`` / ``"BC -> A"`` textual
+forms for CLI and test convenience.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple, Union
+
+from repro.core.attributes import AttributeSet, Schema
+from repro.errors import ReproError, SchemaMismatchError
+
+__all__ = ["FD", "parse_fd", "fds_to_text", "sort_fds"]
+
+
+class FD:
+    """A functional dependency with a set lhs and a single-attribute rhs.
+
+    >>> schema = Schema.of_width(4)
+    >>> fd = FD(schema.attribute_set(["B", "C"]), "A")
+    >>> str(fd)
+    'BC -> A'
+    >>> fd.is_trivial()
+    False
+    """
+
+    __slots__ = ("_lhs", "_rhs_index")
+
+    def __init__(self, lhs: AttributeSet, rhs: Union[str, int]):
+        if isinstance(rhs, str):
+            rhs_index = lhs.schema.index_of(rhs)
+        else:
+            lhs.schema.name_of(rhs)  # bounds check
+            rhs_index = rhs
+        self._lhs = lhs
+        self._rhs_index = rhs_index
+
+    @property
+    def schema(self) -> Schema:
+        return self._lhs.schema
+
+    @property
+    def lhs(self) -> AttributeSet:
+        """The determinant ``X``."""
+        return self._lhs
+
+    @property
+    def rhs(self) -> str:
+        """The determined attribute ``A`` (name)."""
+        return self.schema.name_of(self._rhs_index)
+
+    @property
+    def rhs_index(self) -> int:
+        return self._rhs_index
+
+    @property
+    def rhs_mask(self) -> int:
+        return 1 << self._rhs_index
+
+    def is_trivial(self) -> bool:
+        """``A ∈ X`` — the FD holds in every relation."""
+        return bool(self._lhs.mask & self.rhs_mask)
+
+    def attributes(self) -> AttributeSet:
+        """``X ∪ {A}``."""
+        return self.schema.from_mask(self._lhs.mask | self.rhs_mask)
+
+    def holds_in(self, relation) -> bool:
+        """``r ⊨ X → A``."""
+        return relation.satisfies(self._lhs, self.schema.from_mask(self.rhs_mask))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FD):
+            return NotImplemented
+        return self._lhs == other._lhs and self._rhs_index == other._rhs_index
+
+    def __hash__(self) -> int:
+        return hash((self._lhs, self._rhs_index))
+
+    def __repr__(self) -> str:
+        return f"FD({self._lhs!r} -> {self.rhs})"
+
+    def __str__(self) -> str:
+        return f"{self._lhs.compact()} -> {self.rhs}"
+
+
+def parse_fd(schema: Schema, text: str) -> FD:
+    """Parse ``"B C -> A"``, ``"B,C->A"`` or ``"BC -> A"`` (single-letter
+    schemas only for the compact form).
+
+    >>> str(parse_fd(Schema.of_width(4), "BC -> A"))
+    'BC -> A'
+    """
+    if "->" not in text:
+        raise ReproError(f"an FD needs '->': {text!r}")
+    left, _, right = text.partition("->")
+    rhs = right.strip()
+    if rhs not in schema:
+        raise ReproError(f"unknown rhs attribute {rhs!r} in {text!r}")
+    lhs_names = _split_attribute_list(schema, left.strip())
+    return FD(schema.attribute_set(lhs_names), rhs)
+
+
+def _split_attribute_list(schema: Schema, text: str) -> List[str]:
+    if not text or text in ("{}", "∅", "0"):
+        return []
+    for separator in (",", " "):
+        if separator in text:
+            parts = [part.strip() for part in text.split(separator)]
+            return [part for part in parts if part]
+    if text in schema:
+        return [text]
+    # compact single-letter form such as "BC"
+    names = list(text)
+    unknown = [name for name in names if name not in schema]
+    if unknown:
+        raise ReproError(
+            f"unknown attribute(s) {unknown} in lhs {text!r}"
+        )
+    return names
+
+
+def sort_fds(fds: Iterable[FD]) -> List[FD]:
+    """Deterministic order: by rhs index, then lhs size, then lhs mask."""
+    return sorted(
+        fds, key=lambda fd: (fd.rhs_index, len(fd.lhs), fd.lhs.mask)
+    )
+
+
+def fds_to_text(fds: Iterable[FD]) -> str:
+    """Render an FD list one per line, in :func:`sort_fds` order."""
+    return "\n".join(str(fd) for fd in sort_fds(fds))

@@ -1,0 +1,94 @@
+"""Candidate keys from a set of FDs.
+
+Implements the Lucchesi–Osborn key-enumeration algorithm: starting from a
+minimised superkey, every discovered key ``K`` and FD ``X → A`` spawn the
+candidate superkey ``X ∪ (K − A)``, which is minimised and added unless a
+known key is already contained in it.  Enumerates *all* candidate keys
+(their number can be exponential; callers may cap it).
+
+These are keys *with respect to a set of FDs* — the schema-design notion
+the paper's "logical tuning" motivation needs — as opposed to
+:meth:`repro.core.relation.Relation.is_superkey`, which checks one
+relation instance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.attributes import AttributeSet, Schema, iter_bits
+from repro.errors import ReproError
+from repro.fd.closure import attribute_closure
+from repro.fd.fd import FD
+
+__all__ = [
+    "minimize_superkey",
+    "candidate_keys",
+    "is_superkey_for",
+    "is_candidate_key",
+    "prime_attributes",
+]
+
+
+def is_superkey_for(mask: int, fds: Sequence[FD], schema: Schema) -> bool:
+    """Does ``X⁺_F = R`` hold?"""
+    return attribute_closure(mask, fds, schema) == schema.universe_mask
+
+
+def minimize_superkey(mask: int, fds: Sequence[FD], schema: Schema) -> int:
+    """Shrink a superkey to a candidate key (greedy, high bit first)."""
+    if not is_superkey_for(mask, fds, schema):
+        raise ReproError("cannot minimize: the given set is not a superkey")
+    for attribute in sorted(iter_bits(mask), reverse=True):
+        candidate = mask & ~(1 << attribute)
+        if is_superkey_for(candidate, fds, schema):
+            mask = candidate
+    return mask
+
+
+def candidate_keys(fds: Sequence[FD], schema: Schema,
+                   limit: Optional[int] = None) -> List[AttributeSet]:
+    """All candidate keys of ``(R, F)`` (Lucchesi–Osborn).
+
+    *limit* optionally caps the number of keys returned (the enumeration
+    stops early); ``None`` enumerates all.
+    """
+    fds = list(fds)
+    first = minimize_superkey(schema.universe_mask, fds, schema)
+    keys: List[int] = [first]
+    seen = {first}
+    queue = [first]
+    while queue:
+        if limit is not None and len(keys) >= limit:
+            break
+        key = queue.pop()
+        for fd in fds:
+            candidate = fd.lhs.mask | (key & ~fd.rhs_mask)
+            if any(existing & candidate == existing for existing in keys):
+                continue
+            new_key = minimize_superkey(candidate, fds, schema)
+            if new_key not in seen:
+                seen.add(new_key)
+                keys.append(new_key)
+                queue.append(new_key)
+                if limit is not None and len(keys) >= limit:
+                    break
+    return [schema.from_mask(mask) for mask in sorted(keys)]
+
+
+def is_candidate_key(mask: int, fds: Sequence[FD], schema: Schema) -> bool:
+    """Is ``X`` a minimal superkey?"""
+    if not is_superkey_for(mask, fds, schema):
+        return False
+    return all(
+        not is_superkey_for(mask & ~(1 << attribute), fds, schema)
+        for attribute in iter_bits(mask)
+    )
+
+
+def prime_attributes(fds: Sequence[FD], schema: Schema) -> AttributeSet:
+    """Attributes belonging to at least one candidate key (2NF/3NF tests)."""
+    prime = 0
+    for key in candidate_keys(fds, schema):
+        prime |= key.mask
+    return schema.from_mask(prime)

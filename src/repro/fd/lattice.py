@@ -1,0 +1,151 @@
+"""The lattice of closed attribute sets.
+
+``CL(F)`` ordered by inclusion forms a (meet-semi)lattice whose
+meet-irreducible elements are the maximal sets / intersection generators
+(`GEN(F) = MAX(F)`, [MR86, DLM92]).  This module materialises that
+lattice for small schemas: nodes, Hasse edges, meet/join, irreducibility
+flags, and a plain-text rendering grouped by level — the "lattice point
+of view" of [DLM92] that underlies the Armstrong constructions.
+
+Everything here is exponential in the schema width by nature and is
+guarded accordingly; it exists for analysis, teaching and tests, not
+for the mining hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.attributes import AttributeSet, Schema, popcount
+from repro.errors import ReproError
+from repro.fd.closure import attribute_closure, closed_sets
+from repro.fd.fd import FD
+
+__all__ = ["ClosedSetLattice", "build_lattice"]
+
+_MAX_WIDTH = 16
+
+
+@dataclass(frozen=True)
+class _Node:
+    mask: int
+    is_meet_irreducible: bool
+
+
+class ClosedSetLattice:
+    """The lattice ``(CL(F), ⊆)`` for a set of FDs."""
+
+    def __init__(self, schema: Schema, fds: Sequence[FD]):
+        if len(schema) > _MAX_WIDTH:
+            raise ReproError(
+                f"closed-set lattices enumerate 2^width sets; width "
+                f"{len(schema)} > {_MAX_WIDTH}"
+            )
+        self.schema = schema
+        self.fds = list(fds)
+        self._closed = closed_sets(self.fds, schema)
+        self._closed_set = set(self._closed)
+        self._hasse = self._compute_hasse()
+        self._irreducible = self._compute_irreducible()
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def elements(self) -> List[int]:
+        """Every closed set, as sorted bitmasks."""
+        return list(self._closed)
+
+    def __len__(self) -> int:
+        return len(self._closed)
+
+    def __contains__(self, mask: int) -> bool:
+        return mask in self._closed_set
+
+    def _compute_hasse(self) -> Dict[int, List[int]]:
+        """Upper covers: y covers x iff x ⊂ y with no closed z between."""
+        covers: Dict[int, List[int]] = {}
+        for low in self._closed:
+            uppers = []
+            supersets = [
+                high for high in self._closed
+                if high != low and low & high == low
+            ]
+            for high in supersets:
+                if not any(
+                    mid != high and low & mid == low and mid & high == mid
+                    for mid in supersets
+                ):
+                    uppers.append(high)
+            covers[low] = sorted(uppers)
+        return covers
+
+    def _compute_irreducible(self) -> Dict[int, bool]:
+        universe = self.schema.universe_mask
+        flags: Dict[int, bool] = {}
+        for mask in self._closed:
+            if mask == universe:
+                flags[mask] = False  # R is the empty intersection
+                continue
+            strictly_larger = [
+                other for other in self._closed
+                if other != mask and mask & other == mask
+            ]
+            meet = universe
+            for other in strictly_larger:
+                meet &= other
+            flags[mask] = meet != mask
+        return flags
+
+    # -- queries ---------------------------------------------------------------
+
+    def upper_covers(self, mask: int) -> List[int]:
+        """The Hasse successors of a closed set."""
+        if mask not in self._closed_set:
+            raise ReproError(f"{bin(mask)} is not a closed set")
+        return list(self._hasse[mask])
+
+    def meet(self, first: int, second: int) -> int:
+        """Greatest closed set below both (plain intersection — closed
+        sets are closed under ∩)."""
+        return first & second
+
+    def join(self, first: int, second: int) -> int:
+        """Least closed set above both: the closure of the union."""
+        return attribute_closure(first | second, self.fds, self.schema)
+
+    def meet_irreducible(self) -> List[int]:
+        """``GEN(F)`` — the intersection generators (= maximal sets)."""
+        return [m for m in self._closed if self._irreducible[m]]
+
+    def closure(self, mask: int) -> int:
+        return attribute_closure(mask, self.fds, self.schema)
+
+    # -- rendering ----------------------------------------------------------------
+
+    def render(self) -> str:
+        """Plain-text rendering, one level (cardinality) per line.
+
+        Meet-irreducible sets (the generators / maximal sets) are
+        marked with ``*``.
+        """
+        levels: Dict[int, List[int]] = {}
+        for mask in self._closed:
+            levels.setdefault(popcount(mask), []).append(mask)
+        lines = [
+            f"Closed-set lattice over {list(self.schema.names)} "
+            f"({len(self._closed)} closed sets; * = generator):"
+        ]
+        for size in sorted(levels, reverse=True):
+            rendered = []
+            for mask in levels[size]:
+                name = AttributeSet(self.schema, mask).compact()
+                star = "*" if self._irreducible[mask] else ""
+                rendered.append(name + star)
+            lines.append(f"  |X| = {size}:  " + "   ".join(rendered))
+        return "\n".join(lines)
+
+
+def build_lattice(schema: Schema, fds: Sequence[FD]) -> ClosedSetLattice:
+    """Convenience constructor mirroring the other module entry points."""
+    return ClosedSetLattice(schema, fds)

@@ -1,0 +1,259 @@
+"""Multivalued dependencies and fourth normal form.
+
+The natural continuation of the paper's "logical tuning" story: once
+FDs have been mined and the schema pushed to BCNF, the remaining
+redundancy is multivalued — ``X ↠ Y`` holds when, within each
+``X``-group, the ``Y``-values and the remaining values vary
+*independently* (the group is their cross product).  4NF forbids
+non-trivial MVDs whose lhs is not a superkey.
+
+Provided here:
+
+- :class:`MVD` and the instance-level satisfaction test
+  (:meth:`MVD.holds_in` — the cross-product criterion per group);
+- :func:`dependency_basis` — Beeri's fixpoint algorithm computing
+  ``DEP(X)``, the finest partition of ``R − X`` such that ``X ↠ S`` for
+  every block ``S``;
+- :func:`implies_mvd` — MVD implication from a set of FDs and MVDs
+  (FDs enter as ``X ↠ Y`` by the conversion rule, which is complete for
+  *MVD* derivation; FD implication stays in :mod:`repro.fd.closure`);
+- :func:`is_4nf` / :func:`fourth_nf_violations` /
+  :func:`decompose_4nf` — the classical decomposition, splitting on a
+  violating MVD into ``X ∪ Y`` and ``X ∪ (R − Y)`` (lossless by the
+  definition of ↠, which the tests verify on instances via
+  :meth:`~repro.core.relation.Relation.natural_join`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.attributes import AttributeSet, Schema, iter_bits
+from repro.core.relation import Relation
+from repro.errors import ReproError
+from repro.fd.fd import FD
+from repro.fd.keys import is_superkey_for
+from repro.fd.normalize import Decomposition, project_fds
+
+__all__ = [
+    "MVD",
+    "dependency_basis",
+    "implies_mvd",
+    "fourth_nf_violations",
+    "is_4nf",
+    "decompose_4nf",
+]
+
+
+class MVD:
+    """A multivalued dependency ``X ↠ Y`` over a schema.
+
+    Stored in the normalised form with ``Y`` disjoint from ``X``
+    (``X ↠ Y`` and ``X ↠ Y − X`` are equivalent).
+    """
+
+    __slots__ = ("_lhs", "_rhs")
+
+    def __init__(self, lhs: AttributeSet, rhs: AttributeSet):
+        if lhs.schema != rhs.schema:
+            raise ReproError("MVD sides must share a schema")
+        self._lhs = lhs
+        self._rhs = rhs.difference(lhs)
+
+    @property
+    def schema(self) -> Schema:
+        return self._lhs.schema
+
+    @property
+    def lhs(self) -> AttributeSet:
+        return self._lhs
+
+    @property
+    def rhs(self) -> AttributeSet:
+        return self._rhs
+
+    def complement(self) -> "MVD":
+        """``X ↠ R − X − Y`` (the complementation rule)."""
+        schema = self.schema
+        rest = schema.universe_mask & ~self._lhs.mask & ~self._rhs.mask
+        return MVD(self._lhs, AttributeSet(schema, rest))
+
+    def is_trivial(self) -> bool:
+        """``Y ⊆ X`` (empty here, by normalisation) or ``X ∪ Y = R``."""
+        universe = self.schema.universe_mask
+        return (
+            self._rhs.mask == 0
+            or self._lhs.mask | self._rhs.mask == universe
+        )
+
+    def holds_in(self, relation: Relation) -> bool:
+        """``r ⊨ X ↠ Y`` — the cross-product criterion.
+
+        For every ``X``-group: the set of (Y-part, Z-part) pairs must be
+        exactly the cross product of the group's Y-parts and Z-parts,
+        where ``Z = R − X − Y``.
+        """
+        schema = self.schema
+        if relation.schema != schema:
+            raise ReproError("relation is over a different schema")
+        x_idx = self._lhs.indices()
+        y_idx = self._rhs.indices()
+        z_mask = schema.universe_mask & ~self._lhs.mask & ~self._rhs.mask
+        z_idx = tuple(iter_bits(z_mask))
+        groups: Dict[Tuple, Tuple[Set, Set, Set]] = {}
+        for row in relation.rows():
+            key = tuple(row[i] for i in x_idx)
+            y_part = tuple(row[i] for i in y_idx)
+            z_part = tuple(row[i] for i in z_idx)
+            ys, zs, pairs = groups.setdefault(key, (set(), set(), set()))
+            ys.add(y_part)
+            zs.add(z_part)
+            pairs.add((y_part, z_part))
+        return all(
+            len(pairs) == len(ys) * len(zs)
+            for ys, zs, pairs in groups.values()
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MVD):
+            return NotImplemented
+        return self._lhs == other._lhs and self._rhs == other._rhs
+
+    def __hash__(self) -> int:
+        return hash((self._lhs, self._rhs))
+
+    def __repr__(self) -> str:
+        return f"MVD({self})"
+
+    def __str__(self) -> str:
+        return f"{self._lhs.compact()} ->> {self._rhs.compact()}"
+
+
+def _as_mvd_pairs(schema: Schema, fds: Sequence[FD],
+                  mvds: Sequence[MVD]) -> List[Tuple[int, int]]:
+    """The given dependencies as (lhs_mask, rhs_mask) MVD pairs.
+
+    FDs are converted by the replication rule ``X → Y ⊢ X ↠ Y``, which
+    is complete for deriving MVDs from a mixed set.
+    """
+    pairs = [(fd.lhs.mask, fd.rhs_mask) for fd in fds]
+    pairs.extend((mvd.lhs.mask, mvd.rhs.mask) for mvd in mvds)
+    return pairs
+
+
+def dependency_basis(lhs_mask: int, fds: Sequence[FD],
+                     mvds: Sequence[MVD], schema: Schema) -> List[int]:
+    """Beeri's algorithm: ``DEP(X)`` as a sorted list of block masks.
+
+    Starts from the single block ``R − X`` and refines: a dependency
+    ``W ↠ Z`` splits a block ``S`` with ``S ∩ W = ∅`` into ``S ∩ Z`` and
+    ``S − Z`` (when both are non-empty), until fixpoint.  ``X ↠ Y``
+    holds iff ``Y − X`` is a union of blocks.
+    """
+    universe = schema.universe_mask
+    pairs = _as_mvd_pairs(schema, fds, mvds)
+    blocks: List[int] = []
+    start = universe & ~lhs_mask
+    if start:
+        blocks.append(start)
+    changed = True
+    while changed:
+        changed = False
+        for w_mask, z_mask in pairs:
+            for block in list(blocks):
+                if block & w_mask:
+                    continue
+                inside = block & z_mask
+                outside = block & ~z_mask
+                if inside and outside:
+                    blocks.remove(block)
+                    blocks.extend([inside, outside])
+                    changed = True
+    return sorted(blocks)
+
+
+def implies_mvd(fds: Sequence[FD], mvds: Sequence[MVD],
+                target: MVD) -> bool:
+    """Does the mixed set ``F ∪ M`` imply ``X ↠ Y``?
+
+    True iff ``Y − X`` is a union of dependency-basis blocks of ``X``.
+    """
+    schema = target.schema
+    basis = dependency_basis(target.lhs.mask, fds, mvds, schema)
+    remaining = target.rhs.mask
+    for block in basis:
+        if block & remaining == block:
+            remaining &= ~block
+    return remaining == 0
+
+
+def fourth_nf_violations(fds: Sequence[FD], mvds: Sequence[MVD],
+                         schema: Schema) -> List[MVD]:
+    """Non-trivial declared MVDs whose lhs is not a superkey."""
+    violations = []
+    for mvd in mvds:
+        if mvd.is_trivial():
+            continue
+        if not is_superkey_for(mvd.lhs.mask, list(fds), schema):
+            violations.append(mvd)
+    return violations
+
+
+def is_4nf(fds: Sequence[FD], mvds: Sequence[MVD], schema: Schema) -> bool:
+    """Fourth normal form w.r.t. the declared FDs and MVDs."""
+    return not fourth_nf_violations(fds, mvds, schema)
+
+
+def decompose_4nf(fds: Sequence[FD], mvds: Sequence[MVD],
+                  schema: Schema) -> List[Decomposition]:
+    """Classical 4NF decomposition.
+
+    Splits on a violating MVD ``X ↠ Y`` into ``X ∪ Y`` and
+    ``X ∪ (R − Y)``; MVDs project onto a fragment when all their
+    attributes lie inside it (a sound, standard approximation of MVD
+    projection), FDs project exactly via
+    :func:`~repro.fd.normalize.project_fds`.
+    """
+    fds = list(fds)
+    worklist: List[Tuple[int, List[MVD]]] = [
+        (schema.universe_mask, list(mvds))
+    ]
+    fragments: List[Decomposition] = []
+    while worklist:
+        mask, local_mvds = worklist.pop()
+        local_fds = project_fds(fds, mask, schema)
+        violating = None
+        for mvd in local_mvds:
+            inside = (mvd.lhs.mask | mvd.rhs.mask) & ~mask == 0
+            if not inside or mvd.is_trivial():
+                continue
+            rest = mask & ~mvd.lhs.mask & ~mvd.rhs.mask
+            if not rest:
+                continue  # trivial within this fragment
+            # Superkey-ness must be relative to the fragment.
+            from repro.fd.closure import attribute_closure
+
+            closure = attribute_closure(mvd.lhs.mask, local_fds, schema)
+            if closure & mask == mask:
+                continue  # lhs is a superkey of the fragment: no violation
+            violating = mvd
+            break
+        if violating is None:
+            fragments.append(
+                Decomposition(
+                    AttributeSet(schema, mask), tuple(local_fds)
+                )
+            )
+            continue
+        first = violating.lhs.mask | (violating.rhs.mask & mask)
+        second = mask & ~(violating.rhs.mask & mask) | violating.lhs.mask
+        for sub_mask in (first, second):
+            sub_mvds = [
+                mvd for mvd in local_mvds
+                if (mvd.lhs.mask | mvd.rhs.mask) & ~sub_mask == 0
+                and mvd is not violating
+            ]
+            worklist.append((sub_mask, sub_mvds))
+    fragments.sort(key=lambda d: d.attributes.mask)
+    return fragments

@@ -1,0 +1,242 @@
+"""Schema normalization — the "logical tuning" the paper motivates.
+
+The paper's use case: the DBA mines minimal FDs with Dep-Miner, validates
+them on the real-world Armstrong sample, then *normalizes* the schema to
+remove update anomalies [MR94b, LL99].  This module supplies that last
+step: normal-form tests (2NF, 3NF, BCNF), a BCNF decomposition, and the
+classical 3NF synthesis from a minimal cover.
+
+Sub-schemas are represented by :class:`Decomposition` entries carrying
+the attribute subset (as an :class:`AttributeSet` of the *original*
+schema) and the FDs projected onto it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Sequence, Tuple
+
+from repro.core.attributes import AttributeSet, Schema, iter_bits
+from repro.errors import ReproError
+from repro.fd.closure import attribute_closure
+from repro.fd.cover import minimal_cover
+from repro.fd.fd import FD, sort_fds
+from repro.fd.keys import candidate_keys, is_superkey_for, prime_attributes
+
+__all__ = [
+    "Decomposition",
+    "project_fds",
+    "bcnf_violations",
+    "is_bcnf",
+    "is_3nf",
+    "is_2nf",
+    "decompose_bcnf",
+    "synthesize_3nf",
+    "is_lossless_binary_split",
+]
+
+_MAX_PROJECTION_WIDTH = 22
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """One fragment of a decomposition: attributes + projected FDs."""
+
+    attributes: AttributeSet
+    fds: Tuple[FD, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(self.attributes.names)
+        return f"R({inner})"
+
+
+def project_fds(fds: Sequence[FD], onto_mask: int,
+                schema: Schema) -> List[FD]:
+    """``F[Z]`` — the FDs implied by *fds* whose attributes all lie in Z.
+
+    Computed by closing every subset of Z (exponential in ``|Z|``; guarded
+    because projection is inherently that hard in the worst case).  The
+    result is returned as a minimal cover over the original schema.
+    """
+    z_attributes = list(iter_bits(onto_mask))
+    if len(z_attributes) > _MAX_PROJECTION_WIDTH:
+        raise ReproError(
+            f"FD projection enumerates 2^|Z| subsets; |Z| = "
+            f"{len(z_attributes)} is too wide"
+        )
+    projected: List[FD] = []
+    for size in range(len(z_attributes) + 1):
+        for subset in combinations(z_attributes, size):
+            lhs_mask = 0
+            for attribute in subset:
+                lhs_mask |= 1 << attribute
+            closure = attribute_closure(lhs_mask, fds, schema)
+            for attribute in iter_bits(closure & onto_mask & ~lhs_mask):
+                projected.append(
+                    FD(AttributeSet(schema, lhs_mask), attribute)
+                )
+    return minimal_cover(projected)
+
+
+def bcnf_violations(fds: Sequence[FD], schema: Schema,
+                    within_mask: int = None) -> List[FD]:
+    """Non-trivial FDs whose lhs is not a superkey (BCNF witnesses).
+
+    With *within_mask* the test is performed on the sub-schema ``Z``:
+    the FDs are first projected onto ``Z`` and superkey-ness is relative
+    to ``Z``.
+    """
+    if within_mask is None:
+        candidates = sort_fds(set(fds))
+        universe = schema.universe_mask
+    else:
+        candidates = project_fds(fds, within_mask, schema)
+        universe = within_mask
+    violations = []
+    for fd in candidates:
+        if fd.is_trivial():
+            continue
+        closure = attribute_closure(fd.lhs.mask, list(candidates), schema)
+        if closure & universe != universe:
+            violations.append(fd)
+    return violations
+
+
+def is_bcnf(fds: Sequence[FD], schema: Schema, within_mask: int = None) -> bool:
+    """Boyce–Codd normal form test."""
+    return not bcnf_violations(fds, schema, within_mask)
+
+
+def is_3nf(fds: Sequence[FD], schema: Schema) -> bool:
+    """Third normal form: every violating FD's rhs must be prime."""
+    prime = prime_attributes(fds, schema).mask
+    for fd in fds:
+        if fd.is_trivial():
+            continue
+        if is_superkey_for(fd.lhs.mask, list(fds), schema):
+            continue
+        if not fd.rhs_mask & prime:
+            return False
+    return True
+
+
+def is_2nf(fds: Sequence[FD], schema: Schema) -> bool:
+    """Second normal form: no partial dependency of a non-prime attribute
+    on a candidate key."""
+    keys = candidate_keys(list(fds), schema)
+    prime = prime_attributes(fds, schema).mask
+    fds = list(fds)
+    for key in keys:
+        proper_subsets = [
+            key.mask & ~(1 << attribute) for attribute in iter_bits(key.mask)
+        ]
+        for subset in proper_subsets:
+            closure = attribute_closure(subset, fds, schema)
+            non_prime_dependents = closure & ~prime & ~subset
+            if non_prime_dependents:
+                return False
+    return True
+
+
+def decompose_bcnf(fds: Sequence[FD], schema: Schema) -> List[Decomposition]:
+    """Lossless BCNF decomposition (classical splitting algorithm).
+
+    Repeatedly splits a fragment ``Z`` with a violating FD ``X → A``
+    (projected onto ``Z``) into ``X ∪ {A}`` and ``Z − A``.  Lossless by
+    construction; dependency preservation is *not* guaranteed (that is
+    BCNF's known limitation — use :func:`synthesize_3nf` when
+    preservation matters).
+    """
+    fds = list(fds)
+    worklist = [schema.universe_mask]
+    fragments: List[Decomposition] = []
+    while worklist:
+        z_mask = worklist.pop()
+        violations = bcnf_violations(fds, schema, within_mask=z_mask)
+        if not violations:
+            fragments.append(
+                Decomposition(
+                    schema.from_mask(z_mask),
+                    tuple(project_fds(fds, z_mask, schema)),
+                )
+            )
+            continue
+        fd = violations[0]
+        closure = attribute_closure(fd.lhs.mask, fds, schema) & z_mask
+        first = fd.lhs.mask | (closure & ~fd.lhs.mask)
+        second = z_mask & ~(closure & ~fd.lhs.mask)
+        if first == z_mask or second == z_mask:
+            # Defensive: a split that does not shrink would loop forever.
+            raise ReproError(f"BCNF split of {bin(z_mask)} did not progress")
+        worklist.append(first)
+        worklist.append(second)
+    # Drop fragments contained in others (can happen with nested splits).
+    fragments.sort(key=lambda d: -len(d.attributes))
+    kept: List[Decomposition] = []
+    for fragment in fragments:
+        if not any(
+            fragment.attributes.issubset(existing.attributes)
+            for existing in kept
+        ):
+            kept.append(fragment)
+    return sorted(kept, key=lambda d: d.attributes.mask)
+
+
+def synthesize_3nf(fds: Sequence[FD], schema: Schema) -> List[Decomposition]:
+    """Bernstein-style 3NF synthesis from a minimal cover.
+
+    Groups the minimal cover by lhs, creates one fragment per group, adds
+    a candidate-key fragment when no fragment contains a key, and drops
+    fragments subsumed by others.  Lossless and dependency-preserving.
+    """
+    fds = list(fds)
+    cover = minimal_cover(fds)
+    groups = {}
+    for fd in cover:
+        groups.setdefault(fd.lhs.mask, []).append(fd)
+    fragments: List[Tuple[int, List[FD]]] = []
+    for lhs_mask, members in groups.items():
+        attributes = lhs_mask
+        for fd in members:
+            attributes |= fd.rhs_mask
+        fragments.append((attributes, members))
+    keys = candidate_keys(cover, schema) if cover else [schema.universe()]
+    if not any(
+        any(key.mask & fragment_mask == key.mask for key in keys)
+        for fragment_mask, _members in fragments
+    ):
+        key = keys[0]
+        fragments.append((key.mask, []))
+    fragments.sort(key=lambda pair: -bin(pair[0]).count("1"))
+    kept: List[Tuple[int, List[FD]]] = []
+    for mask, members in fragments:
+        container = next(
+            (pair for pair in kept if mask & pair[0] == mask), None
+        )
+        if container is None:
+            kept.append((mask, list(members)))
+        else:
+            container[1].extend(members)
+    return sorted(
+        (
+            Decomposition(schema.from_mask(mask), tuple(sort_fds(members)))
+            for mask, members in kept
+        ),
+        key=lambda d: d.attributes.mask,
+    )
+
+
+def is_lossless_binary_split(fds: Sequence[FD], schema: Schema,
+                             first_mask: int, second_mask: int) -> bool:
+    """Heath's theorem: ``Z1 ∩ Z2 → Z1`` or ``Z1 ∩ Z2 → Z2`` under F.
+
+    Checks the classic sufficient condition for a binary decomposition of
+    ``Z1 ∪ Z2`` to be lossless.
+    """
+    common = first_mask & second_mask
+    closure = attribute_closure(common, list(fds), schema)
+    return (
+        closure & first_mask == first_mask
+        or closure & second_mask == second_mask
+    )

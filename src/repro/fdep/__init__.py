@@ -1,0 +1,6 @@
+"""FDEP baseline [SF93]: bottom-up FD induction via negative cover and
+hypothesis specialization."""
+
+from repro.fdep.fdep import Fdep, FdepResult, specialize_hypotheses
+
+__all__ = ["Fdep", "FdepResult", "specialize_hypotheses"]

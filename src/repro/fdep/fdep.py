@@ -1,0 +1,135 @@
+"""FDEP [Savnik & Flach 1993] — bottom-up induction of FDs.
+
+The second related miner the paper cites (besides TANE): FDEP first
+builds the *negative cover* — the maximal "non-dependencies" witnessed
+by tuple pairs, which in this codebase are exactly the maximal sets
+derived from agree sets — then *specializes* the trivial hypothesis
+``∅ → A`` against every negative witness: an lhs contained in a witness
+cannot determine ``A``, so it is replaced by its one-attribute
+extensions that escape the witness, keeping the set minimal throughout.
+
+The result provably equals ``lhs(dep(r), A)`` (it computes the same
+minimal transversals, by incremental specialization rather than
+levelwise search or DFS), which the tests assert against Dep-Miner and
+the brute force.  It is included as a faithfully different *algorithm*,
+not a re-skin: its working set is the evolving hypothesis antichain, and
+its costs concentrate on the minimization after each specialization.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.core.agree_sets import agree_sets_from_identifiers
+from repro.core.attributes import AttributeSet, Schema, iter_bits
+from repro.core.maximal_sets import maximal_sets
+from repro.core.relation import Relation
+from repro.fd.fd import FD, sort_fds
+from repro.hypergraph.hypergraph import minimize_sets
+from repro.partitions.database import StrippedPartitionDatabase
+
+__all__ = ["Fdep", "FdepResult", "specialize_hypotheses"]
+
+
+def specialize_hypotheses(witness_mask: int, hypotheses: List[int],
+                          universe: int, rhs_bit: int) -> List[int]:
+    """One FDEP specialization step.
+
+    Every hypothesis lhs contained in *witness_mask* is refuted (the
+    witness pair agrees on it but not on the rhs) and is replaced by its
+    extensions with one attribute outside ``witness ∪ {rhs}``.  The
+    surviving family is re-minimized so it stays an antichain.
+    """
+    survivors: List[int] = []
+    refuted: List[int] = []
+    for lhs in hypotheses:
+        if lhs & ~witness_mask:
+            survivors.append(lhs)
+        else:
+            refuted.append(lhs)
+    if not refuted:
+        return hypotheses
+    escape_bits = universe & ~witness_mask & ~rhs_bit
+    extensions: Set[int] = set()
+    for lhs in refuted:
+        for bit_index in iter_bits(escape_bits):
+            extensions.add(lhs | (1 << bit_index))
+    # Keep only extensions not already covered by a surviving hypothesis.
+    candidates = survivors + [
+        ext
+        for ext in extensions
+        if not any(s & ext == s for s in survivors)
+    ]
+    return minimize_sets(candidates)
+
+
+@dataclass
+class FdepResult:
+    """Output of an FDEP run."""
+
+    schema: Schema
+    num_rows: int
+    fds: List[FD]
+    lhs_sets: Dict[int, List[int]]
+    negative_cover: Dict[int, List[int]]
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+
+class Fdep:
+    """FDEP runner (negative cover + specialization)."""
+
+    def __init__(self, nulls_equal: bool = True):
+        self.nulls_equal = nulls_equal
+
+    def run(self, relation: Relation) -> FdepResult:
+        start = time.perf_counter()
+        spdb = StrippedPartitionDatabase.from_relation(
+            relation, nulls_equal=self.nulls_equal
+        )
+        strip_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        agree = agree_sets_from_identifiers(spdb)
+        negative_cover = maximal_sets(agree, spdb.schema)
+        negative_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        schema = spdb.schema
+        universe = schema.universe_mask
+        lhs_sets: Dict[int, List[int]] = {}
+        for attribute in range(len(schema)):
+            rhs_bit = 1 << attribute
+            hypotheses = [0]  # start from ∅ -> A
+            for witness in negative_cover[attribute]:
+                hypotheses = specialize_hypotheses(
+                    witness, hypotheses, universe, rhs_bit
+                )
+                if not hypotheses:
+                    break
+            lhs_sets[attribute] = sorted(hypotheses)
+        specialize_seconds = time.perf_counter() - start
+
+        fds = [
+            FD(AttributeSet(schema, lhs), attribute)
+            for attribute, masks in lhs_sets.items()
+            for lhs in masks
+            if lhs != (1 << attribute)
+        ]
+        return FdepResult(
+            schema=schema,
+            num_rows=spdb.num_rows,
+            fds=sort_fds(fds),
+            lhs_sets=lhs_sets,
+            negative_cover=negative_cover,
+            phase_seconds={
+                "strip": strip_seconds,
+                "negative_cover": negative_seconds,
+                "specialize": specialize_seconds,
+            },
+        )

@@ -1,0 +1,175 @@
+"""Simple hypergraphs over attribute universes.
+
+A collection ``H`` of subsets of ``R`` is a *simple hypergraph* when every
+edge is non-empty and no edge contains another (section 2, after [Ber76]).
+The complements of the maximal sets ``cmax(dep(r), A)`` form a simple
+hypergraph, whose minimal transversals are exactly the left-hand sides of
+the minimal FDs with right-hand side ``A``.
+
+Edges are bitmasks over a vertex universe of ``num_vertices`` bits, the
+same representation as :class:`~repro.core.attributes.AttributeSet`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.core.attributes import popcount
+from repro.errors import ReproError
+
+__all__ = ["SimpleHypergraph", "minimize_sets", "maximize_sets"]
+
+
+def minimize_sets(masks: Iterable[int]) -> List[int]:
+    """Keep only the masks minimal under inclusion (an antichain).
+
+    Duplicates are collapsed.  ``O(k²)`` subset tests on bitmasks, with an
+    ascending-cardinality scan so each mask is only tested against already
+    retained (smaller or equal) masks.
+
+    >>> minimize_sets([0b011, 0b001, 0b110])
+    [1, 6]
+    """
+    ordered = sorted(set(masks), key=lambda mask: (popcount(mask), mask))
+    retained: List[int] = []
+    for mask in ordered:
+        if not any(kept & mask == kept for kept in retained):
+            retained.append(mask)
+    return sorted(retained)
+
+
+def maximize_sets(masks: Iterable[int]) -> List[int]:
+    """Keep only the masks maximal under inclusion (``Max⊆`` of the paper).
+
+    >>> maximize_sets([0b011, 0b001, 0b110])
+    [3, 6]
+    """
+    ordered = sorted(set(masks), key=lambda mask: (-popcount(mask), mask))
+    retained: List[int] = []
+    for mask in ordered:
+        if not any(kept & mask == mask for kept in retained):
+            retained.append(mask)
+    return sorted(retained)
+
+
+class SimpleHypergraph:
+    """An antichain of non-empty edges over ``num_vertices`` vertices.
+
+    >>> h = SimpleHypergraph(3, [0b011, 0b100])
+    >>> h.is_transversal(0b101)
+    True
+    >>> h.is_transversal(0b001)
+    False
+    """
+
+    __slots__ = ("_num_vertices", "_edges")
+
+    def __init__(self, num_vertices: int, edges: Sequence[int],
+                 check_simple: bool = True):
+        if num_vertices < 0:
+            raise ReproError("num_vertices must be non-negative")
+        universe = (1 << num_vertices) - 1
+        edges = sorted(set(int(edge) for edge in edges))
+        for edge in edges:
+            if edge == 0:
+                raise ReproError("simple hypergraphs have no empty edge")
+            if edge & ~universe:
+                raise ReproError(
+                    f"edge {bin(edge)} uses vertices outside the universe "
+                    f"of size {num_vertices}"
+                )
+        if check_simple:
+            for i, small in enumerate(edges):
+                for big in edges[i + 1:]:
+                    if small != big and (
+                        small & big == small or small & big == big
+                    ):
+                        raise ReproError(
+                            f"edges {bin(small)} and {bin(big)} are nested; "
+                            "not a simple hypergraph (use from_sets to minimize)"
+                        )
+        self._num_vertices = num_vertices
+        self._edges = edges
+
+    @classmethod
+    def from_sets(cls, num_vertices: int,
+                  masks: Iterable[int]) -> "SimpleHypergraph":
+        """Build the simple hypergraph ``min⊆`` of arbitrary non-empty sets."""
+        masks = [mask for mask in masks if mask]
+        return cls(num_vertices, minimize_sets(masks), check_simple=False)
+
+    @property
+    def num_vertices(self) -> int:
+        return self._num_vertices
+
+    @property
+    def edges(self) -> List[int]:
+        return list(self._edges)
+
+    @property
+    def vertex_support(self) -> int:
+        """Mask of the vertices that appear in at least one edge."""
+        support = 0
+        for edge in self._edges:
+            support |= edge
+        return support
+
+    def is_empty(self) -> bool:
+        """True when the hypergraph has no edges (every set is a transversal)."""
+        return not self._edges
+
+    def is_transversal(self, mask: int) -> bool:
+        """Does *mask* intersect every edge?"""
+        return all(mask & edge for edge in self._edges)
+
+    def is_minimal_transversal(self, mask: int) -> bool:
+        """Is *mask* a transversal none of whose proper subsets is one?"""
+        if not self.is_transversal(mask):
+            return False
+        remaining = mask
+        while remaining:
+            bit = remaining & -remaining
+            if self.is_transversal(mask ^ bit):
+                return False
+            remaining ^= bit
+        return True
+
+    def transversal_hypergraph(self, method: str = "levelwise") -> "SimpleHypergraph":
+        """``Tr(H)`` — the hypergraph of the minimal transversals.
+
+        By Berge's nihilpotence property ``Tr(Tr(H)) = H`` for simple
+        hypergraphs, which section 5.1 of the paper exploits to extend
+        TANE with Armstrong-relation generation.
+        """
+        from repro.hypergraph.transversals import minimal_transversals
+
+        transversals = minimal_transversals(
+            self._edges, self._num_vertices, method=method
+        )
+        transversals = [t for t in transversals if t]
+        return SimpleHypergraph(
+            self._num_vertices, transversals, check_simple=False
+        )
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SimpleHypergraph):
+            return NotImplemented
+        return (
+            self._num_vertices == other._num_vertices
+            and self._edges == other._edges
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._num_vertices, tuple(self._edges)))
+
+    def __repr__(self) -> str:
+        return (
+            f"SimpleHypergraph(vertices={self._num_vertices}, "
+            f"edges={[bin(edge) for edge in self._edges]})"
+        )

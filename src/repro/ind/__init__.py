@@ -1,0 +1,20 @@
+"""Inclusion-dependency discovery ([KMRS92] lineage): unary INDs by
+value-set inclusion, n-ary INDs via levelwise candidate generation, and
+foreign-key suggestions."""
+
+from repro.ind.discovery import (
+    ind_coverage,
+    discover_inds,
+    discover_unary_inds,
+    suggest_foreign_keys,
+)
+from repro.ind.ind import IND, ColumnRef
+
+__all__ = [
+    "IND",
+    "ColumnRef",
+    "discover_unary_inds",
+    "ind_coverage",
+    "discover_inds",
+    "suggest_foreign_keys",
+]

@@ -1,0 +1,112 @@
+"""Inclusion dependencies (INDs).
+
+The paper's framework descends from [KMRS92], *"Discovering functional
+and inclusion dependencies in relational databases"* — FDs describe one
+table, INDs connect tables (foreign keys are exactly the INDs whose rhs
+is a key).  This module completes that picture for the warehouse-audit
+workflow: an :class:`IND` states
+
+    ``R[A1, ..., An] ⊆ S[B1, ..., Bn]``
+
+— every combination of values of ``A1..An`` occurring in ``R`` also
+occurs under ``B1..Bn`` in ``S``.  Attribute *order matters* (the i-th
+lhs column maps to the i-th rhs column); the canonical form used for
+deduplication sorts the column *pairs* by lhs name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["IND", "ColumnRef"]
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A (table, column) reference."""
+
+    table: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+class IND:
+    """An inclusion dependency between two column sequences.
+
+    >>> ind = IND("orders", ("product",), "products", ("product_id",))
+    >>> str(ind)
+    'orders[product] ⊆ products[product_id]'
+    """
+
+    __slots__ = ("lhs_table", "lhs_columns", "rhs_table", "rhs_columns")
+
+    def __init__(self, lhs_table: str, lhs_columns: Iterable[str],
+                 rhs_table: str, rhs_columns: Iterable[str]):
+        lhs_columns = tuple(lhs_columns)
+        rhs_columns = tuple(rhs_columns)
+        if not lhs_columns:
+            raise ReproError("an IND needs at least one column pair")
+        if len(lhs_columns) != len(rhs_columns):
+            raise ReproError(
+                f"arity mismatch: {lhs_columns} vs {rhs_columns}"
+            )
+        if len(set(lhs_columns)) != len(lhs_columns):
+            raise ReproError(f"duplicate lhs columns: {lhs_columns}")
+        if len(set(rhs_columns)) != len(rhs_columns):
+            raise ReproError(f"duplicate rhs columns: {rhs_columns}")
+        # Canonical ordering: sort column pairs by the lhs name.
+        pairs = sorted(zip(lhs_columns, rhs_columns))
+        self.lhs_table = lhs_table
+        self.lhs_columns = tuple(pair[0] for pair in pairs)
+        self.rhs_table = rhs_table
+        self.rhs_columns = tuple(pair[1] for pair in pairs)
+
+    @property
+    def arity(self) -> int:
+        return len(self.lhs_columns)
+
+    def is_trivial(self) -> bool:
+        """Same table, same columns in the same positions."""
+        return (
+            self.lhs_table == self.rhs_table
+            and self.lhs_columns == self.rhs_columns
+        )
+
+    def column_pairs(self) -> List[Tuple[str, str]]:
+        return list(zip(self.lhs_columns, self.rhs_columns))
+
+    def unary_projections(self) -> List["IND"]:
+        """The arity-1 INDs this IND implies (projection rule)."""
+        return [
+            IND(self.lhs_table, (lhs,), self.rhs_table, (rhs,))
+            for lhs, rhs in self.column_pairs()
+        ]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IND):
+            return NotImplemented
+        return (
+            self.lhs_table == other.lhs_table
+            and self.lhs_columns == other.lhs_columns
+            and self.rhs_table == other.rhs_table
+            and self.rhs_columns == other.rhs_columns
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.lhs_table, self.lhs_columns,
+             self.rhs_table, self.rhs_columns)
+        )
+
+    def __repr__(self) -> str:
+        return f"IND({self})"
+
+    def __str__(self) -> str:
+        lhs = ", ".join(self.lhs_columns)
+        rhs = ", ".join(self.rhs_columns)
+        return f"{self.lhs_table}[{lhs}] ⊆ {self.rhs_table}[{rhs}]"

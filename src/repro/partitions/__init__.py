@@ -1,0 +1,19 @@
+"""Partition substrate: partitions, stripped partitions, partition
+products, and stripped partition databases (section 3.1 / [HKPT98])."""
+
+from repro.partitions.database import StrippedPartitionDatabase, maximal_classes
+from repro.partitions.partition import (
+    StrippedPartition,
+    full_partition,
+    partition_product,
+    stripped_partition_of_column,
+)
+
+__all__ = [
+    "StrippedPartition",
+    "StrippedPartitionDatabase",
+    "full_partition",
+    "stripped_partition_of_column",
+    "partition_product",
+    "maximal_classes",
+]

@@ -1,0 +1,151 @@
+"""Stripped partition databases (section 3.1 of the paper).
+
+A *stripped partition database* ``r̂ = ⋃_{A∈R} π̂A`` is the reduced
+representation of a relation that Dep-Miner takes as input: one stripped
+partition per attribute.  Building it is the only step that touches the
+raw data ("database accesses are only performed during the computation of
+agree sets"), which is why the paper can claim feasibility independent of
+data volume.
+
+This module also computes ``MC``, the set of *maximal equivalence
+classes* of ``r̂`` (Lemma 1): only tuple couples inside a common class of
+``MC`` can have a non-empty agree set, so they are the only candidates
+worth enumerating.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+from repro.core.attributes import Schema
+from repro.core.relation import Relation
+from repro.errors import RelationError
+from repro.partitions.partition import (
+    StrippedPartition,
+    stripped_partition_of_column,
+)
+
+__all__ = ["StrippedPartitionDatabase", "maximal_classes"]
+
+
+class StrippedPartitionDatabase:
+    """``r̂`` — one stripped partition per attribute of the schema."""
+
+    __slots__ = ("_schema", "_partitions", "_num_rows")
+
+    def __init__(self, schema: Schema,
+                 partitions: Dict[int, StrippedPartition],
+                 num_rows: int):
+        if set(partitions) != set(range(len(schema))):
+            raise RelationError(
+                "a stripped partition database needs exactly one partition "
+                "per attribute"
+            )
+        for partition in partitions.values():
+            if partition.num_rows != num_rows:
+                raise RelationError(
+                    "all partitions must be over the same number of rows"
+                )
+        self._schema = schema
+        self._partitions = dict(partitions)
+        self._num_rows = num_rows
+
+    @classmethod
+    def from_relation(cls, relation: Relation,
+                      nulls_equal: bool = True) -> "StrippedPartitionDatabase":
+        """Scan *relation* column-wise and strip each attribute partition.
+
+        This is the paper's pre-processing phase; it is the only place
+        the actual tuple values are read.  ``nulls_equal=False`` switches
+        to SQL null semantics (see
+        :func:`~repro.partitions.partition.stripped_partition_of_column`).
+        """
+        partitions = {
+            index: stripped_partition_of_column(
+                relation.column(index), nulls_equal=nulls_equal
+            )
+            for index in range(len(relation.schema))
+        }
+        return cls(relation.schema, partitions, len(relation))
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    def partition(self, attribute) -> StrippedPartition:
+        """``π̂A`` for attribute *attribute* (name or index)."""
+        if isinstance(attribute, str):
+            attribute = self._schema.index_of(attribute)
+        return self._partitions[attribute]
+
+    def __iter__(self) -> Iterator[Tuple[int, StrippedPartition]]:
+        """Yield ``(attribute_index, stripped_partition)`` in schema order."""
+        for index in range(len(self._schema)):
+            yield index, self._partitions[index]
+
+    def __len__(self) -> int:
+        return len(self._partitions)
+
+    def total_classes(self) -> int:
+        """Total number of stripped classes across all attributes."""
+        return sum(p.num_classes for p in self._partitions.values())
+
+    def maximal_classes(self) -> List[Tuple[int, ...]]:
+        """``MC`` — see :func:`maximal_classes`."""
+        return maximal_classes(self)
+
+    def equivalence_class_identifiers(self) -> Dict[int, Dict[int, int]]:
+        """``ec(t)`` for every tuple *t* (Lemma 2's identifier sets).
+
+        Returns a mapping ``row -> {attribute_index: class_index}``; a
+        tuple absent from every stripped class maps to an empty dict.
+        The pair ``(A, i)`` of the paper is the dict item ``A: i``.
+        """
+        identifiers: Dict[int, Dict[int, int]] = {}
+        for attribute, partition in self:
+            for class_index, cls in enumerate(partition):
+                for row in cls:
+                    identifiers.setdefault(row, {})[attribute] = class_index
+        return identifiers
+
+    def __repr__(self) -> str:
+        return (
+            f"StrippedPartitionDatabase(width={len(self._schema)}, "
+            f"rows={self._num_rows}, classes={self.total_classes()})"
+        )
+
+
+def maximal_classes(spdb: StrippedPartitionDatabase) -> List[Tuple[int, ...]]:
+    """``MC = Max⊆ {c ∈ π̂A : π̂A ∈ r̂}`` — maximal equivalence classes.
+
+    Duplicated classes (the same tuple group appearing under several
+    attributes) are kept once; classes contained in a strictly larger
+    class of another attribute are dropped.
+
+    The subset test is accelerated by indexing, for every row, the
+    already-retained classes that contain it: a candidate (scanned in
+    decreasing size order) is dominated iff one retained class containing
+    its first member contains all of its members.
+    """
+    unique: Dict[FrozenSet[int], Tuple[int, ...]] = {}
+    for _attribute, partition in spdb:
+        for cls in partition:
+            unique.setdefault(frozenset(cls), cls)
+    candidates = sorted(unique.items(), key=lambda item: -len(item[0]))
+    retained: List[Tuple[int, ...]] = []
+    containing: Dict[int, List[FrozenSet[int]]] = {}
+    for as_set, as_tuple in candidates:
+        dominated = any(
+            as_set <= kept for kept in containing.get(as_tuple[0], ())
+        )
+        if dominated:
+            continue
+        retained.append(as_tuple)
+        for row in as_tuple:
+            containing.setdefault(row, []).append(as_set)
+    retained.sort()
+    return retained

@@ -1,0 +1,224 @@
+"""Partitions and stripped partitions (section 3.1 of the paper).
+
+Two tuples are *equivalent* w.r.t. an attribute set ``X`` when they share
+the values of every attribute of ``X``.  The set of equivalence classes is
+the partition ``πX``; dropping singleton classes (tuples that share their
+value with nobody) yields the *stripped partition* ``π̂X``.
+
+Stripped partitions are the common substrate of Dep-Miner (agree sets are
+mined from them) and TANE (FD validity is read off partition refinement).
+Both the partition *product* (needed by TANE's lattice walk) and the
+classical error measures are implemented here.
+
+Equivalence classes are stored as sorted tuples of 0-based row indices;
+the class list itself is kept sorted by first member so partitions have a
+canonical form, which makes equality and tests deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import RelationError
+
+__all__ = [
+    "StrippedPartition",
+    "full_partition",
+    "stripped_partition_of_column",
+    "partition_product",
+]
+
+Class = Tuple[int, ...]
+
+
+def full_partition(values: Sequence[Any]) -> List[Class]:
+    """``πA`` — group row indices by value, singletons included.
+
+    >>> full_partition(["x", "y", "x"])
+    [(0, 2), (1,)]
+    """
+    groups: Dict[Any, List[int]] = {}
+    for row, value in enumerate(values):
+        groups.setdefault(value, []).append(row)
+    return sorted((tuple(members) for members in groups.values()),
+                  key=lambda cls: cls[0])
+
+
+def stripped_partition_of_column(values: Sequence[Any],
+                                 nulls_equal: bool = True) -> "StrippedPartition":
+    """``π̂A`` — the stripped partition of a single column.
+
+    With ``nulls_equal=False`` (SQL's ``NULL <> NULL``), rows holding
+    ``None`` never join an equivalence class: each is its own singleton
+    and is stripped away, so no FD can be *violated* through a null and
+    none can be *witnessed* by one either.
+    """
+    classes = [
+        cls
+        for cls in full_partition(values)
+        if len(cls) > 1 and (nulls_equal or values[cls[0]] is not None)
+    ]
+    return StrippedPartition(classes, len(values))
+
+
+class StrippedPartition:
+    """A stripped partition ``π̂X`` over a relation of ``num_rows`` tuples.
+
+    Exposes the counts used by FD miners:
+
+    - ``num_classes`` — ``|π̂X|``, the number of non-singleton classes;
+    - ``num_rows_in_classes`` — ``||π̂X||``, the tuples they contain;
+    - ``num_full_classes`` — ``|πX|`` of the unstripped partition;
+    - ``error`` — TANE's ``e(X) = (||π̂X|| − |π̂X|) / num_rows``, the
+      minimum fraction of tuples to delete so ``X`` becomes a superkey.
+    """
+
+    __slots__ = ("_classes", "_num_rows", "_num_rows_in_classes")
+
+    def __init__(self, classes: Iterable[Sequence[int]], num_rows: int):
+        if num_rows < 0:
+            raise RelationError("num_rows must be non-negative")
+        normalized: List[Class] = []
+        covered = 0
+        for cls in classes:
+            members = tuple(sorted(cls))
+            if len(members) < 2:
+                raise RelationError(
+                    "stripped partitions contain no singleton classes; "
+                    f"got class {members}"
+                )
+            if members[0] < 0 or members[-1] >= num_rows:
+                raise RelationError(
+                    f"class {members} has row indices outside 0..{num_rows - 1}"
+                )
+            normalized.append(members)
+            covered += len(members)
+        normalized.sort(key=lambda cls: cls[0])
+        self._classes = normalized
+        self._num_rows = num_rows
+        self._num_rows_in_classes = covered
+
+    # -- counts ------------------------------------------------------------
+
+    @property
+    def classes(self) -> List[Class]:
+        """The equivalence classes of size > 1, each a sorted tuple."""
+        return list(self._classes)
+
+    @property
+    def num_rows(self) -> int:
+        """Size of the underlying relation."""
+        return self._num_rows
+
+    @property
+    def num_classes(self) -> int:
+        """``|π̂X|``."""
+        return len(self._classes)
+
+    @property
+    def num_rows_in_classes(self) -> int:
+        """``||π̂X||``."""
+        return self._num_rows_in_classes
+
+    @property
+    def num_full_classes(self) -> int:
+        """``|πX|`` of the unstripped partition (singletons counted back)."""
+        singletons = self._num_rows - self._num_rows_in_classes
+        return len(self._classes) + singletons
+
+    @property
+    def error(self) -> float:
+        """``e(X)`` — fraction of tuples to remove for ``X`` to be a key."""
+        if self._num_rows == 0:
+            return 0.0
+        return (self._num_rows_in_classes - len(self._classes)) / self._num_rows
+
+    def rank(self) -> int:
+        """``||π̂X|| − |π̂X|`` — the integer numerator of :attr:`error`.
+
+        Two attribute sets ``X ⊆ Y`` satisfy ``X → Y \\ X`` exactly when
+        their ranks are equal, which is how TANE tests FD validity.
+        """
+        return self._num_rows_in_classes - len(self._classes)
+
+    def is_superkey(self) -> bool:
+        """True when the stripped partition is empty (all classes singleton)."""
+        return not self._classes
+
+    # -- operations ----------------------------------------------------------
+
+    def refines(self, other: "StrippedPartition") -> bool:
+        """Is every class of ``self`` contained in a class of *other*?
+
+        ``πX`` refines ``πY`` iff ``X → Y``'s agree structure holds, i.e.
+        tuples equivalent under ``X`` stay equivalent under ``Y``.
+        """
+        if self._num_rows != other._num_rows:
+            raise RelationError("partitions are over different relations")
+        owner: Dict[int, int] = {}
+        for class_index, cls in enumerate(other._classes):
+            for row in cls:
+                owner[row] = class_index
+        for cls in self._classes:
+            first = owner.get(cls[0], -1)
+            if first < 0:
+                return False
+            if any(owner.get(row, -2) != first for row in cls[1:]):
+                return False
+        return True
+
+    def product(self, other: "StrippedPartition") -> "StrippedPartition":
+        """``πX · πY = πX∪Y`` — see :func:`partition_product`."""
+        return partition_product(self, other)
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Class]:
+        return iter(self._classes)
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StrippedPartition):
+            return NotImplemented
+        return (
+            self._num_rows == other._num_rows
+            and self._classes == other._classes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._num_rows, tuple(self._classes)))
+
+    def __repr__(self) -> str:
+        inner = ", ".join("{" + ",".join(map(str, cls)) + "}"
+                          for cls in self._classes)
+        return f"StrippedPartition([{inner}], rows={self._num_rows})"
+
+
+def partition_product(left: StrippedPartition,
+                      right: StrippedPartition) -> StrippedPartition:
+    """Compute ``π̂X∪Y`` from ``π̂X`` and ``π̂Y`` in linear time.
+
+    This is the probe-table algorithm of TANE [HKPT98]: tag every row with
+    its class in *left*, then split *right*'s classes by those tags.  Rows
+    in no *left* class are singletons under the product and are dropped.
+    """
+    if left.num_rows != right.num_rows:
+        raise RelationError("cannot multiply partitions over different relations")
+    tag: Dict[int, int] = {}
+    for class_index, cls in enumerate(left):
+        for row in cls:
+            tag[row] = class_index
+    product_classes: List[List[int]] = []
+    buckets: Dict[Tuple[int, int], List[int]] = {}
+    for right_index, cls in enumerate(right):
+        for row in cls:
+            left_index = tag.get(row)
+            if left_index is None:
+                continue
+            buckets.setdefault((left_index, right_index), []).append(row)
+    for members in buckets.values():
+        if len(members) > 1:
+            product_classes.append(members)
+    return StrippedPartition(product_classes, left.num_rows)

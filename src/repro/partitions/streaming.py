@@ -1,0 +1,106 @@
+"""Streaming construction of stripped partition databases.
+
+The paper stresses that Dep-Miner's "feasibility does not depend on the
+volume of handled data": the only full scan of the relation is the one
+that builds the stripped partitions, and everything downstream works on
+tuple-id lists.  This module makes that literal for CSV sources: the
+file is read row by row, per-column ``value → row ids`` maps are
+accumulated, singleton groups are dropped, and the values themselves
+are discarded — the relation is never materialised.
+
+Values are compared as *verbatim text* (after null-token mapping),
+which is the exact-match semantics large-scale profilers use; load
+through :mod:`repro.storage.csv_io` instead when typed comparison
+("1" = "01" as integers) is wanted.
+
+``DepMiner.run_on_partitions(spdb)`` accepts the result directly; the
+convenience wrapper :func:`mine_csv` wires the two together (the
+real-world Armstrong step degrades to the classical construction, since
+the original values are gone by design).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.attributes import Schema
+from repro.errors import StorageError
+from repro.partitions.database import StrippedPartitionDatabase
+from repro.partitions.partition import StrippedPartition
+from repro.storage.csv_io import DEFAULT_NULL_TOKENS
+
+__all__ = ["stream_partition_database", "mine_csv"]
+
+
+def stream_partition_database(
+    path: Union[str, Path],
+    delimiter: str = ",",
+    has_header: bool = True,
+    null_tokens: Sequence[str] = DEFAULT_NULL_TOKENS,
+    nulls_equal: bool = True,
+) -> StrippedPartitionDatabase:
+    """One streaming pass: CSV file → stripped partition database."""
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"CSV file not found: {path}")
+    null_set = set(null_tokens)
+    groups: Optional[List[Dict[Optional[str], List[int]]]] = None
+    header: Optional[List[str]] = None
+    row_count = 0
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        for line_number, row in enumerate(reader, start=1):
+            if not row:
+                continue  # blank line
+            if header is None:
+                if has_header:
+                    header = list(row)
+                    groups = [{} for _ in header]
+                    continue
+                header = [f"col{i + 1}" for i in range(len(row))]
+                groups = [{} for _ in header]
+            if len(row) != len(header):
+                raise StorageError(
+                    f"{path}:{line_number}: expected {len(header)} "
+                    f"fields, got {len(row)}"
+                )
+            for bucket, token in zip(groups, row):
+                value = None if token in null_set else token
+                bucket.setdefault(value, []).append(row_count)
+            row_count += 1
+    if header is None:
+        raise StorageError(f"CSV file {path} is empty")
+    schema = Schema(header)
+    partitions = {}
+    for index, bucket in enumerate(groups):
+        classes = [
+            rows
+            for value, rows in bucket.items()
+            if len(rows) > 1 and (nulls_equal or value is not None)
+        ]
+        partitions[index] = StrippedPartition(classes, row_count)
+    return StrippedPartitionDatabase(schema, partitions, row_count)
+
+
+def mine_csv(path: Union[str, Path], **options):
+    """Stream a CSV into partitions and run Dep-Miner on them.
+
+    Keyword options are split between :func:`stream_partition_database`
+    (``delimiter``, ``has_header``, ``null_tokens``, ``nulls_equal``)
+    and :class:`~repro.core.depminer.DepMiner` (the rest).  Returns the
+    usual :class:`~repro.core.depminer.DepMinerResult`; the Armstrong
+    step yields the classical construction only (no values are kept).
+    """
+    from repro.core.depminer import DepMiner
+
+    stream_keys = ("delimiter", "has_header", "null_tokens", "nulls_equal")
+    stream_options = {
+        key: options.pop(key) for key in stream_keys if key in options
+    }
+    nulls_equal = stream_options.get("nulls_equal", True)
+    spdb = stream_partition_database(path, **stream_options)
+    options.setdefault("build_armstrong", "classical")
+    options.setdefault("nulls_equal", nulls_equal)
+    return DepMiner(**options).run_on_partitions(spdb)

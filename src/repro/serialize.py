@@ -1,0 +1,113 @@
+"""JSON (de)serialization of schemas, FDs and mining results.
+
+Lets profiling runs be persisted and diffed: a nightly job can mine a
+table, store the JSON document, and a later run can load it and compare
+covers (``repro.fd.equivalent_covers``) to detect dependency drift.
+
+The document format is versioned and intentionally plain: attribute
+*names*, not bitmasks, so files remain meaningful if the schema gains
+columns (masks would silently shift).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.core.attributes import AttributeSet, Schema
+from repro.core.depminer import DepMinerResult
+from repro.errors import ReproError
+from repro.fd.fd import FD
+
+__all__ = [
+    "schema_to_dict",
+    "schema_from_dict",
+    "fd_to_dict",
+    "fd_from_dict",
+    "fds_to_json",
+    "fds_from_json",
+    "result_to_dict",
+    "result_to_json",
+]
+
+FORMAT_VERSION = 1
+
+
+def schema_to_dict(schema: Schema) -> Dict[str, Any]:
+    return {"attributes": list(schema.names)}
+
+
+def schema_from_dict(data: Dict[str, Any]) -> Schema:
+    try:
+        return Schema(data["attributes"])
+    except (KeyError, TypeError) as exc:
+        raise ReproError(f"malformed schema document: {exc}") from None
+
+
+def fd_to_dict(fd: FD) -> Dict[str, Any]:
+    return {"lhs": list(fd.lhs.names), "rhs": fd.rhs}
+
+
+def fd_from_dict(data: Dict[str, Any], schema: Schema) -> FD:
+    try:
+        lhs = schema.attribute_set(data["lhs"])
+        return FD(lhs, data["rhs"])
+    except (KeyError, TypeError) as exc:
+        raise ReproError(f"malformed FD document: {exc}") from None
+
+
+def fds_to_json(fds: Sequence[FD], indent: int = 2) -> str:
+    """Serialize an FD list (with its schema) to a JSON document."""
+    if not fds:
+        raise ReproError(
+            "cannot infer a schema from an empty FD list; use "
+            "result_to_json for full results"
+        )
+    schema = fds[0].schema
+    document = {
+        "version": FORMAT_VERSION,
+        "schema": schema_to_dict(schema),
+        "fds": [fd_to_dict(fd) for fd in fds],
+    }
+    return json.dumps(document, indent=indent)
+
+
+def fds_from_json(text: str) -> List[FD]:
+    """Load an FD list written by :func:`fds_to_json`."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"invalid JSON: {exc}") from None
+    if document.get("version") != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported document version {document.get('version')!r}"
+        )
+    schema = schema_from_dict(document.get("schema", {}))
+    return [fd_from_dict(item, schema) for item in document.get("fds", [])]
+
+
+def _masks_to_names(schema: Schema, masks: Sequence[int]) -> List[List[str]]:
+    return [list(AttributeSet(schema, mask).names) for mask in masks]
+
+
+def result_to_dict(result: DepMinerResult) -> Dict[str, Any]:
+    """Full mining result as a JSON-ready dict (FDs, max sets, sizes)."""
+    schema = result.schema
+    return {
+        "version": FORMAT_VERSION,
+        "schema": schema_to_dict(schema),
+        "num_rows": result.num_rows,
+        "fds": [fd_to_dict(fd) for fd in result.fds],
+        "agree_sets": _masks_to_names(schema, sorted(result.agree_sets)),
+        "max_sets": {
+            schema.name_of(attribute): _masks_to_names(schema, masks)
+            for attribute, masks in result.max_sets.items()
+        },
+        "max_union": _masks_to_names(schema, result.max_union),
+        "armstrong_size": result.armstrong_size,
+        "phase_seconds": dict(result.phase_seconds),
+    }
+
+
+def result_to_json(result: DepMinerResult, indent: int = 2) -> str:
+    return json.dumps(result_to_dict(result), indent=indent)

@@ -1,0 +1,101 @@
+"""CSV reading/writing with type inference.
+
+The paper's test datasets live in DBMS tables; ours live in CSV files.
+:func:`read_csv` performs light type inference (int → float → str, per
+column, with configurable null tokens) so FD semantics do not depend on
+textual quirks like ``"01"`` vs ``"1"`` being the same integer — callers
+who want raw text columns can pass ``infer_types=False``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Iterable, List, Optional, Sequence, Union
+
+from repro.core.relation import Relation
+from repro.errors import StorageError
+from repro.storage.table import Table
+
+__all__ = ["read_csv", "write_csv", "relation_from_csv", "relation_to_csv"]
+
+DEFAULT_NULL_TOKENS = ("", "NULL", "null", "NA", "N/A")
+
+
+def _parse_column(tokens: Sequence[Optional[str]]) -> List[Any]:
+    """Best-effort typed parse of one column: all-int, else all-float,
+    else the original strings.  Nulls (None) are preserved untouched."""
+    non_null = [token for token in tokens if token is not None]
+    for caster in (int, float):
+        try:
+            parsed = {token: caster(token) for token in set(non_null)}
+        except (TypeError, ValueError):
+            continue
+        return [
+            parsed[token] if token is not None else None for token in tokens
+        ]
+    return list(tokens)
+
+
+def read_csv(path: Union[str, Path], name: Optional[str] = None,
+             delimiter: str = ",", has_header: bool = True,
+             infer_types: bool = True,
+             null_tokens: Sequence[str] = DEFAULT_NULL_TOKENS) -> Table:
+    """Load a CSV file into a :class:`~repro.storage.table.Table`.
+
+    Without a header row, columns are named ``col1..colN``.  Ragged rows
+    raise :class:`StorageError` with the offending line number.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"CSV file not found: {path}")
+    null_set = set(null_tokens)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = list(reader)
+    rows = [row for row in rows if row]  # skip completely blank lines
+    if not rows:
+        raise StorageError(f"CSV file {path} is empty")
+    if has_header:
+        header, data = rows[0], rows[1:]
+    else:
+        header = [f"col{i + 1}" for i in range(len(rows[0]))]
+        data = rows
+    width = len(header)
+    columns: List[List[Optional[str]]] = [[] for _ in range(width)]
+    for line_number, row in enumerate(data, start=2 if has_header else 1):
+        if len(row) != width:
+            raise StorageError(
+                f"{path}:{line_number}: expected {width} fields, "
+                f"got {len(row)}"
+            )
+        for bucket, token in zip(columns, row):
+            bucket.append(None if token in null_set else token)
+    if infer_types:
+        columns = [_parse_column(bucket) for bucket in columns]
+    table_name = name if name is not None else path.stem
+    return Table.from_rows(table_name, header, zip(*columns))
+
+
+def write_csv(table: Table, path: Union[str, Path],
+              delimiter: str = ",") -> None:
+    """Write a table to CSV (header + rows; ``None`` becomes empty)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(table.column_names)
+        for row in table.rows():
+            writer.writerow(
+                ["" if value is None else value for value in row]
+            )
+
+
+def relation_from_csv(path: Union[str, Path], **options) -> Relation:
+    """One-call CSV → :class:`~repro.core.relation.Relation`."""
+    return read_csv(path, **options).to_relation()
+
+
+def relation_to_csv(relation: Relation, path: Union[str, Path],
+                    name: str = "relation") -> None:
+    """One-call :class:`~repro.core.relation.Relation` → CSV."""
+    write_csv(Table.from_relation(name, relation), path)

@@ -1,0 +1,131 @@
+"""An in-memory database catalog.
+
+Stands in for the DBMS connection of the original system (Oracle /
+MS Access over ODBC): a named collection of tables with create / drop /
+lookup, bulk CSV loading for a directory of datasets, and a profiling
+entry point that runs Dep-Miner over any catalogued table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.errors import StorageError
+from repro.storage.csv_io import read_csv
+from repro.storage.table import Table
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A catalog of named tables."""
+
+    def __init__(self, name: str = "default"):
+        if not name:
+            raise StorageError("database names must be non-empty")
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+
+    # -- catalog operations ---------------------------------------------------
+
+    def create_table(self, table: Table, replace: bool = False) -> Table:
+        """Register *table*; refuses to overwrite unless *replace*."""
+        if table.name in self._tables and not replace:
+            raise StorageError(
+                f"table {table.name!r} already exists in database "
+                f"{self.name!r} (pass replace=True to overwrite)"
+            )
+        self._tables[table.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise StorageError(
+                f"cannot drop unknown table {name!r} from {self.name!r}"
+            )
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise StorageError(
+                f"unknown table {name!r}; database {self.name!r} has "
+                f"{sorted(self._tables)}"
+            ) from None
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    # -- bulk loading ------------------------------------------------------------
+
+    def load_csv(self, path: Union[str, Path], name: Optional[str] = None,
+                 replace: bool = False, **csv_options) -> Table:
+        """Load one CSV file as a table (named after the file by default)."""
+        table = read_csv(path, name=name, **csv_options)
+        return self.create_table(table, replace=replace)
+
+    def load_directory(self, directory: Union[str, Path],
+                       pattern: str = "*.csv",
+                       replace: bool = False) -> List[Table]:
+        """Load every CSV in *directory* matching *pattern*."""
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise StorageError(f"not a directory: {directory}")
+        loaded = []
+        for path in sorted(directory.glob(pattern)):
+            loaded.append(self.load_csv(path, replace=replace))
+        return loaded
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save(self, directory: Union[str, Path]) -> List[Path]:
+        """Write every table as ``<name>.csv`` into *directory*.
+
+        The catalog round-trips through :meth:`load` (CSV carries the
+        schema in the header; types are re-inferred on load).
+        """
+        from repro.storage.csv_io import write_csv
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = []
+        for name in self.table_names():
+            path = directory / f"{name}.csv"
+            write_csv(self._tables[name], path)
+            written.append(path)
+        return written
+
+    @classmethod
+    def load(cls, directory: Union[str, Path],
+             name: Optional[str] = None) -> "Database":
+        """Build a catalog from a directory previously written by
+        :meth:`save` (or any directory of CSV files)."""
+        directory = Path(directory)
+        db = cls(name or directory.name or "default")
+        db.load_directory(directory)
+        return db
+
+    # -- profiling ------------------------------------------------------------------
+
+    def discover_fds(self, table_name: str, **depminer_options):
+        """Run Dep-Miner on a catalogued table.
+
+        Returns the full :class:`~repro.core.depminer.DepMinerResult`;
+        this mirrors the paper's workflow where the miner is pointed at a
+        live DBMS table.
+        """
+        from repro.core.depminer import DepMiner
+
+        relation = self.table(table_name).to_relation()
+        return DepMiner(**depminer_options).run(relation)
+
+    def __repr__(self) -> str:
+        return f"Database({self.name!r}, tables={self.table_names()})"

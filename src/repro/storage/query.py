@@ -1,0 +1,146 @@
+"""A minimal query interface over catalogued tables.
+
+The original system issues simple scans through ODBC ("select the
+column, stream the values").  This module gives the same capability a
+composable shape: projection, selection, distinct, limit, and order-by
+over a :class:`~repro.storage.table.Table`, evaluated lazily and
+materialised with :meth:`Query.to_table` / :meth:`Query.to_relation`.
+
+It is deliberately not SQL — just the relational operators the
+profiling workflows need (e.g. sampling a table before mining, or
+projecting the columns a DBA cares about).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.storage.table import Table
+
+__all__ = ["Query"]
+
+Row = Tuple[Any, ...]
+Predicate = Callable[[dict], bool]
+
+
+class Query:
+    """A lazy pipeline of relational operators over a table.
+
+    >>> table = Table.from_rows("emp", ["year", "mgr"],
+    ...                         [(85, 5), (94, 12), (75, 5)])
+    >>> Query(table).where(lambda row: row["year"] > 90).select("mgr").rows()
+    [(12,)]
+    """
+
+    def __init__(self, table: Table):
+        self._table = table
+        self._column_names: Tuple[str, ...] = table.column_names
+        self._steps: List[Callable[[Iterator[dict]], Iterator[dict]]] = []
+
+    # -- operator builders (each returns self for chaining) ------------------
+
+    def select(self, *names: str) -> "Query":
+        """Keep only the given columns (projection without dedup)."""
+        unknown = [n for n in names if n not in self._table.column_names]
+        if unknown:
+            raise QueryError(
+                f"unknown column(s) {unknown}; table has "
+                f"{list(self._table.column_names)}"
+            )
+        if not names:
+            raise QueryError("select() needs at least one column")
+        selected = tuple(names)
+
+        def step(rows: Iterator[dict]) -> Iterator[dict]:
+            for row in rows:
+                yield {name: row[name] for name in selected}
+
+        self._steps.append(step)
+        self._column_names = selected
+        return self
+
+    def where(self, predicate: Predicate) -> "Query":
+        """Keep rows for which *predicate(row_dict)* is true."""
+
+        def step(rows: Iterator[dict]) -> Iterator[dict]:
+            return (row for row in rows if predicate(row))
+
+        self._steps.append(step)
+        return self
+
+    def distinct(self) -> "Query":
+        """Remove duplicate rows (on the currently selected columns)."""
+
+        def step(rows: Iterator[dict]) -> Iterator[dict]:
+            seen = set()
+            for row in rows:
+                key = tuple(row.values())
+                if key not in seen:
+                    seen.add(key)
+                    yield row
+
+        self._steps.append(step)
+        return self
+
+    def order_by(self, *names: str, descending: bool = False) -> "Query":
+        """Sort by the given columns (materialises the stream)."""
+        if not names:
+            raise QueryError("order_by() needs at least one column")
+
+        def step(rows: Iterator[dict]) -> Iterator[dict]:
+            try:
+                ordered = sorted(
+                    rows,
+                    key=lambda row: tuple(row[name] for name in names),
+                    reverse=descending,
+                )
+            except KeyError as exc:
+                raise QueryError(f"order_by: unknown column {exc}") from None
+            return iter(ordered)
+
+        self._steps.append(step)
+        return self
+
+    def limit(self, count: int) -> "Query":
+        """Keep the first *count* rows."""
+        if count < 0:
+            raise QueryError("limit() must be non-negative")
+
+        def step(rows: Iterator[dict]) -> Iterator[dict]:
+            for index, row in enumerate(rows):
+                if index >= count:
+                    return
+                yield row
+
+        self._steps.append(step)
+        return self
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def _rows(self) -> Iterator[dict]:
+        names = self._table.column_names
+
+        def source() -> Iterator[dict]:
+            for row in self._table.rows():
+                yield dict(zip(names, row))
+
+        rows: Iterator[dict] = source()
+        for step in self._steps:
+            rows = step(rows)
+        return rows
+
+    def rows(self) -> List[Row]:
+        """Evaluate and return plain row tuples."""
+        return [tuple(row.values()) for row in self._rows()]
+
+    def count(self) -> int:
+        return sum(1 for _ in self._rows())
+
+    def to_table(self, name: str) -> Table:
+        """Materialise the result as a new table."""
+        return Table.from_rows(name, self._column_names, self.rows())
+
+    def to_relation(self):
+        """Materialise directly as a mining-ready relation."""
+        return self.to_table("query_result").to_relation()

@@ -1,0 +1,242 @@
+"""A minimal SQL SELECT dialect over the database catalog.
+
+The original system talks to Oracle / MS Access through ODBC; the only
+statements it ever needs are single-table scans and projections.  This
+module implements exactly that surface so workflows (and tests) can be
+written the way a DBA would write them:
+
+    SELECT a, b FROM t
+    SELECT DISTINCT city FROM hospital WHERE age >= 18 ORDER BY city
+    SELECT * FROM orders WHERE discount_code IS NOT NULL LIMIT 10
+
+Grammar (case-insensitive keywords)::
+
+    select   := SELECT [DISTINCT] columns FROM name
+                [WHERE condition {AND condition}]
+                [ORDER BY name [DESC] {, name [DESC]}]
+                [LIMIT number]
+    columns  := '*' | name {, name}
+    condition:= name op literal | name IS [NOT] NULL
+    op       := = | != | <> | < | <= | > | >=
+    literal  := number | 'string'
+
+No joins, no aggregates, no subqueries — those belong to a real DBMS;
+profiling needs scans.  Malformed statements raise
+:class:`~repro.errors.QueryError` with the offending token.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import QueryError
+from repro.storage.database import Database
+from repro.storage.query import Query
+from repro.storage.table import Table
+
+__all__ = ["execute_sql", "parse_select", "SelectStatement"]
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    \s*(
+        '(?:[^']|'')*'          # string literal ('' escapes a quote)
+      | [A-Za-z_][A-Za-z_0-9]*  # identifier / keyword
+      | -?\d+\.\d+              # float
+      | -?\d+                   # int
+      | <> | != | <= | >= | [=<>*,()]
+    )
+    """,
+    re.VERBOSE,
+)
+
+_OPERATORS: dict = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a is not None and b is not None and a < b,
+    "<=": lambda a, b: a is not None and b is not None and a <= b,
+    ">": lambda a, b: a is not None and b is not None and a > b,
+    ">=": lambda a, b: a is not None and b is not None and a >= b,
+}
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.tokens: List[str] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_PATTERN.match(text, position)
+            if match is None:
+                remainder = text[position:].strip()
+                if not remainder:
+                    break
+                raise QueryError(f"cannot tokenize near: {remainder[:20]!r}")
+            self.tokens.append(match.group(1))
+            position = match.end()
+        self.index = 0
+
+    def peek(self) -> Optional[str]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of statement")
+        self.index += 1
+        return token
+
+    def accept_keyword(self, keyword: str) -> bool:
+        token = self.peek()
+        if token is not None and token.upper() == keyword:
+            self.index += 1
+            return True
+        return False
+
+    def expect_keyword(self, keyword: str) -> None:
+        if not self.accept_keyword(keyword):
+            raise QueryError(
+                f"expected {keyword}, found {self.peek()!r}"
+            )
+
+    def expect_identifier(self) -> str:
+        token = self.next()
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", token):
+            raise QueryError(f"expected an identifier, found {token!r}")
+        return token
+
+    def done(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+class SelectStatement:
+    """A parsed SELECT, executable against a table or a catalog."""
+
+    def __init__(self, columns: Optional[List[str]], table: str,
+                 distinct: bool,
+                 conditions: List[Callable[[dict], bool]],
+                 order_by: List[Tuple[str, bool]],
+                 limit: Optional[int]):
+        self.columns = columns  # None means '*'
+        self.table = table
+        self.distinct = distinct
+        self.conditions = conditions
+        self.order_by = order_by
+        self.limit = limit
+
+    def run(self, source) -> Table:
+        """Execute against a :class:`Database` or a single :class:`Table`."""
+        if isinstance(source, Database):
+            table = source.table(self.table)
+        else:
+            table = source
+            if table.name != self.table:
+                raise QueryError(
+                    f"statement selects from {self.table!r} but was run "
+                    f"against table {table.name!r}"
+                )
+        query = Query(table)
+        for condition in self.conditions:
+            query = query.where(condition)
+        # Sort while all source columns are still visible (SQL permits
+        # ORDER BY over non-selected columns); apply keys last-first so
+        # stacked stable sorts make the first key primary.
+        for name, descending in reversed(self.order_by):
+            query = query.order_by(name, descending=descending)
+        if self.columns is not None:
+            query = query.select(*self.columns)
+        if self.distinct:
+            # Runs after the sort: keeps the first row per key in sort
+            # order, which is the deterministic reading of
+            # DISTINCT + ORDER BY in this mini-dialect.
+            query = query.distinct()
+        if self.limit is not None:
+            query = query.limit(self.limit)
+        return query.to_table(f"{self.table}_result")
+
+
+def _parse_literal(token: str) -> Any:
+    if token.startswith("'"):
+        return token[1:-1].replace("''", "'")
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        raise QueryError(f"expected a literal, found {token!r}") from None
+
+
+def _parse_condition(tokens: _Tokens) -> Callable[[dict], bool]:
+    column = tokens.expect_identifier()
+    if tokens.accept_keyword("IS"):
+        negated = tokens.accept_keyword("NOT")
+        tokens.expect_keyword("NULL")
+        if negated:
+            return lambda row: row.get(column) is not None
+        return lambda row: row.get(column) is None
+    operator = tokens.next()
+    if operator not in _OPERATORS:
+        raise QueryError(f"unknown operator {operator!r}")
+    literal = _parse_literal(tokens.next())
+    compare = _OPERATORS[operator]
+    return lambda row: compare(row.get(column), literal)
+
+
+def parse_select(text: str) -> SelectStatement:
+    """Parse a SELECT statement of the mini-dialect."""
+    tokens = _Tokens(text.strip().rstrip(";"))
+    tokens.expect_keyword("SELECT")
+    distinct = tokens.accept_keyword("DISTINCT")
+    columns: Optional[List[str]]
+    if tokens.peek() == "*":
+        tokens.next()
+        columns = None
+    else:
+        columns = [tokens.expect_identifier()]
+        while tokens.peek() == ",":
+            tokens.next()
+            columns.append(tokens.expect_identifier())
+    tokens.expect_keyword("FROM")
+    table = tokens.expect_identifier()
+    conditions: List[Callable[[dict], bool]] = []
+    if tokens.accept_keyword("WHERE"):
+        conditions.append(_parse_condition(tokens))
+        while tokens.accept_keyword("AND"):
+            conditions.append(_parse_condition(tokens))
+    order_by: List[Tuple[str, bool]] = []
+    if tokens.accept_keyword("ORDER"):
+        tokens.expect_keyword("BY")
+        while True:
+            name = tokens.expect_identifier()
+            descending = tokens.accept_keyword("DESC")
+            if not descending:
+                tokens.accept_keyword("ASC")
+            order_by.append((name, descending))
+            if tokens.peek() == ",":
+                tokens.next()
+                continue
+            break
+    limit: Optional[int] = None
+    if tokens.accept_keyword("LIMIT"):
+        token = tokens.next()
+        try:
+            limit = int(token)
+        except ValueError:
+            raise QueryError(f"LIMIT expects an integer, got {token!r}")
+        if limit < 0:
+            raise QueryError("LIMIT must be non-negative")
+    if not tokens.done():
+        raise QueryError(f"unexpected trailing tokens: {tokens.peek()!r}")
+    return SelectStatement(
+        columns=columns, table=table, distinct=distinct,
+        conditions=conditions, order_by=order_by, limit=limit,
+    )
+
+
+def execute_sql(source, statement: str) -> Table:
+    """Parse and run *statement* against a database or table."""
+    return parse_select(statement).run(source)

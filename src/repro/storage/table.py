@@ -1,0 +1,235 @@
+"""Column-oriented tables — the storage substrate.
+
+The original system reads relations out of Oracle / MS Access through
+ODBC; mining itself never touches the DBMS again after the stripped
+partitions are built.  This module provides the equivalent local
+substrate: a typed, column-oriented :class:`Table` that the profiling
+algorithms consume via :meth:`Table.to_relation`.
+
+Types are deliberately minimal — ``int``, ``float``, ``str``, ``bool``
+plus nullability — enough to round-trip the CSV datasets and the
+synthetic benchmark relations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.attributes import Schema
+from repro.core.relation import Relation
+from repro.errors import StorageError
+
+__all__ = ["Column", "Table", "infer_type", "coerce_value", "TYPE_NAMES"]
+
+TYPE_NAMES = ("int", "float", "str", "bool")
+
+_CASTS = {
+    "int": int,
+    "float": float,
+    "str": str,
+    "bool": bool,
+}
+
+_BOOL_TOKENS = {
+    "true": True, "false": False, "t": True, "f": False,
+    "yes": True, "no": False, "1": True, "0": False,
+}
+
+
+def infer_type(values: Iterable[Any]) -> str:
+    """Infer the narrowest type name covering all non-null *values*.
+
+    Order of preference: ``bool`` < ``int`` < ``float`` < ``str``.
+    An all-null column is typed ``str``.
+    """
+    best = 0  # index into the preference ladder
+    ladder = ("bool", "int", "float", "str")
+    saw_value = False
+    for value in values:
+        if value is None:
+            continue
+        saw_value = True
+        if isinstance(value, bool):
+            rank = 0
+        elif isinstance(value, int):
+            rank = 1
+        elif isinstance(value, float):
+            rank = 2
+        else:
+            rank = 3
+        best = max(best, rank)
+    return ladder[best] if saw_value else "str"
+
+
+def coerce_value(token: Optional[str], type_name: str) -> Any:
+    """Parse a textual *token* as *type_name* (``None`` stays ``None``)."""
+    if token is None:
+        return None
+    if type_name not in _CASTS:
+        raise StorageError(
+            f"unknown type {type_name!r}; expected one of {TYPE_NAMES}"
+        )
+    if type_name == "bool":
+        lowered = str(token).strip().lower()
+        if lowered not in _BOOL_TOKENS:
+            raise StorageError(f"cannot parse {token!r} as bool")
+        return _BOOL_TOKENS[lowered]
+    try:
+        return _CASTS[type_name](token)
+    except (TypeError, ValueError) as exc:
+        raise StorageError(
+            f"cannot parse {token!r} as {type_name}: {exc}"
+        ) from None
+
+
+class Column:
+    """A named, typed column with nullable values."""
+
+    __slots__ = ("name", "type_name", "values", "nullable")
+
+    def __init__(self, name: str, values: Sequence[Any],
+                 type_name: Optional[str] = None, nullable: bool = True):
+        if not name:
+            raise StorageError("column names must be non-empty")
+        values = list(values)
+        if type_name is None:
+            type_name = infer_type(values)
+        if type_name not in _CASTS:
+            raise StorageError(
+                f"unknown type {type_name!r}; expected one of {TYPE_NAMES}"
+            )
+        if not nullable and any(value is None for value in values):
+            raise StorageError(
+                f"column {name!r} is declared NOT NULL but holds nulls"
+            )
+        self.name = name
+        self.type_name = type_name
+        self.values = values
+        self.nullable = nullable
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def distinct_count(self) -> int:
+        return len(set(self.values))
+
+    def null_count(self) -> int:
+        return sum(1 for value in self.values if value is None)
+
+    def __repr__(self) -> str:
+        return (
+            f"Column({self.name!r}, type={self.type_name}, "
+            f"rows={len(self.values)})"
+        )
+
+
+class Table:
+    """A named collection of equal-length columns."""
+
+    def __init__(self, name: str, columns: Sequence[Column]):
+        if not name:
+            raise StorageError("table names must be non-empty")
+        if not columns:
+            raise StorageError(f"table {name!r} needs at least one column")
+        sizes = {len(column) for column in columns}
+        if len(sizes) > 1:
+            raise StorageError(
+                f"table {name!r} has ragged columns: lengths {sorted(sizes)}"
+            )
+        seen = set()
+        for column in columns:
+            if column.name in seen:
+                raise StorageError(
+                    f"table {name!r} has duplicate column {column.name!r}"
+                )
+            seen.add(column.name)
+        self.name = name
+        self.columns = list(columns)
+        self._by_name = {column.name: column for column in columns}
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, name: str, column_names: Sequence[str],
+                  rows: Iterable[Sequence[Any]],
+                  types: Optional[Sequence[str]] = None) -> "Table":
+        values: List[List[Any]] = [[] for _ in column_names]
+        for row_number, row in enumerate(rows):
+            row = tuple(row)
+            if len(row) != len(column_names):
+                raise StorageError(
+                    f"row {row_number} has arity {len(row)}; table "
+                    f"{name!r} has {len(column_names)} columns"
+                )
+            for bucket, value in zip(values, row):
+                bucket.append(value)
+        columns = [
+            Column(
+                column_name,
+                bucket,
+                type_name=types[index] if types else None,
+            )
+            for index, (column_name, bucket) in enumerate(
+                zip(column_names, values)
+            )
+        ]
+        return cls(name, columns)
+
+    @classmethod
+    def from_relation(cls, name: str, relation: Relation) -> "Table":
+        columns = [
+            Column(attr, relation.column(attr))
+            for attr in relation.schema.names
+        ]
+        return cls(name, columns)
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise StorageError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"columns are {list(self.column_names)}"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self.columns[0])
+
+    def row(self, index: int) -> Tuple[Any, ...]:
+        return tuple(column.values[index] for column in self.columns)
+
+    def rows(self) -> Iterator[Tuple[Any, ...]]:
+        return (self.row(i) for i in range(len(self)))
+
+    # -- conversion ---------------------------------------------------------------
+
+    def to_relation(self) -> Relation:
+        """The :class:`Relation` view the mining algorithms consume."""
+        schema = Schema(self.column_names)
+        return Relation.from_columns(
+            schema, [column.values for column in self.columns]
+        )
+
+    def profile(self) -> Dict[str, Dict[str, Any]]:
+        """Per-column statistics (type, distinct count, null count)."""
+        return {
+            column.name: {
+                "type": column.type_name,
+                "rows": len(column),
+                "distinct": column.distinct_count(),
+                "nulls": column.null_count(),
+            }
+            for column in self.columns
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, columns={list(self.column_names)}, "
+            f"rows={len(self)})"
+        )

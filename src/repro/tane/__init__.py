@@ -1,0 +1,18 @@
+"""TANE baseline [HKPT98]: lattice-walking FD discovery with partition
+refinement, plus the Armstrong-relation extension of section 5.1."""
+
+from repro.tane.armstrong_ext import (
+    TaneArmstrongResult,
+    cmax_from_lhs,
+    tane_with_armstrong,
+)
+from repro.tane.tane import Tane, TaneResult, g3_error
+
+__all__ = [
+    "Tane",
+    "TaneResult",
+    "g3_error",
+    "tane_with_armstrong",
+    "TaneArmstrongResult",
+    "cmax_from_lhs",
+]

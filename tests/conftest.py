@@ -1,0 +1,44 @@
+"""Shared fixtures: the paper's worked example and helper factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import Schema
+from repro.core.relation import Relation
+from repro.datasets import paper_example_relation
+
+
+@pytest.fixture
+def paper_schema() -> Schema:
+    """The A..E renaming of the employee/department schema."""
+    return Schema(["A", "B", "C", "D", "E"])
+
+
+@pytest.fixture
+def paper_relation(paper_schema) -> Relation:
+    """The 7-tuple relation of example 1, with short attribute names."""
+    return paper_example_relation(short_names=True)
+
+
+@pytest.fixture
+def abcde(paper_schema):
+    """Shorthand: compact-name -> AttributeSet over the paper schema."""
+
+    def make(compact: str):
+        if compact in ("", "0"):
+            return paper_schema.empty()
+        return paper_schema.attribute_set(list(compact))
+
+    return make
+
+
+def masks(schema, *compacts):
+    """Compact attribute-set names -> sorted list of bitmasks."""
+    out = []
+    for compact in compacts:
+        mask = 0
+        for name in compact:
+            mask |= 1 << schema.index_of(name)
+        out.append(mask)
+    return sorted(out)

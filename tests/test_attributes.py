@@ -1,0 +1,210 @@
+"""Unit tests for schemas and bitmask attribute sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import (
+    AttributeSet,
+    Schema,
+    iter_bits,
+    mask_of_indices,
+    popcount,
+)
+from repro.errors import SchemaError, SchemaMismatchError
+
+
+class TestBitHelpers:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount((1 << 100) | 1) == 2
+
+    def test_iter_bits_orders_ascending(self):
+        assert list(iter_bits(0b10110)) == [1, 2, 4]
+        assert list(iter_bits(0)) == []
+
+    def test_mask_of_indices(self):
+        assert mask_of_indices([]) == 0
+        assert mask_of_indices([0, 3]) == 0b1001
+        assert mask_of_indices([2, 2]) == 0b100
+
+
+class TestSchema:
+    def test_basic_construction(self):
+        schema = Schema(["x", "y", "z"])
+        assert len(schema) == 3
+        assert schema.names == ("x", "y", "z")
+        assert schema.index_of("y") == 1
+        assert schema.name_of(2) == "z"
+        assert "x" in schema
+        assert "w" not in schema
+        assert list(schema) == ["x", "y", "z"]
+
+    def test_rejects_empty_schema(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema(["a", "b", "a"])
+
+    def test_rejects_empty_names(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", ""])
+
+    def test_of_width_single_letters(self):
+        assert Schema.of_width(4).names == ("A", "B", "C", "D")
+
+    def test_of_width_wide_uses_numbered_names(self):
+        schema = Schema.of_width(30)
+        assert schema.names[0] == "A1"
+        assert schema.names[29] == "A30"
+
+    def test_of_width_prefix(self):
+        assert Schema.of_width(2, prefix="col").names == ("col1", "col2")
+
+    def test_of_width_rejects_nonpositive(self):
+        with pytest.raises(SchemaError):
+            Schema.of_width(0)
+
+    def test_unknown_attribute_raises_with_context(self):
+        schema = Schema(["a", "b"])
+        with pytest.raises(SchemaError, match="unknown attribute 'c'"):
+            schema.index_of("c")
+        with pytest.raises(SchemaError):
+            schema.name_of(5)
+
+    def test_mask_of_accepts_many_forms(self):
+        schema = Schema.of_width(4)
+        assert schema.mask_of("B") == 0b10
+        assert schema.mask_of(2) == 0b100
+        assert schema.mask_of(["A", "C"]) == 0b101
+        assert schema.mask_of([0, "D"]) == 0b1001
+        assert schema.mask_of(()) == 0
+        existing = schema.attribute_set(["A"])
+        assert schema.mask_of(existing) == 0b1
+
+    def test_mask_of_rejects_foreign_attribute_set(self):
+        first = Schema.of_width(3)
+        second = Schema(["x", "y", "z"])
+        foreign = second.attribute_set(["x"])
+        with pytest.raises(SchemaMismatchError):
+            first.mask_of(foreign)
+
+    def test_universe_and_empty(self):
+        schema = Schema.of_width(3)
+        assert schema.universe().mask == 0b111
+        assert schema.empty().mask == 0
+        assert [s.names for s in schema.singletons()] == [
+            ("A",), ("B",), ("C",)
+        ]
+
+    def test_equality_and_hash(self):
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+        assert Schema(["a", "b"]) != Schema(["b", "a"])
+        assert hash(Schema(["a"])) == hash(Schema(["a"]))
+
+
+class TestAttributeSet:
+    @pytest.fixture
+    def schema(self):
+        return Schema.of_width(5)
+
+    def test_rejects_out_of_range_mask(self, schema):
+        with pytest.raises(SchemaError):
+            AttributeSet(schema, 1 << 5)
+        with pytest.raises(SchemaError):
+            AttributeSet(schema, -1)
+
+    def test_names_and_indices(self, schema):
+        x = schema.attribute_set(["B", "D"])
+        assert x.names == ("B", "D")
+        assert x.indices() == (1, 3)
+        assert len(x) == 2
+        assert list(x) == ["B", "D"]
+
+    def test_set_algebra(self, schema):
+        x = schema.attribute_set(["A", "B", "D"])
+        y = schema.attribute_set(["B", "C"])
+        assert (x | y).names == ("A", "B", "C", "D")
+        assert (x & y).names == ("B",)
+        assert (x - y).names == ("A", "D")
+        assert (x ^ y).names == ("A", "C", "D")
+
+    def test_algebra_accepts_raw_attribute_specs(self, schema):
+        x = schema.attribute_set(["A"])
+        assert (x | "B").names == ("A", "B")
+        assert (x | ["B", "C"]).names == ("A", "B", "C")
+
+    def test_complement(self, schema):
+        x = schema.attribute_set(["A", "E"])
+        assert x.complement().names == ("B", "C", "D")
+        assert schema.empty().complement() == schema.universe()
+
+    def test_subset_relations(self, schema):
+        small = schema.attribute_set(["B"])
+        big = schema.attribute_set(["A", "B"])
+        assert small <= big
+        assert small < big
+        assert big >= small
+        assert big > small
+        assert not big <= small
+        assert small.issubset(big)
+        assert big.issuperset(small)
+        assert not small.is_proper_subset(small)
+
+    def test_isdisjoint(self, schema):
+        assert schema.attribute_set(["A"]).isdisjoint(
+            schema.attribute_set(["B"])
+        )
+        assert not schema.attribute_set(["A", "B"]).isdisjoint(
+            schema.attribute_set(["B"])
+        )
+
+    def test_add_remove_are_persistent(self, schema):
+        x = schema.attribute_set(["A"])
+        y = x.add("B")
+        assert x.names == ("A",)
+        assert y.names == ("A", "B")
+        assert y.remove("A").names == ("B",)
+
+    def test_contains(self, schema):
+        x = schema.attribute_set(["A", "C"])
+        assert "A" in x
+        assert "B" not in x
+        assert 2 in x
+        assert "unknown" not in x
+
+    def test_equality_requires_same_schema(self, schema):
+        other_schema = Schema(["A", "B", "C", "D", "E"])
+        same = other_schema.attribute_set(["A"])
+        assert schema.attribute_set(["A"]) == same  # equal schemas compare
+        different = Schema(["v", "w", "x", "y", "z"]).attribute_set(["v"])
+        assert schema.attribute_set(["A"]) != different
+
+    def test_mixing_schemas_raises(self, schema):
+        foreign = Schema(["v", "w", "x", "y", "z"]).attribute_set(["v"])
+        with pytest.raises(SchemaMismatchError):
+            schema.attribute_set(["A"]) | foreign
+
+    def test_bool_and_is_empty(self, schema):
+        assert not schema.empty()
+        assert schema.empty().is_empty()
+        assert schema.attribute_set(["A"])
+
+    def test_repr_and_compact(self, schema):
+        assert repr(schema.empty()) == "{}"
+        assert repr(schema.attribute_set(["A", "C"])) == "{A, C}"
+        assert schema.attribute_set(["B", "D", "E"]).compact() == "BDE"
+        assert schema.empty().compact() == "∅"
+
+    def test_compact_multichar_names_use_commas(self):
+        schema = Schema(["left", "right"])
+        assert schema.universe().compact() == "left,right"
+
+    def test_hashable(self, schema):
+        x = schema.attribute_set(["A"])
+        y = schema.attribute_set("A")
+        assert hash(x) == hash(y)
+        assert len({x, y}) == 1

@@ -1,0 +1,100 @@
+"""Unit tests for the experiment index (tables 3-5, figures 2-7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    experiment_report,
+    run_experiment,
+)
+from repro.errors import BenchmarkError
+
+
+class TestIndex:
+    def test_every_paper_artifact_is_indexed(self):
+        assert set(EXPERIMENTS) == {
+            "table3", "table4", "table5",
+            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+        }
+
+    def test_correlations_match_the_paper(self):
+        assert EXPERIMENTS["table3"].correlation_name == "none"
+        assert EXPERIMENTS["table4"].correlation_name == "c30"
+        assert EXPERIMENTS["table5"].correlation_name == "c50"
+        assert EXPERIMENTS["fig4"].correlation_name == "c30"
+        assert EXPERIMENTS["fig7"].correlation_name == "c50"
+
+    def test_kinds(self):
+        assert EXPERIMENTS["table3"].kind == "tables"
+        assert EXPERIMENTS["fig2"].kind == "times_figure"
+        assert EXPERIMENTS["fig3"].kind == "sizes_figure"
+
+
+class TestRun:
+    def test_unknown_experiment(self):
+        with pytest.raises(BenchmarkError, match="unknown experiment"):
+            run_experiment("table9", scale="tiny")
+
+    def test_table_experiment_report(self):
+        experiment, result = run_experiment(
+            "table5", scale="tiny", algorithms=("depminer", "tane")
+        )
+        report = experiment_report(experiment, result)
+        assert "Table 5" in report
+        assert "Execution times" in report
+        assert "Armstrong" in report
+        assert "Speedup" in report
+
+    def test_times_figure_report(self):
+        experiment, result = run_experiment(
+            "fig2", scale="tiny", algorithms=("depminer", "depminer2")
+        )
+        report = experiment_report(experiment, result)
+        assert "Figure 2" in report
+        assert "|R| =" in report
+        assert "Dep-Miner" in report
+
+    def test_sizes_figure_report(self):
+        experiment, result = run_experiment(
+            "fig3", scale="tiny", algorithms=("depminer",)
+        )
+        report = experiment_report(experiment, result)
+        assert "Figure 3" in report
+        assert "Armstrong size" in report
+
+    def test_seed_is_forwarded(self):
+        _exp, first = run_experiment(
+            "fig3", scale="tiny", algorithms=("depminer",), seed=1
+        )
+        _exp, second = run_experiment(
+            "fig3", scale="tiny", algorithms=("depminer",), seed=2
+        )
+        sizes_first = [c.armstrong_size for c in first.cells]
+        sizes_second = [c.armstrong_size for c in second.cells]
+        assert sizes_first != sizes_second
+
+
+class TestShapes:
+    """The paper's qualitative claims, checked at tiny scale."""
+
+    def test_armstrong_relations_are_much_smaller_than_input(self):
+        _exp, result = run_experiment(
+            "table5", scale="tiny", algorithms=("depminer",)
+        )
+        for cell in result.cells:
+            assert cell.armstrong_size is not None
+            assert cell.armstrong_size < cell.spec.num_tuples / 2
+
+    def test_correlated_data_grows_armstrong_sizes(self):
+        """Sizes ordering: none < c = 30% < c = 50% (Tables 3b/4/5)."""
+        sizes = {}
+        for name in ("table3", "table4", "table5"):
+            _exp, result = run_experiment(
+                name, scale="tiny", algorithms=("depminer",)
+            )
+            widest = max(result.grid.attribute_counts)
+            most = max(result.grid.tuple_counts)
+            sizes[name] = result.cell(widest, most, "depminer").armstrong_size
+        assert sizes["table3"] < sizes["table4"] < sizes["table5"]

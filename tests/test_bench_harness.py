@@ -1,0 +1,174 @@
+"""Unit tests for the benchmark harness and reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    ALGORITHM_NAMES,
+    CellResult,
+    GridResult,
+    run_algorithm,
+    run_cell,
+    run_grid,
+)
+from repro.bench.report import (
+    armstrong_table,
+    ascii_figure,
+    speedup_table,
+    times_table,
+)
+from repro.datagen.synthetic import SyntheticSpec, generate_relation
+from repro.datagen.workloads import WorkloadGrid
+from repro.errors import BenchmarkError
+
+
+@pytest.fixture
+def tiny_grid():
+    return WorkloadGrid(
+        name="test",
+        correlation=0.5,
+        attribute_counts=(3, 4),
+        tuple_counts=(30, 60),
+    )
+
+
+@pytest.fixture
+def grid_result(tiny_grid):
+    return run_grid(tiny_grid, algorithms=("depminer", "tane"))
+
+
+class TestRunAlgorithm:
+    def test_all_known_algorithms_agree_on_fd_count(self):
+        relation = generate_relation(4, 50, correlation=0.5, seed=7)
+        counts = set()
+        for name in ALGORITHM_NAMES:
+            _seconds, num_fds, _size = run_algorithm(name, relation)
+            counts.add(num_fds)
+        assert len(counts) == 1
+
+    def test_unknown_algorithm(self):
+        relation = generate_relation(2, 5)
+        with pytest.raises(BenchmarkError, match="unknown algorithm"):
+            run_algorithm("quantum", relation)
+
+    def test_armstrong_sizes_agree_between_miners(self):
+        relation = generate_relation(4, 80, correlation=0.3, seed=1)
+        sizes = {
+            run_algorithm(name, relation)[2] for name in ALGORITHM_NAMES
+        }
+        assert len(sizes) == 1
+
+
+class TestRunCell:
+    def test_in_process(self):
+        spec = SyntheticSpec(3, 40, correlation=0.5, seed=0)
+        cell = run_cell(spec, "depminer")
+        assert cell.algorithm == "depminer"
+        assert cell.seconds >= 0
+        assert not cell.timed_out
+        assert cell.display_time != "*"
+
+    def test_soft_timeout_flag(self):
+        spec = SyntheticSpec(3, 40, correlation=0.5, seed=0)
+        cell = run_cell(spec, "depminer", timeout=0.0)
+        assert cell.timed_out
+        assert cell.display_time == "*"
+
+    def test_isolated_run_completes(self):
+        spec = SyntheticSpec(3, 30, correlation=0.5, seed=0)
+        cell = run_cell(spec, "depminer", timeout=60.0, isolated=True)
+        assert not cell.timed_out
+        assert cell.num_fds >= 0
+
+    def test_isolated_run_times_out(self):
+        spec = SyntheticSpec(8, 4000, correlation=0.3, seed=0)
+        cell = run_cell(spec, "tane", timeout=0.01, isolated=True)
+        assert cell.timed_out
+        assert cell.display_time == "*"
+
+
+class TestRunGrid:
+    def test_covers_every_cell_and_algorithm(self, tiny_grid, grid_result):
+        expected = (
+            len(tiny_grid.attribute_counts)
+            * len(tiny_grid.tuple_counts)
+            * 2
+        )
+        assert len(grid_result.cells) == expected
+
+    def test_rejects_unknown_algorithm(self, tiny_grid):
+        with pytest.raises(BenchmarkError):
+            run_grid(tiny_grid, algorithms=("nope",))
+
+    def test_progress_callback(self, tiny_grid):
+        lines = []
+        run_grid(
+            tiny_grid, algorithms=("depminer",), progress=lines.append
+        )
+        assert len(lines) == 4
+        assert "Dep-Miner" in lines[0]
+
+    def test_cell_lookup(self, grid_result):
+        cell = grid_result.cell(3, 30, "depminer")
+        assert isinstance(cell, CellResult)
+        assert grid_result.cell(99, 30, "depminer") is None
+
+    def test_time_series(self, grid_result, tiny_grid):
+        series = grid_result.time_series(3, "tane")
+        assert [x for x, _y in series] == list(tiny_grid.tuple_counts)
+        assert all(y is not None for _x, y in series)
+
+    def test_armstrong_series(self, grid_result, tiny_grid):
+        series = grid_result.armstrong_series(4)
+        assert len(series) == len(tiny_grid.tuple_counts)
+        assert all(size is not None and size >= 1 for _x, size in series)
+
+
+class TestToDict:
+    def test_document_round_trips_through_json(self, grid_result):
+        import json
+
+        document = json.loads(json.dumps(grid_result.to_dict()))
+        assert document["grid"]["correlation"] == 0.5
+        assert set(document["algorithms"]) == {"depminer", "tane"}
+        assert len(document["cells"]) == len(grid_result.cells)
+        cell = document["cells"][0]
+        assert {"attrs", "rows", "algorithm", "seconds", "num_fds",
+                "armstrong_size", "timed_out"} <= set(cell)
+
+
+class TestReports:
+    def test_times_table_layout(self, grid_result):
+        text = times_table(grid_result)
+        assert "Dep-Miner" in text
+        assert "TANE" in text
+        assert "|r|" in text
+        assert "c = 50%" in text
+
+    def test_armstrong_table_layout(self, grid_result):
+        text = armstrong_table(grid_result)
+        assert "Armstrong" in text
+        assert "30" in text and "60" in text
+
+    def test_speedup_table(self, grid_result):
+        text = speedup_table(grid_result)
+        assert "Speedup" in text
+        assert "x" in text
+
+    def test_ascii_figure_renders_points(self):
+        series = {
+            "one": [(10, 1.0), (20, 2.0)],
+            "two": [(10, 2.0), (20, None)],
+        }
+        text = ascii_figure(series, title="demo")
+        assert text.startswith("demo")
+        assert "o = one" in text
+        assert "+ = two" in text
+
+    def test_ascii_figure_empty(self):
+        assert "no data" in ascii_figure({"a": [(1, None)]}, title="t")
+
+    def test_ascii_figure_flat_series(self):
+        text = ascii_figure({"flat": [(1, 5.0), (2, 5.0)]}, title="flat")
+        assert "flat" in text

@@ -1,0 +1,52 @@
+"""Unit tests for the brute-force discovery oracle itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import Schema
+from repro.core.relation import Relation
+from repro.errors import ReproError
+from repro.fd.bruteforce import bruteforce_minimal_fds
+
+
+class TestBruteForce:
+    def test_simple_relation(self):
+        schema = Schema.of_width(2)
+        relation = Relation.from_rows(schema, [(1, "x"), (1, "x"), (2, "y")])
+        fds = {str(fd) for fd in bruteforce_minimal_fds(relation)}
+        assert fds == {"A -> B", "B -> A"}
+
+    def test_results_are_minimal(self, paper_relation):
+        fds = bruteforce_minimal_fds(paper_relation)
+        for fd in fds:
+            for attribute in fd.lhs.indices():
+                shrunk = fd.lhs.remove(attribute)
+                assert not paper_relation.satisfies(
+                    shrunk, paper_relation.schema.from_mask(fd.rhs_mask)
+                ), f"{fd} is not minimal"
+
+    def test_results_are_nontrivial(self, paper_relation):
+        assert not any(
+            fd.is_trivial() for fd in bruteforce_minimal_fds(paper_relation)
+        )
+
+    def test_results_all_hold(self, paper_relation):
+        for fd in bruteforce_minimal_fds(paper_relation):
+            assert fd.holds_in(paper_relation)
+
+    def test_empty_relation(self):
+        schema = Schema.of_width(2)
+        fds = bruteforce_minimal_fds(Relation.from_rows(schema, []))
+        assert {str(fd) for fd in fds} == {"∅ -> A", "∅ -> B"}
+
+    def test_width_guard(self):
+        schema = Schema.of_width(20)
+        relation = Relation.from_rows(schema, [])
+        with pytest.raises(ReproError, match="exponential"):
+            bruteforce_minimal_fds(relation)
+
+    def test_deterministic_order(self, paper_relation):
+        first = bruteforce_minimal_fds(paper_relation)
+        second = bruteforce_minimal_fds(paper_relation)
+        assert first == second

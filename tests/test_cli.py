@@ -1,0 +1,258 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def paper_csv(tmp_path):
+    path = tmp_path / "emp.csv"
+    path.write_text(
+        "empnum,depnum,year,depname,mgr\n"
+        "1,1,85,Biochemistry,5\n"
+        "1,5,94,Admission,12\n"
+        "2,2,92,Computer Sce,2\n"
+        "3,2,98,Computer Sce,2\n"
+        "4,3,98,Geophysics,2\n"
+        "5,1,75,Biochemistry,5\n"
+        "6,5,88,Admission,12\n"
+    )
+    return path
+
+
+class TestEntryPoints:
+    def test_python_dash_m_invocation(self, paper_csv):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "discover", str(paper_csv)],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.count("->") == 14
+
+    def test_help_lists_all_commands(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        for command in ("discover", "armstrong", "report", "sample",
+                        "diff", "inds", "generate", "bench", "example"):
+            assert command in out
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self, paper_csv):
+        parser = build_parser()
+        assert parser.parse_args(["discover", str(paper_csv)]).command == \
+            "discover"
+        assert parser.parse_args(
+            ["bench", "-e", "table3"]
+        ).experiment == "table3"
+
+
+class TestDiscover:
+    def test_prints_the_fourteen_fds(self, paper_csv, capsys):
+        assert main(["discover", str(paper_csv)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("->") == 14
+        assert "depname -> depnum" in out
+
+    def test_identifiers_algorithm(self, paper_csv, capsys):
+        assert main(
+            ["discover", str(paper_csv), "--algorithm", "identifiers"]
+        ) == 0
+        assert capsys.readouterr().out.count("->") == 14
+
+    def test_armstrong_flag(self, paper_csv, capsys):
+        assert main(["discover", str(paper_csv), "--armstrong"]) == 0
+        out = capsys.readouterr().out
+        assert "Armstrong relation" in out
+
+    def test_stats_flag(self, paper_csv, capsys):
+        assert main(["discover", str(paper_csv), "--stats"]) == 0
+        assert "minimal FDs: 14" in capsys.readouterr().out
+
+    def test_missing_file_is_reported_not_raised(self, tmp_path, capsys):
+        assert main(["discover", str(tmp_path / "ghost.csv")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestArmstrong:
+    def test_prints_sample(self, paper_csv, capsys):
+        assert main(["armstrong", str(paper_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "empnum" in out
+
+    def test_writes_csv(self, paper_csv, tmp_path, capsys):
+        out_path = tmp_path / "sample.csv"
+        assert main(
+            ["armstrong", str(paper_csv), "--output", str(out_path)]
+        ) == 0
+        assert out_path.exists()
+        assert "wrote 4 tuples" in capsys.readouterr().out
+
+    def test_nonexistent_sample_errors_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "tight.csv"
+        path.write_text("a,b,c\n0,0,0\n1,0,1\n1,1,0\n")
+        assert main(["armstrong", str(path)]) == 1
+        assert "no real-world Armstrong" in capsys.readouterr().err
+
+
+class TestGenerate:
+    def test_prints_relation(self, capsys):
+        assert main(["generate", "-a", "3", "-t", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "A" in out.splitlines()[0]
+
+    def test_writes_csv(self, tmp_path, capsys):
+        out_path = tmp_path / "synthetic.csv"
+        assert main(
+            ["generate", "-a", "4", "-t", "20", "-c", "0.3",
+             "--seed", "7", "-o", str(out_path)]
+        ) == 0
+        assert out_path.exists()
+        text = out_path.read_text().splitlines()
+        assert text[0] == "A,B,C,D"
+        assert len(text) == 21
+
+    def test_generation_is_seeded(self, tmp_path):
+        first = tmp_path / "one.csv"
+        second = tmp_path / "two.csv"
+        main(["generate", "-a", "3", "-t", "10", "--seed", "5",
+              "-o", str(first)])
+        main(["generate", "-a", "3", "-t", "10", "--seed", "5",
+              "-o", str(second)])
+        assert first.read_text() == second.read_text()
+
+
+class TestBench:
+    def test_table_experiment(self, capsys):
+        assert main(
+            ["bench", "-e", "table3", "--scale", "tiny",
+             "--algorithms", "depminer", "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Execution times" in out
+
+    def test_figure_experiment(self, capsys):
+        assert main(
+            ["bench", "-e", "fig3", "--scale", "tiny",
+             "--algorithms", "depminer", "--quiet"]
+        ) == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_progress_goes_to_stderr(self, capsys):
+        assert main(
+            ["bench", "-e", "fig3", "--scale", "tiny",
+             "--algorithms", "depminer"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "Dep-Miner" in captured.err
+
+
+class TestReport:
+    def test_prints_markdown(self, paper_csv, capsys):
+        assert main(["report", str(paper_csv)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Profile of `emp`")
+        assert "## Candidate keys" in out
+
+    def test_writes_file(self, paper_csv, tmp_path, capsys):
+        out_path = tmp_path / "report.md"
+        assert main(["report", str(paper_csv), "-o", str(out_path)]) == 0
+        assert out_path.exists()
+        assert "## Normal forms" in out_path.read_text()
+        assert "emp:" in capsys.readouterr().out
+
+
+class TestSample:
+    def test_matches_direct_discovery(self, paper_csv, capsys):
+        assert main(["sample", str(paper_csv), "--sample-size", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("->") == 14
+        assert "exact cover" in out
+
+
+class TestDiff:
+    def test_identical_csvs(self, paper_csv, capsys):
+        assert main(["diff", str(paper_csv), str(paper_csv)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_json_round_trip(self, paper_csv, tmp_path, capsys):
+        json_path = tmp_path / "cover.json"
+        assert main(
+            ["discover", str(paper_csv), "--json", str(json_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["diff", str(json_path), str(paper_csv)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_detects_drift(self, paper_csv, tmp_path, capsys):
+        mutated = tmp_path / "mutated.csv"
+        mutated.write_text(
+            paper_csv.read_text() + "7,1,85,Biochemistry,9\n"
+        )
+        assert main(["diff", str(paper_csv), str(mutated)]) == 2
+        out = capsys.readouterr().out
+        assert "removed" in out or "added" in out
+
+
+class TestInds:
+    @pytest.fixture
+    def warehouse(self, tmp_path):
+        (tmp_path / "products.csv").write_text(
+            "pid,cat\n1,a\n2,b\n3,a\n"
+        )
+        (tmp_path / "orders.csv").write_text(
+            "oid,pid\n10,1\n11,3\n12,2\n"
+        )
+        return tmp_path
+
+    def test_lists_inds(self, warehouse, capsys):
+        assert main(["inds", str(warehouse)]) == 0
+        out = capsys.readouterr().out
+        assert "orders[pid] ⊆ products[pid]" in out
+
+    def test_foreign_keys_filter(self, warehouse, capsys):
+        assert main(["inds", str(warehouse), "--foreign-keys"]) == 0
+        captured = capsys.readouterr()
+        assert "orders[pid] ⊆ products[pid]" in captured.out
+        assert "foreign-key candidate" in captured.err
+
+    def test_missing_directory_reports_error(self, tmp_path, capsys):
+        assert main(["inds", str(tmp_path / "ghost")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExample:
+    def test_runs_the_paper_example(self, capsys):
+        assert main(["example"]) == 0
+        out = capsys.readouterr().out
+        assert "Agree sets" in out
+        assert out.count("->") == 14
+        assert "Armstrong" in out
+
+
+class TestKeys:
+    def test_lists_candidate_keys(self, paper_csv, capsys):
+        assert main(["keys", str(paper_csv)]) == 0
+        captured = capsys.readouterr()
+        # empnum repeats (rows 1-2 share empnum=1): keys are all pairs.
+        assert "(empnum, depnum)" in captured.out
+        assert "(year, depname)" in captured.out
+        assert "6 candidate key(s)" in captured.err
+
+    def test_duplicate_rows_reported(self, tmp_path, capsys):
+        path = tmp_path / "dups.csv"
+        path.write_text("a,b\n1,2\n1,2\n")
+        assert main(["keys", str(path)]) == 0
+        assert "duplicate rows" in capsys.readouterr().out

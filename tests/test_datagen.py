@@ -1,0 +1,154 @@
+"""Unit tests for the synthetic benchmark generator and workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.synthetic import (
+    SyntheticSpec,
+    generate_columns,
+    generate_relation,
+)
+from repro.datagen.workloads import (
+    CORRELATIONS,
+    SCALES,
+    WorkloadGrid,
+    grid_for,
+)
+from repro.errors import BenchmarkError, ReproError
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            SyntheticSpec(0, 10)
+        with pytest.raises(ReproError):
+            SyntheticSpec(5, -1)
+        with pytest.raises(ReproError):
+            SyntheticSpec(5, 10, correlation=1.0)
+        with pytest.raises(ReproError):
+            SyntheticSpec(5, 10, correlation=-0.1)
+
+    def test_domain_size(self):
+        # The paper's own example: c = 50%, 1000 tuples -> 500 values.
+        assert SyntheticSpec(5, 1000, correlation=0.5).domain_size == 500
+        # Higher rate of identical values -> smaller active domain.
+        assert SyntheticSpec(5, 1000, correlation=0.3).domain_size == 700
+        # "Without constraints" behaves as c = 0.
+        assert SyntheticSpec(5, 1000).domain_size == 1000
+        assert SyntheticSpec(5, 2, correlation=0.9).domain_size == 1
+
+    def test_label(self):
+        assert "c=30%" in SyntheticSpec(5, 10, correlation=0.3).label()
+        assert "c=none" in SyntheticSpec(5, 10).label()
+
+
+class TestGeneration:
+    def test_shape(self):
+        relation = generate_relation(7, 50, correlation=0.5, seed=3)
+        assert len(relation.schema) == 7
+        assert len(relation) == 50
+
+    def test_determinism(self):
+        first = generate_relation(4, 100, correlation=0.3, seed=9)
+        second = generate_relation(4, 100, correlation=0.3, seed=9)
+        assert list(first.rows()) == list(second.rows())
+
+    def test_different_seeds_differ(self):
+        first = generate_relation(4, 100, seed=1)
+        second = generate_relation(4, 100, seed=2)
+        assert list(first.rows()) != list(second.rows())
+
+    def test_columns_are_independent_of_width(self):
+        """Adding attributes must not reshuffle existing columns."""
+        narrow = generate_columns(SyntheticSpec(3, 50, seed=5))
+        wide = generate_columns(SyntheticSpec(6, 50, seed=5))
+        assert wide[:3] == narrow
+
+    def test_values_respect_domain(self):
+        spec = SyntheticSpec(3, 200, correlation=0.1, seed=0)
+        for column in generate_columns(spec):
+            assert all(0 <= value < spec.domain_size for value in column)
+
+    def test_correlation_controls_distinct_counts(self):
+        low = generate_relation(1, 1000, correlation=0.1, seed=1)
+        high = generate_relation(1, 1000, correlation=0.9, seed=1)
+        # Higher rate of identical values -> fewer distinct values.
+        assert len(set(high.column(0))) < len(set(low.column(0)))
+
+    def test_zero_tuples(self):
+        relation = generate_relation(3, 0)
+        assert len(relation) == 0
+
+    def test_skew_concentrates_values(self):
+        import collections
+
+        uniform = generate_relation(1, 2000, correlation=0.5, seed=1)
+        skewed = generate_relation(
+            1, 2000, correlation=0.5, seed=1, skew=1.2
+        )
+        top_uniform = collections.Counter(
+            uniform.column(0)
+        ).most_common(1)[0][1]
+        top_skewed = collections.Counter(
+            skewed.column(0)
+        ).most_common(1)[0][1]
+        assert top_skewed > 5 * top_uniform
+
+    def test_skew_zero_is_the_uniform_draw(self):
+        plain = generate_relation(2, 100, correlation=0.5, seed=2)
+        explicit = generate_relation(
+            2, 100, correlation=0.5, seed=2, skew=0.0
+        )
+        assert list(plain.rows()) == list(explicit.rows())
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(ReproError):
+            SyntheticSpec(2, 10, skew=-1.0)
+
+    def test_skewed_values_stay_in_domain(self):
+        spec = SyntheticSpec(2, 300, correlation=0.5, skew=2.0)
+        for column in generate_columns(spec):
+            assert all(0 <= v < spec.domain_size for v in column)
+
+
+class TestWorkloads:
+    def test_grid_for_known_names(self):
+        grid = grid_for("c30", scale="tiny")
+        assert grid.correlation == 0.30
+        assert grid.attribute_counts == SCALES["tiny"][0]
+
+    def test_grid_for_unknown_correlation(self):
+        with pytest.raises(BenchmarkError, match="unknown correlation"):
+            grid_for("c99")
+
+    def test_grid_for_unknown_scale(self):
+        with pytest.raises(BenchmarkError, match="unknown scale"):
+            grid_for("none", scale="galactic")
+
+    def test_specs_cover_the_grid(self):
+        grid = grid_for("none", scale="tiny")
+        specs = grid.specs()
+        assert len(specs) == (
+            len(grid.attribute_counts) * len(grid.tuple_counts)
+        )
+        assert all(spec.correlation is None for spec in specs)
+
+    def test_column_specs(self):
+        grid = grid_for("c50", scale="tiny")
+        narrow = grid.attribute_counts[0]
+        specs = grid.column_specs(narrow)
+        assert [spec.num_tuples for spec in specs] == list(grid.tuple_counts)
+
+    def test_column_specs_rejects_foreign_width(self):
+        grid = grid_for("c50", scale="tiny")
+        with pytest.raises(BenchmarkError):
+            grid.column_specs(999)
+
+    def test_paper_scale_matches_the_paper(self):
+        attributes, tuples = SCALES["paper"]
+        assert attributes == (10, 20, 30, 40, 50, 60)
+        assert tuples == (10_000, 20_000, 30_000, 50_000, 100_000)
+
+    def test_correlations_match_the_paper(self):
+        assert CORRELATIONS == {"none": None, "c30": 0.30, "c50": 0.50}

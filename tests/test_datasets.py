@@ -1,0 +1,59 @@
+"""Unit tests for the bundled example datasets."""
+
+from __future__ import annotations
+
+from repro.core.depminer import discover_fds
+from repro.datasets import (
+    course_schedule_relation,
+    paper_example_relation,
+    paper_example_schema,
+    supplier_parts_relation,
+)
+
+
+class TestPaperExample:
+    def test_long_and_short_names(self):
+        assert paper_example_schema().names == (
+            "empnum", "depnum", "year", "depname", "mgr",
+        )
+        assert paper_example_schema(short_names=True).names == (
+            "A", "B", "C", "D", "E",
+        )
+
+    def test_shape(self):
+        relation = paper_example_relation()
+        assert len(relation) == 7
+        assert len(relation.schema) == 5
+
+    def test_both_namings_have_identical_fd_structure(self):
+        long_fds = discover_fds(paper_example_relation())
+        short_fds = discover_fds(paper_example_relation(short_names=True))
+        assert len(long_fds) == len(short_fds) == 14
+
+
+class TestCourseSchedule:
+    def test_expected_dependencies_hold(self):
+        relation = course_schedule_relation()
+        assert relation.satisfies(["course"], ["teacher"])
+        assert relation.satisfies(["teacher"], ["dept"])
+        assert relation.satisfies(["room", "slot"], ["course"])
+        assert not relation.satisfies(["teacher"], ["course"])
+
+    def test_mining_finds_the_layered_structure(self):
+        fds = {str(fd) for fd in discover_fds(course_schedule_relation())}
+        assert "course -> teacher" in fds
+        assert "teacher -> dept" in fds
+
+
+class TestSupplierParts:
+    def test_expected_dependencies_hold(self):
+        relation = supplier_parts_relation()
+        assert relation.satisfies(["sno"], ["sname"])
+        assert relation.satisfies(["sno"], ["city"])
+        assert relation.satisfies(["city"], ["status"])
+        assert not relation.satisfies(["pno"], ["qty"])
+
+    def test_key_structure(self):
+        relation = supplier_parts_relation()
+        assert relation.is_superkey(["sno", "pno"])
+        assert not relation.is_superkey(["sno"])

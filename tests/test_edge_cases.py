@@ -1,0 +1,157 @@
+"""Failure injection and degenerate inputs across the whole pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import Schema
+from repro.core.depminer import DepMiner, discover_fds
+from repro.core.relation import Relation
+from repro.fd.bruteforce import bruteforce_minimal_fds
+from repro.tane.tane import Tane
+
+
+def fd_strings(fds):
+    return {str(fd) for fd in fds}
+
+
+class TestDegenerateShapes:
+    def test_wide_schema_beyond_64_bits(self):
+        """Python int masks must keep working past machine-word width."""
+        schema = Schema.of_width(70)
+        rows = [
+            tuple(i if a < 2 else a for a in range(70)) for i in range(3)
+        ]
+        relation = Relation.from_rows(schema, rows)
+        result = DepMiner(build_armstrong="none").run(relation)
+        # Columns 2.. are constant; columns 0 and 1 vary together.
+        assert "∅ -> A3" in fd_strings(result.fds)
+        assert "A1 -> A2" in fd_strings(result.fds)
+
+    def test_all_columns_identical(self):
+        schema = Schema.of_width(3)
+        relation = Relation.from_rows(
+            schema, [(i, i, i) for i in range(5)]
+        )
+        fds = fd_strings(discover_fds(relation))
+        assert fds == {
+            "B -> A", "C -> A", "A -> B", "C -> B", "A -> C", "B -> C",
+        }
+
+    def test_key_column_makes_singletons_determine_all(self):
+        schema = Schema.of_width(3)
+        relation = Relation.from_rows(
+            schema, [(i, i % 2, "x") for i in range(6)]
+        )
+        fds = fd_strings(discover_fds(relation))
+        assert "A -> B" in fds
+        assert "∅ -> C" in fds
+        # B cannot determine A (2 values vs 6).
+        assert "B -> A" not in fds
+
+    def test_nulls_are_just_values(self):
+        schema = Schema.of_width(2)
+        relation = Relation.from_rows(
+            schema, [(None, 1), (None, 1), (2, 2)]
+        )
+        fds = fd_strings(discover_fds(relation))
+        assert "A -> B" in fds
+        assert "B -> A" in fds
+
+    def test_unhashable_free_but_equal_values(self):
+        """Values are compared by ==; ints and floats mix fine."""
+        schema = Schema.of_width(2)
+        relation = Relation.from_rows(schema, [(1, "a"), (1.0, "a")])
+        # 1 == 1.0, so the two rows agree everywhere.
+        fds = fd_strings(discover_fds(relation))
+        assert fds == {"∅ -> A", "∅ -> B"}
+
+
+class TestAlgorithmsAgreeOnEdgeCases:
+    CASES = [
+        [],                                  # empty
+        [(0, 0)],                            # single row
+        [(0, 0), (0, 0)],                    # duplicates
+        [(0, 0), (1, 1)],                    # disagree everywhere
+        [(0, 0), (0, 1), (1, 0), (1, 1)],    # full cross product
+        [(0, 0), (0, 0), (1, 1), (2, 2)],
+    ]
+
+    @pytest.mark.parametrize("rows", CASES)
+    def test_miners_match_brute_force(self, rows):
+        schema = Schema.of_width(2)
+        relation = Relation.from_rows(schema, rows)
+        expected = bruteforce_minimal_fds(relation)
+        assert discover_fds(relation) == expected
+        assert discover_fds(
+            relation, agree_algorithm="identifiers"
+        ) == expected
+        assert Tane().run(relation).fds == expected
+
+
+class TestArmstrongEdgeCases:
+    def test_armstrong_of_empty_relation(self):
+        schema = Schema.of_width(2)
+        relation = Relation.from_rows(schema, [])
+        result = DepMiner().run(relation)
+        # MAX is empty: classical Armstrong is the single all-zero row.
+        assert len(result.classical_armstrong) == 1
+        # No values exist to sample, so no real-world relation.
+        assert result.armstrong is None
+
+    def test_armstrong_of_single_row(self):
+        schema = Schema.of_width(2)
+        relation = Relation.from_rows(schema, [(7, "x")])
+        result = DepMiner().run(relation)
+        assert result.armstrong is not None
+        assert list(result.armstrong.rows()) == [(7, "x")]
+
+    def test_armstrong_round_trip_on_random_relations(self):
+        import random
+
+        rng = random.Random(5)
+        for _trial in range(30):
+            width = rng.randint(2, 4)
+            schema = Schema.of_width(width)
+            relation = Relation.from_rows(
+                schema,
+                [
+                    tuple(rng.randint(0, 9) for _ in range(width))
+                    for _ in range(rng.randint(2, 20))
+                ],
+            )
+            result = DepMiner().run(relation)
+            if result.armstrong is None:
+                continue
+            assert bruteforce_minimal_fds(result.armstrong) == \
+                bruteforce_minimal_fds(relation)
+
+    def test_classical_armstrong_always_round_trips(self):
+        import random
+
+        rng = random.Random(6)
+        for _trial in range(30):
+            width = rng.randint(2, 4)
+            schema = Schema.of_width(width)
+            relation = Relation.from_rows(
+                schema,
+                [
+                    tuple(rng.randint(0, 2) for _ in range(width))
+                    for _ in range(rng.randint(0, 10))
+                ],
+            )
+            result = DepMiner(build_armstrong="classical").run(relation)
+            assert bruteforce_minimal_fds(
+                result.classical_armstrong
+            ) == bruteforce_minimal_fds(relation)
+
+
+class TestChunkingUnderStress:
+    def test_tiny_chunks_on_dense_relation(self):
+        schema = Schema.of_width(3)
+        relation = Relation.from_rows(
+            schema, [(i % 2, i % 3, i % 2) for i in range(12)]
+        )
+        expected = discover_fds(relation)
+        chunked = discover_fds(relation, max_couples=1)
+        assert chunked == expected

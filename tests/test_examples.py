@@ -1,0 +1,83 @@
+"""Integration tests: every example script runs and prints what it
+promises."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_quickstart_prints_the_paper_artefacts():
+    proc = run_example("quickstart.py")
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.count("->") == 14
+    assert "Armstrong relation" in proc.stdout
+    assert "Agree sets (5)" in proc.stdout
+
+
+def test_logical_tuning_walks_the_dba_workflow():
+    proc = run_example("logical_tuning.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "Candidate keys" in proc.stdout
+    assert "3NF synthesis" in proc.stdout
+    assert "BCNF decomposition" in proc.stdout
+    assert "Proof of" in proc.stdout
+
+
+def test_benchmark_shootout_prints_paper_layout_tables():
+    proc = run_example(
+        "benchmark_shootout.py", "--rows", "200", "--attrs", "5",
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "Execution times" in proc.stdout
+    assert "Armstrong relations" in proc.stdout
+    assert "Speedup" in proc.stdout
+
+
+def test_warehouse_audit_profiles_every_table(tmp_path):
+    proc = run_example("warehouse_audit.py", str(tmp_path))
+    assert proc.returncode == 0, proc.stderr
+    assert "Warehouse summary" in proc.stdout
+    for name in ("flights", "hospital", "orders"):
+        assert (tmp_path / f"{name}_profile.md").exists()
+
+
+def test_large_table_sampling_verifies_exactness(tmp_path):
+    proc = run_example(
+        "large_table_sampling.py",
+        "--rows", "3000", "--attrs", "6", "--correlation", "0.8",
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "covers are identical" in proc.stdout
+
+
+def test_theory_tour_ties_lattice_to_mining():
+    proc = run_example("theory_tour.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "Meet-irreducible closed sets == the mined maximal sets" \
+        in proc.stdout
+    assert "Proof of BC -> A" in proc.stdout
+    assert "A -/-> B" in proc.stdout
+
+
+def test_csv_profiling_round_trips_through_storage(tmp_path):
+    proc = run_example("csv_profiling.py", str(tmp_path))
+    assert proc.returncode == 0, proc.stderr
+    assert "Column profile" in proc.stdout
+    assert "Minimal FDs of the full table" in proc.stdout
+    assert (tmp_path / "supplier_parts.csv").exists()
+    assert (tmp_path / "supplier_parts_armstrong.csv").exists()

@@ -1,0 +1,123 @@
+"""Unit tests for Armstrong explanations and cover diffs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import Schema
+from repro.core.depminer import DepMiner
+from repro.errors import ReproError
+from repro.explain import diff_covers, explain_armstrong
+from repro.fd.fd import parse_fd
+
+
+class TestExplainArmstrong:
+    def test_paper_example(self, paper_relation):
+        result = DepMiner().run(paper_relation)
+        explanations = explain_armstrong(result)
+        assert len(explanations) == len(result.armstrong)
+        assert explanations[0].witnessed_max_set == \
+            paper_relation.schema.universe()
+        # The row for max set A must refute A -> B, C, D, E.
+        row_a = next(
+            e for e in explanations
+            if e.witnessed_max_set.compact() == "A"
+        )
+        assert "A -/-> B" in row_a.demonstrates
+        assert "A -/-> E" in row_a.demonstrates
+        assert len(row_a.demonstrates) == 4
+
+    def test_witnesses_actually_agree_exactly(self, paper_relation):
+        result = DepMiner().run(paper_relation)
+        armstrong = result.armstrong
+        for explanation in explain_armstrong(result)[1:]:
+            agreed = armstrong.agree_set_of_pair(0, explanation.row_index)
+            assert agreed == explanation.witnessed_max_set
+
+    def test_falls_back_to_classical(self, paper_relation):
+        result = DepMiner(build_armstrong="classical").run(paper_relation)
+        explanations = explain_armstrong(result)
+        assert len(explanations) == len(result.classical_armstrong)
+
+    def test_requires_some_armstrong(self, paper_relation):
+        result = DepMiner(build_armstrong="none").run(paper_relation)
+        with pytest.raises(ReproError, match="no Armstrong"):
+            explain_armstrong(result)
+
+    def test_render(self, paper_relation):
+        result = DepMiner().run(paper_relation)
+        text = explain_armstrong(result)[1].render()
+        assert text.startswith("row 1:")
+        assert "agrees with row 0" in text
+
+
+class TestDiffCovers:
+    @pytest.fixture
+    def schema(self):
+        return Schema.of_width(4)
+
+    def test_identical(self, schema):
+        fds = [parse_fd(schema, "A -> B")]
+        diff = diff_covers(fds, list(fds))
+        assert diff.is_equivalent
+        assert diff.render() == "covers are identical"
+
+    def test_added_and_removed(self, schema):
+        old = [parse_fd(schema, "A -> B")]
+        new = [parse_fd(schema, "C -> D")]
+        diff = diff_covers(old, new)
+        assert [str(fd) for fd in diff.added] == ["C -> D"]
+        assert [str(fd) for fd in diff.removed] == ["A -> B"]
+        assert not diff.is_equivalent
+
+    def test_reformulated_not_counted_as_added(self, schema):
+        old = [parse_fd(schema, "A -> B"), parse_fd(schema, "B -> C")]
+        new = [
+            parse_fd(schema, "A -> B"),
+            parse_fd(schema, "B -> C"),
+            parse_fd(schema, "A -> C"),  # implied by the old cover
+        ]
+        diff = diff_covers(old, new)
+        assert [str(fd) for fd in diff.reformulated] == ["A -> C"]
+        assert not diff.added
+        assert diff.is_equivalent
+
+    def test_removed_but_still_implied_is_silent(self, schema):
+        old = [
+            parse_fd(schema, "A -> B"),
+            parse_fd(schema, "B -> C"),
+            parse_fd(schema, "A -> C"),
+        ]
+        new = [parse_fd(schema, "A -> B"), parse_fd(schema, "B -> C")]
+        diff = diff_covers(old, new)
+        assert not diff.removed
+        assert diff.is_equivalent
+
+    def test_schema_mismatch(self, schema):
+        other = Schema(["w", "x", "y", "z"])
+        with pytest.raises(ReproError, match="different schemas"):
+            diff_covers(
+                [parse_fd(schema, "A -> B")], [parse_fd(other, "w -> x")]
+            )
+
+    def test_drift_workflow_through_json(self, paper_relation):
+        """Serialize -> reload -> mutate the data -> diff."""
+        from repro.core.depminer import discover_fds
+        from repro.core.relation import Relation
+        from repro.serialize import fds_from_json, fds_to_json
+
+        old_fds = fds_from_json(fds_to_json(discover_fds(paper_relation)))
+        mutated = Relation.from_rows(
+            paper_relation.schema,
+            list(paper_relation.rows()) + [(7, 1, 85, "Biochemistry", 9)],
+        )
+        new_fds = discover_fds(mutated)
+        diff = diff_covers(old_fds, new_fds)
+        # The new row breaks B -> E (depnum 1 now maps to mgr 5 and 9).
+        assert any(str(fd) == "B -> E" for fd in diff.removed)
+
+    def test_render_lists_changes(self, schema):
+        old = [parse_fd(schema, "A -> B")]
+        new = [parse_fd(schema, "C -> D")]
+        text = diff_covers(old, new).render()
+        assert "added" in text and "removed" in text

@@ -1,0 +1,86 @@
+"""Unit tests for Armstrong-axiom derivations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import Schema
+from repro.errors import ReproError
+from repro.fd.axioms import derive
+from repro.fd.fd import parse_fd
+
+
+@pytest.fixture
+def schema():
+    return Schema.of_width(4)
+
+
+@pytest.fixture
+def fds(schema):
+    return [
+        parse_fd(schema, "A -> B"),
+        parse_fd(schema, "B -> C"),
+        parse_fd(schema, "CD -> A"),
+    ]
+
+
+class TestDerive:
+    def test_direct_fd(self, schema, fds):
+        proof = derive(fds, parse_fd(schema, "A -> B"))
+        assert proof is not None
+        conclusion = proof.conclusion()
+        assert conclusion.lhs.names == ("A",)
+        assert conclusion.rhs.names == ("B",)
+
+    def test_transitive_fd(self, schema, fds):
+        proof = derive(fds, parse_fd(schema, "A -> C"))
+        assert proof is not None
+        rules = [step.rule for step in proof.steps]
+        assert rules[0] == "reflexivity"
+        assert any("transitivity" in rule for rule in rules)
+        assert proof.conclusion().rhs.names == ("C",)
+
+    def test_compound_lhs(self, schema, fds):
+        proof = derive(fds, parse_fd(schema, "AD -> A"))
+        assert proof is not None
+
+    def test_not_implied_returns_none(self, schema, fds):
+        assert derive(fds, parse_fd(schema, "C -> B")) is None
+
+    def test_trivial_fd(self, schema):
+        proof = derive([], parse_fd(schema, "AB -> A"))
+        assert proof is not None
+        assert proof.conclusion().rhs.names == ("A",)
+
+    def test_every_step_is_numbered_in_render(self, schema, fds):
+        proof = derive(fds, parse_fd(schema, "A -> C"))
+        rendered = proof.render()
+        assert rendered.startswith("Proof of A -> C:")
+        assert "(1)" in rendered
+        assert "reflexivity" in rendered
+
+    def test_premise_indices_are_valid(self, schema, fds):
+        proof = derive(fds, parse_fd(schema, "AD -> C"))
+        assert proof is not None
+        for number, step in enumerate(proof.steps, start=1):
+            for premise in step.premises:
+                assert 1 <= premise < number or premise == number, (
+                    "premises must reference earlier or current lines"
+                )
+
+    def test_rejects_foreign_schema(self, schema, fds):
+        other = Schema(["w", "x", "y", "z"])
+        target = parse_fd(other, "w -> x")
+        with pytest.raises(ReproError, match="schema"):
+            derive(fds, target)
+
+    def test_semantic_soundness_of_each_derived_statement(self, schema, fds):
+        """Every derived lhs -> rhs must itself be implied by F."""
+        from repro.fd.closure import attribute_closure
+
+        proof = derive(fds, parse_fd(schema, "AD -> C"))
+        for step in proof.steps:
+            if step.rule.startswith("given"):
+                continue
+            closure = attribute_closure(step.lhs.mask, fds, schema)
+            assert step.rhs.mask & ~closure == 0, step.render(0)

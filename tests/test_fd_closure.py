@@ -1,0 +1,145 @@
+"""Unit tests for attribute closure, implication and closed-set families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import Schema
+from repro.core.depminer import DepMiner
+from repro.errors import SchemaMismatchError
+from repro.fd.closure import (
+    attribute_closure,
+    closed_sets,
+    closure_set,
+    equivalent_covers,
+    generators,
+    implies,
+    implies_all,
+    is_closed,
+)
+from repro.fd.fd import FD, parse_fd
+
+
+@pytest.fixture
+def schema():
+    return Schema.of_width(5)
+
+
+@pytest.fixture
+def textbook_fds(schema):
+    """A -> B, B -> C, CD -> E."""
+    return [
+        parse_fd(schema, "A -> B"),
+        parse_fd(schema, "B -> C"),
+        parse_fd(schema, "CD -> E"),
+    ]
+
+
+class TestClosure:
+    def test_transitive_chain(self, schema, textbook_fds):
+        closure = attribute_closure(
+            schema.mask_of(["A"]), textbook_fds, schema
+        )
+        assert schema.from_mask(closure).names == ("A", "B", "C")
+
+    def test_compound_lhs(self, schema, textbook_fds):
+        closure = attribute_closure(
+            schema.mask_of(["A", "D"]), textbook_fds, schema
+        )
+        assert closure == schema.universe_mask
+
+    def test_empty_fd_set(self, schema):
+        closure = attribute_closure(schema.mask_of(["B"]), [], schema)
+        assert closure == schema.mask_of(["B"])
+
+    def test_empty_lhs_fd(self, schema):
+        fds = [parse_fd(schema, "∅ -> C")]
+        assert attribute_closure(0, fds, schema) == schema.mask_of(["C"])
+
+    def test_closure_set_wrapper(self, schema, textbook_fds):
+        result = closure_set(schema.attribute_set(["A"]), textbook_fds)
+        assert result.names == ("A", "B", "C")
+
+    def test_rejects_foreign_schema(self, schema, textbook_fds):
+        other = Schema(["v", "w", "x", "y", "z"])
+        with pytest.raises(SchemaMismatchError):
+            attribute_closure(0, textbook_fds, other)
+
+    def test_closure_is_idempotent(self, schema, textbook_fds):
+        first = attribute_closure(schema.mask_of("A"), textbook_fds, schema)
+        assert attribute_closure(first, textbook_fds, schema) == first
+
+    def test_closure_is_monotone(self, schema, textbook_fds):
+        small = attribute_closure(schema.mask_of("A"), textbook_fds, schema)
+        big = attribute_closure(
+            schema.mask_of(["A", "D"]), textbook_fds, schema
+        )
+        assert small & ~big == 0
+
+
+class TestImplication:
+    def test_implied_fd(self, schema, textbook_fds):
+        assert implies(textbook_fds, parse_fd(schema, "A -> C"))
+
+    def test_not_implied(self, schema, textbook_fds):
+        assert not implies(textbook_fds, parse_fd(schema, "C -> A"))
+
+    def test_trivial_always_implied(self, schema):
+        assert implies([], parse_fd(schema, "AB -> A"))
+
+    def test_implies_all(self, schema, textbook_fds):
+        targets = [parse_fd(schema, "A -> C"), parse_fd(schema, "AB -> B")]
+        assert implies_all(textbook_fds, targets)
+        targets.append(parse_fd(schema, "E -> A"))
+        assert not implies_all(textbook_fds, targets)
+
+    def test_equivalent_covers(self, schema):
+        first = [parse_fd(schema, "A -> B"), parse_fd(schema, "B -> C")]
+        second = [
+            parse_fd(schema, "A -> B"),
+            parse_fd(schema, "B -> C"),
+            parse_fd(schema, "A -> C"),  # redundant
+        ]
+        assert equivalent_covers(first, second)
+        assert not equivalent_covers(first, [parse_fd(schema, "C -> A")])
+
+
+class TestClosedSets:
+    def test_is_closed(self, schema, textbook_fds):
+        assert is_closed(schema.mask_of(["A", "B", "C"]), textbook_fds, schema)
+        assert not is_closed(schema.mask_of(["A"]), textbook_fds, schema)
+
+    def test_closed_sets_contains_universe(self, schema, textbook_fds):
+        family = closed_sets(textbook_fds, schema)
+        assert schema.universe_mask in family
+        # Closed sets are closed under intersection.
+        for x in family:
+            for y in family:
+                assert (x & y) in family
+
+    def test_generators_equal_max_sets(self, paper_relation):
+        """GEN(dep(r)) = MAX(dep(r)) [MR86] — ties the FD-theory module
+        to the mining pipeline."""
+        result = DepMiner().run(paper_relation)
+        gen = generators(result.fds, paper_relation.schema)
+        assert gen == result.max_union
+
+    def test_generators_regenerate_closed_family(self, schema, textbook_fds):
+        """Every closed set is an intersection of generators (with R as
+        the empty intersection)."""
+        family = set(closed_sets(textbook_fds, schema))
+        gen = generators(textbook_fds, schema)
+        regenerated = {schema.universe_mask}
+        frontier = [schema.universe_mask]
+        for mask in gen:
+            regenerated.add(mask)
+        # close under pairwise intersection
+        changed = True
+        while changed:
+            changed = False
+            for x in list(regenerated):
+                for y in list(regenerated):
+                    if (x & y) not in regenerated:
+                        regenerated.add(x & y)
+                        changed = True
+        assert regenerated == family

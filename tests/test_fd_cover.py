@@ -1,0 +1,119 @@
+"""Unit tests for cover computations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import Schema
+from repro.core.depminer import discover_fds
+from repro.fd.closure import equivalent_covers, implies
+from repro.fd.cover import (
+    is_minimal_cover,
+    left_reduce,
+    minimal_cover,
+    remove_redundant,
+)
+from repro.fd.fd import parse_fd
+
+
+@pytest.fixture
+def schema():
+    return Schema.of_width(4)
+
+
+class TestLeftReduce:
+    def test_removes_extraneous_attribute(self, schema):
+        fds = [
+            parse_fd(schema, "A -> B"),
+            parse_fd(schema, "AB -> C"),  # B is extraneous given A -> B
+        ]
+        reduced = left_reduce(fds)
+        assert {str(fd) for fd in reduced} == {"A -> B", "A -> C"}
+
+    def test_keeps_needed_attributes(self, schema):
+        fds = [parse_fd(schema, "AB -> C")]
+        assert left_reduce(fds) == fds
+
+    def test_preserves_equivalence(self, schema):
+        fds = [
+            parse_fd(schema, "A -> B"),
+            parse_fd(schema, "ABD -> C"),
+            parse_fd(schema, "D -> A"),
+        ]
+        assert equivalent_covers(left_reduce(fds), fds)
+
+
+class TestRemoveRedundant:
+    def test_drops_transitively_implied(self, schema):
+        fds = [
+            parse_fd(schema, "A -> B"),
+            parse_fd(schema, "B -> C"),
+            parse_fd(schema, "A -> C"),
+        ]
+        kept = remove_redundant(fds)
+        assert {str(fd) for fd in kept} == {"A -> B", "B -> C"}
+
+    def test_input_order_does_not_matter(self, schema):
+        fds = [
+            parse_fd(schema, "A -> C"),
+            parse_fd(schema, "B -> C"),
+            parse_fd(schema, "A -> B"),
+        ]
+        assert remove_redundant(fds) == remove_redundant(list(reversed(fds)))
+
+    def test_deduplicates(self, schema):
+        fds = [parse_fd(schema, "A -> B"), parse_fd(schema, "A -> B")]
+        assert len(remove_redundant(fds)) == 1
+
+
+class TestMinimalCover:
+    def test_is_minimal_and_equivalent(self, schema):
+        fds = [
+            parse_fd(schema, "A -> B"),
+            parse_fd(schema, "AB -> C"),
+            parse_fd(schema, "A -> C"),
+            parse_fd(schema, "BC -> D"),
+        ]
+        cover = minimal_cover(fds)
+        assert equivalent_covers(cover, fds)
+        assert is_minimal_cover(cover)
+
+    def test_empty_input(self):
+        assert minimal_cover([]) == []
+
+    def test_depminer_output_is_left_reduced_cover(self, paper_relation):
+        """The paper states {X -> A : X in lhs(dep(r), A)} is a *cover*
+        of dep(r): every lhs is minimal (left-reduced w.r.t. the
+        relation), but individual FDs may still be implied by the rest,
+        so it need not be a non-redundant canonical cover."""
+        fds = discover_fds(paper_relation)
+        assert left_reduce(fds) == fds  # already left-reduced
+        cover = minimal_cover(fds)
+        assert equivalent_covers(cover, fds)
+        assert is_minimal_cover(cover, of=fds)
+
+
+class TestIsMinimalCover:
+    def test_detects_redundancy(self, schema):
+        fds = [
+            parse_fd(schema, "A -> B"),
+            parse_fd(schema, "B -> C"),
+            parse_fd(schema, "A -> C"),
+        ]
+        assert not is_minimal_cover(fds)
+
+    def test_detects_non_reduced_lhs(self, schema):
+        fds = [parse_fd(schema, "A -> B"), parse_fd(schema, "AB -> C")]
+        assert not is_minimal_cover(fds)
+
+    def test_checks_equivalence_with_reference(self, schema):
+        cover = [parse_fd(schema, "A -> B")]
+        reference = [parse_fd(schema, "A -> B"), parse_fd(schema, "B -> C")]
+        assert not is_minimal_cover(cover, of=reference)
+        assert is_minimal_cover(
+            minimal_cover(reference), of=reference
+        )
+
+    def test_detects_duplicates(self, schema):
+        fds = [parse_fd(schema, "A -> B"), parse_fd(schema, "A -> B")]
+        assert not is_minimal_cover(fds)

@@ -1,0 +1,112 @@
+"""Unit tests for FD objects and parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import Schema
+from repro.errors import ReproError
+from repro.fd.fd import FD, fds_to_text, parse_fd, sort_fds
+
+
+@pytest.fixture
+def schema():
+    return Schema.of_width(4)
+
+
+class TestFD:
+    def test_basic_accessors(self, schema):
+        fd = FD(schema.attribute_set(["B", "C"]), "A")
+        assert fd.rhs == "A"
+        assert fd.rhs_index == 0
+        assert fd.rhs_mask == 0b1
+        assert fd.lhs.names == ("B", "C")
+        assert str(fd) == "BC -> A"
+
+    def test_rhs_by_index(self, schema):
+        fd = FD(schema.attribute_set(["A"]), 3)
+        assert fd.rhs == "D"
+
+    def test_rejects_unknown_rhs(self, schema):
+        with pytest.raises(Exception):
+            FD(schema.attribute_set(["A"]), "Z")
+        with pytest.raises(Exception):
+            FD(schema.attribute_set(["A"]), 9)
+
+    def test_trivial(self, schema):
+        assert FD(schema.attribute_set(["A", "B"]), "A").is_trivial()
+        assert not FD(schema.attribute_set(["B"]), "A").is_trivial()
+
+    def test_attributes_union(self, schema):
+        fd = FD(schema.attribute_set(["B"]), "A")
+        assert fd.attributes().names == ("A", "B")
+
+    def test_holds_in(self, schema, paper_relation):
+        paper_schema = paper_relation.schema
+        holds = FD(paper_schema.attribute_set(["D"]), "B")
+        fails = FD(paper_schema.attribute_set(["A"]), "B")
+        assert holds.holds_in(paper_relation)
+        assert not fails.holds_in(paper_relation)
+
+    def test_equality_and_hash(self, schema):
+        first = FD(schema.attribute_set(["B"]), "A")
+        second = FD(schema.attribute_set("B"), 0)
+        assert first == second
+        assert len({first, second}) == 1
+        assert first != FD(schema.attribute_set(["B"]), "C")
+
+    def test_empty_lhs_rendering(self, schema):
+        assert str(FD(schema.empty(), "A")) == "∅ -> A"
+
+
+class TestParse:
+    def test_compact_form(self, schema):
+        assert str(parse_fd(schema, "BC -> A")) == "BC -> A"
+
+    def test_comma_form(self, schema):
+        assert str(parse_fd(schema, "B,C->A")) == "BC -> A"
+
+    def test_space_form(self, schema):
+        assert str(parse_fd(schema, "B C -> A")) == "BC -> A"
+
+    def test_empty_lhs_forms(self, schema):
+        for text in ("-> A", "{} -> A", "∅ -> A"):
+            assert parse_fd(schema, text).lhs.is_empty()
+
+    def test_multicharacter_names(self):
+        schema = Schema(["left", "right", "value"])
+        fd = parse_fd(schema, "left,right -> value")
+        assert fd.lhs.names == ("left", "right")
+
+    def test_single_multicharacter_lhs(self):
+        schema = Schema(["left", "right"])
+        assert parse_fd(schema, "left -> right").lhs.names == ("left",)
+
+    def test_rejects_missing_arrow(self, schema):
+        with pytest.raises(ReproError, match="->"):
+            parse_fd(schema, "A B")
+
+    def test_rejects_unknown_rhs(self, schema):
+        with pytest.raises(ReproError, match="unknown rhs"):
+            parse_fd(schema, "A -> Z")
+
+    def test_rejects_unknown_lhs(self, schema):
+        with pytest.raises(ReproError, match="unknown attribute"):
+            parse_fd(schema, "AZ -> B")
+
+
+class TestOrderingAndText:
+    def test_sort_is_deterministic(self, schema):
+        fds = [
+            FD(schema.attribute_set(["B", "C"]), "A"),
+            FD(schema.attribute_set(["B"]), "A"),
+            FD(schema.attribute_set(["A"]), "B"),
+        ]
+        ordered = sort_fds(reversed(fds))
+        assert [str(fd) for fd in ordered] == [
+            "B -> A", "BC -> A", "A -> B",
+        ]
+
+    def test_fds_to_text(self, schema):
+        fds = [FD(schema.attribute_set(["A"]), "B")]
+        assert fds_to_text(fds) == "A -> B"

@@ -1,0 +1,115 @@
+"""Unit tests for candidate-key enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import Schema
+from repro.errors import ReproError
+from repro.fd.fd import parse_fd
+from repro.fd.keys import (
+    candidate_keys,
+    is_candidate_key,
+    is_superkey_for,
+    minimize_superkey,
+    prime_attributes,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.of_width(4)
+
+
+class TestSuperkeys:
+    def test_is_superkey_for(self, schema):
+        fds = [parse_fd(schema, "A -> B"), parse_fd(schema, "A -> C"),
+               parse_fd(schema, "A -> D")]
+        assert is_superkey_for(schema.mask_of("A"), fds, schema)
+        assert is_superkey_for(schema.mask_of(["A", "B"]), fds, schema)
+        assert not is_superkey_for(schema.mask_of("B"), fds, schema)
+
+    def test_minimize_superkey(self, schema):
+        fds = [parse_fd(schema, "A -> B"), parse_fd(schema, "A -> C"),
+               parse_fd(schema, "A -> D")]
+        minimized = minimize_superkey(schema.universe_mask, fds, schema)
+        assert minimized == schema.mask_of("A")
+
+    def test_minimize_rejects_non_superkey(self, schema):
+        with pytest.raises(ReproError, match="not a superkey"):
+            minimize_superkey(schema.mask_of("B"), [], schema)
+
+
+class TestCandidateKeys:
+    def test_single_key(self, schema):
+        fds = [parse_fd(schema, "A -> B"), parse_fd(schema, "A -> C"),
+               parse_fd(schema, "A -> D")]
+        keys = candidate_keys(fds, schema)
+        assert [k.names for k in keys] == [("A",)]
+
+    def test_cyclic_keys(self, schema):
+        # A <-> B, both extend to keys with CD absent from any rhs? Use
+        # the classic: A -> B, B -> A, AB determines nothing else, so
+        # keys are ACD and BCD.
+        fds = [parse_fd(schema, "A -> B"), parse_fd(schema, "B -> A")]
+        keys = candidate_keys(fds, schema)
+        assert sorted(k.compact() for k in keys) == ["ACD", "BCD"]
+
+    def test_all_attributes_key_when_no_fds(self, schema):
+        keys = candidate_keys([], schema)
+        assert [k.names for k in keys] == [("A", "B", "C", "D")]
+
+    def test_every_key_is_minimal(self, schema):
+        fds = [
+            parse_fd(schema, "AB -> C"),
+            parse_fd(schema, "C -> A"),
+            parse_fd(schema, "D -> B"),
+        ]
+        for key in candidate_keys(fds, schema):
+            assert is_candidate_key(key.mask, fds, schema)
+
+    def test_limit_stops_enumeration(self, schema):
+        fds = [parse_fd(schema, "A -> B"), parse_fd(schema, "B -> A")]
+        assert len(candidate_keys(fds, schema, limit=1)) == 1
+
+    def test_known_three_key_example(self):
+        # R(A,B,C) with A -> B, B -> C, C -> A: keys are A, B, C.
+        schema = Schema.of_width(3)
+        fds = [
+            parse_fd(schema, "A -> B"),
+            parse_fd(schema, "B -> C"),
+            parse_fd(schema, "C -> A"),
+        ]
+        keys = candidate_keys(fds, schema)
+        assert sorted(k.compact() for k in keys) == ["A", "B", "C"]
+
+
+class TestIsCandidateKey:
+    def test_superkey_but_not_minimal(self, schema):
+        fds = [parse_fd(schema, "A -> B"), parse_fd(schema, "A -> C"),
+               parse_fd(schema, "A -> D")]
+        assert not is_candidate_key(
+            schema.mask_of(["A", "B"]), fds, schema
+        )
+        assert is_candidate_key(schema.mask_of("A"), fds, schema)
+
+    def test_non_superkey(self, schema):
+        assert not is_candidate_key(schema.mask_of("A"), [], schema)
+
+
+class TestPrimeAttributes:
+    def test_union_of_keys(self):
+        schema = Schema.of_width(3)
+        fds = [
+            parse_fd(schema, "A -> B"),
+            parse_fd(schema, "B -> A"),
+            parse_fd(schema, "AC -> B"),
+        ]
+        # Keys: AC and BC -> prime attributes {A, B, C}.
+        prime = prime_attributes(fds, schema)
+        assert prime.names == ("A", "B", "C")
+
+    def test_non_prime_excluded(self, schema):
+        fds = [parse_fd(schema, "A -> B"), parse_fd(schema, "A -> C"),
+               parse_fd(schema, "A -> D")]
+        assert prime_attributes(fds, schema).names == ("A",)

@@ -1,0 +1,117 @@
+"""Unit tests for the closed-set lattice."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import Schema, popcount
+from repro.core.depminer import DepMiner
+from repro.errors import ReproError
+from repro.fd.fd import parse_fd
+from repro.fd.lattice import ClosedSetLattice, build_lattice
+
+
+@pytest.fixture
+def schema():
+    return Schema.of_width(4)
+
+
+@pytest.fixture
+def lattice(schema):
+    fds = [parse_fd(schema, "A -> B"), parse_fd(schema, "CD -> A")]
+    return build_lattice(schema, fds)
+
+
+class TestStructure:
+    def test_contains_universe_and_closed_sets_only(self, lattice, schema):
+        assert schema.universe_mask in lattice
+        for mask in lattice.elements:
+            assert lattice.closure(mask) == mask
+
+    def test_width_guard(self):
+        wide = Schema.of_width(20)
+        with pytest.raises(ReproError, match="width"):
+            ClosedSetLattice(wide, [])
+
+    def test_no_fds_gives_full_powerset(self, schema):
+        lattice = build_lattice(schema, [])
+        assert len(lattice) == 2 ** len(schema)
+
+
+class TestHasse:
+    def test_covers_are_strict_supersets(self, lattice):
+        for low in lattice.elements:
+            for high in lattice.upper_covers(low):
+                assert low & high == low and low != high
+
+    def test_covers_are_immediate(self, lattice):
+        for low in lattice.elements:
+            for high in lattice.upper_covers(low):
+                for mid in lattice.elements:
+                    if mid in (low, high):
+                        continue
+                    between = (
+                        low & mid == low and mid & high == mid
+                    )
+                    assert not between, (
+                        f"{bin(mid)} sits between {bin(low)}, {bin(high)}"
+                    )
+
+    def test_universe_has_no_covers(self, lattice, schema):
+        assert lattice.upper_covers(schema.universe_mask) == []
+
+    def test_unknown_element_rejected(self, lattice):
+        # {B} is not closed here? B's closure is B... actually with
+        # A -> B only, {B} IS closed.  Use a set that is not closed:
+        # {A} closes to {A, B}.
+        with pytest.raises(ReproError, match="not a closed set"):
+            lattice.upper_covers(0b0001)
+
+
+class TestOperations:
+    def test_meet_is_intersection(self, lattice):
+        elements = lattice.elements
+        for x in elements[:8]:
+            for y in elements[:8]:
+                meet = lattice.meet(x, y)
+                assert meet in lattice
+
+    def test_join_is_closure_of_union(self, lattice, schema):
+        a_b = lattice.closure(schema.mask_of("A"))
+        cd = schema.mask_of(["C", "D"])
+        join = lattice.join(a_b, cd)
+        assert join == schema.universe_mask  # CD -> A, A -> B
+
+    def test_lattice_absorption_laws(self, lattice):
+        elements = lattice.elements[:6]
+        for x in elements:
+            for y in elements:
+                assert lattice.meet(x, lattice.join(x, y)) == x
+                assert lattice.join(x, lattice.meet(x, y)) == x
+
+
+class TestGenerators:
+    def test_meet_irreducible_matches_mined_max_sets(self, paper_relation):
+        result = DepMiner().run(paper_relation)
+        lattice = build_lattice(paper_relation.schema, result.fds)
+        assert lattice.meet_irreducible() == result.max_union
+
+    def test_every_closed_set_is_a_meet_of_generators(self, lattice, schema):
+        generators = lattice.meet_irreducible()
+        universe = schema.universe_mask
+        for mask in lattice.elements:
+            meet = universe
+            for generator in generators:
+                if mask & generator == mask:
+                    meet &= generator
+            assert meet == mask
+
+
+class TestRendering:
+    def test_render_mentions_generators(self, paper_relation):
+        result = DepMiner().run(paper_relation)
+        lattice = build_lattice(paper_relation.schema, result.fds)
+        text = lattice.render()
+        assert "closed sets" in text
+        assert "*" in text
+        assert "BDE*" in text  # a maximal set of the worked example

@@ -1,0 +1,94 @@
+"""Unit tests for the FDEP baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.attributes import Schema
+from repro.core.depminer import DepMiner, discover_fds
+from repro.core.relation import Relation
+from repro.fd.bruteforce import bruteforce_minimal_fds
+from repro.fdep import Fdep, specialize_hypotheses
+
+
+class TestSpecialization:
+    def test_untouched_when_no_hypothesis_refuted(self):
+        # witness 0b001; hypothesis {B} (0b010) escapes it already.
+        assert specialize_hypotheses(0b001, [0b010], 0b111, 0b100) == [0b010]
+
+    def test_refuted_empty_hypothesis_extends(self):
+        # ∅ is refuted by any witness; extensions avoid witness and rhs.
+        result = specialize_hypotheses(0b001, [0], 0b1111, 0b1000)
+        assert result == [0b010, 0b100]
+
+    def test_minimization_after_extension(self):
+        # {A} survives; refuted ∅ would extend to {B}, {C}; witness 0b001
+        # refutes subsets of {A}... set up: witness = {A} (0b001),
+        # hypotheses = [∅, {B}]: ∅ refuted, {B} survives; extensions of ∅
+        # are {B}, {C} -> {B} kept once, {C} incomparable.
+        result = specialize_hypotheses(0b001, [0, 0b010], 0b111, 0b100)
+        assert result == [0b010]
+
+    def test_dead_end_when_no_escape(self):
+        # universe = witness ∪ rhs: nothing can escape.
+        assert specialize_hypotheses(0b01, [0], 0b11, 0b10) == []
+
+
+class TestFdep:
+    def test_paper_example(self, paper_relation):
+        result = Fdep().run(paper_relation)
+        assert result.fds == discover_fds(paper_relation)
+        assert result.num_rows == 7
+
+    def test_negative_cover_is_the_maximal_sets(self, paper_relation):
+        fdep = Fdep().run(paper_relation)
+        depminer = DepMiner().run(paper_relation)
+        assert {a: sorted(m) for a, m in fdep.negative_cover.items()} == \
+            {a: sorted(m) for a, m in depminer.max_sets.items()}
+
+    def test_lhs_families_exclude_the_trivial_singleton(self, paper_relation):
+        result = Fdep().run(paper_relation)
+        for attribute, masks in result.lhs_sets.items():
+            assert all(not mask & (1 << attribute) for mask in masks)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_matches_brute_force_on_random_relations(self, seed):
+        rng = random.Random(seed)
+        width = rng.randint(1, 5)
+        schema = Schema.of_width(width)
+        relation = Relation.from_rows(
+            schema,
+            [
+                tuple(rng.randint(0, 2) for _ in range(width))
+                for _ in range(rng.randint(0, 14))
+            ],
+        )
+        assert Fdep().run(relation).fds == bruteforce_minimal_fds(relation)
+
+    def test_constant_column(self):
+        schema = Schema.of_width(2)
+        relation = Relation.from_rows(schema, [(1, 9), (2, 9)])
+        fds = {str(fd) for fd in Fdep().run(relation).fds}
+        assert "∅ -> B" in fds
+
+    def test_empty_relation(self):
+        schema = Schema.of_width(2)
+        relation = Relation.from_rows(schema, [])
+        fds = {str(fd) for fd in Fdep().run(relation).fds}
+        assert fds == {"∅ -> A", "∅ -> B"}
+
+    def test_null_semantics_forwarded(self):
+        schema = Schema.of_width(2)
+        relation = Relation.from_rows(schema, [(None, 1), (None, 2)])
+        default = {str(fd) for fd in Fdep().run(relation).fds}
+        sql = {str(fd) for fd in Fdep(nulls_equal=False).run(relation).fds}
+        assert default != sql
+
+    def test_phase_timings(self, paper_relation):
+        result = Fdep().run(paper_relation)
+        assert set(result.phase_seconds) == {
+            "strip", "negative_cover", "specialize",
+        }
+        assert result.total_seconds >= 0

@@ -1,0 +1,105 @@
+"""Unit tests for simple hypergraphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.hypergraph.hypergraph import (
+    SimpleHypergraph,
+    maximize_sets,
+    minimize_sets,
+)
+
+
+class TestMinimizeMaximize:
+    def test_minimize(self):
+        assert minimize_sets([0b011, 0b001, 0b110]) == [0b001, 0b110]
+
+    def test_minimize_removes_duplicates(self):
+        assert minimize_sets([0b1, 0b1]) == [0b1]
+
+    def test_minimize_keeps_incomparable(self):
+        assert sorted(minimize_sets([0b011, 0b101])) == [0b011, 0b101]
+
+    def test_minimize_empty_set_dominates_all(self):
+        assert minimize_sets([0, 0b11]) == [0]
+
+    def test_maximize(self):
+        assert maximize_sets([0b011, 0b001, 0b110]) == [0b011, 0b110]
+
+    def test_maximize_empty_input(self):
+        assert maximize_sets([]) == []
+
+    def test_minimize_and_maximize_of_antichain_are_identity(self):
+        antichain = [0b0011, 0b0101, 0b1001]
+        assert sorted(minimize_sets(antichain)) == antichain
+        assert sorted(maximize_sets(antichain)) == antichain
+
+
+class TestSimpleHypergraph:
+    def test_basic_properties(self):
+        h = SimpleHypergraph(3, [0b011, 0b100])
+        assert h.num_vertices == 3
+        assert h.edges == [0b011, 0b100]
+        assert len(h) == 2
+        assert h.vertex_support == 0b111
+        assert not h.is_empty()
+
+    def test_rejects_empty_edge(self):
+        with pytest.raises(ReproError, match="empty edge"):
+            SimpleHypergraph(3, [0])
+
+    def test_rejects_out_of_universe_edge(self):
+        with pytest.raises(ReproError, match="outside"):
+            SimpleHypergraph(2, [0b100])
+
+    def test_rejects_nested_edges(self):
+        with pytest.raises(ReproError, match="nested"):
+            SimpleHypergraph(3, [0b001, 0b011])
+
+    def test_from_sets_minimizes(self):
+        h = SimpleHypergraph.from_sets(3, [0b011, 0b001, 0b110, 0])
+        assert h.edges == [0b001, 0b110]
+
+    def test_is_transversal(self):
+        h = SimpleHypergraph(3, [0b011, 0b100])
+        assert h.is_transversal(0b101)
+        assert h.is_transversal(0b111)
+        assert not h.is_transversal(0b001)
+        assert not h.is_transversal(0)
+
+    def test_empty_hypergraph_everything_is_transversal(self):
+        h = SimpleHypergraph(3, [])
+        assert h.is_empty()
+        assert h.is_transversal(0)
+
+    def test_is_minimal_transversal(self):
+        h = SimpleHypergraph(3, [0b011, 0b100])
+        assert h.is_minimal_transversal(0b101)
+        assert h.is_minimal_transversal(0b110)
+        assert not h.is_minimal_transversal(0b111)
+        assert not h.is_minimal_transversal(0b001)
+
+    def test_transversal_hypergraph(self):
+        h = SimpleHypergraph(3, [0b011, 0b100])
+        tr = h.transversal_hypergraph()
+        assert sorted(tr.edges) == [0b101, 0b110]
+
+    def test_nihilpotence_on_paper_cmax(self):
+        # cmax(dep(r), A) = {AC, ABD} over ABCDE; Tr(Tr(H)) = H.
+        ac = 0b00101
+        abd = 0b01011
+        h = SimpleHypergraph(5, [ac, abd])
+        assert h.transversal_hypergraph().transversal_hypergraph() == h
+
+    def test_equality_and_hash(self):
+        first = SimpleHypergraph(3, [0b011, 0b100])
+        second = SimpleHypergraph(3, [0b100, 0b011])
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != SimpleHypergraph(3, [0b011])
+
+    def test_iteration(self):
+        h = SimpleHypergraph(2, [0b01, 0b10])
+        assert list(h) == [0b01, 0b10]

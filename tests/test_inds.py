@@ -1,0 +1,169 @@
+"""Unit tests for inclusion-dependency discovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.realistic import write_bundle
+from repro.errors import ReproError
+from repro.ind import (
+    IND,
+    discover_inds,
+    discover_unary_inds,
+    suggest_foreign_keys,
+)
+from repro.storage import Database, Table
+
+
+@pytest.fixture
+def db():
+    database = Database("test")
+    database.create_table(
+        Table.from_rows(
+            "products",
+            ["pid", "category"],
+            [(1, "a"), (2, "b"), (3, "a"), (4, "c")],
+        )
+    )
+    database.create_table(
+        Table.from_rows(
+            "orders",
+            ["oid", "pid", "backup_pid"],
+            [(10, 1, 1), (11, 1, 2), (12, 3, 3), (13, 2, 2)],
+        )
+    )
+    return database
+
+
+class TestIndObject:
+    def test_string_form(self):
+        ind = IND("orders", ("pid",), "products", ("pid",))
+        assert str(ind) == "orders[pid] ⊆ products[pid]"
+
+    def test_canonical_pair_ordering(self):
+        first = IND("r", ("b", "a"), "s", ("y", "x"))
+        second = IND("r", ("a", "b"), "s", ("x", "y"))
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_arity_and_projections(self):
+        ind = IND("r", ("a", "b"), "s", ("x", "y"))
+        assert ind.arity == 2
+        assert set(map(str, ind.unary_projections())) == {
+            "r[a] ⊆ s[x]", "r[b] ⊆ s[y]",
+        }
+
+    def test_trivial(self):
+        assert IND("r", ("a",), "r", ("a",)).is_trivial()
+        assert not IND("r", ("a",), "r", ("b",)).is_trivial()
+
+    def test_validation(self):
+        with pytest.raises(ReproError, match="arity"):
+            IND("r", ("a",), "s", ("x", "y"))
+        with pytest.raises(ReproError, match="duplicate"):
+            IND("r", ("a", "a"), "s", ("x", "y"))
+        with pytest.raises(ReproError, match="at least one"):
+            IND("r", (), "s", ())
+
+
+class TestUnaryDiscovery:
+    def test_finds_the_foreign_key_column(self, db):
+        inds = {str(i) for i in discover_unary_inds(db)}
+        assert "orders[pid] ⊆ products[pid]" in inds
+        assert "orders[backup_pid] ⊆ products[pid]" in inds
+
+    def test_no_reverse_inclusion(self, db):
+        inds = {str(i) for i in discover_unary_inds(db)}
+        assert "products[pid] ⊆ orders[pid]" not in inds  # 4 not in orders.pid? 4 missing
+
+    def test_intra_table_inclusions_found(self, db):
+        inds = {str(i) for i in discover_unary_inds(db)}
+        # backup_pid values {1,2,3} ⊆ pid values {1,2,3} within orders.
+        assert "orders[backup_pid] ⊆ orders[pid]" in inds
+
+    def test_type_compatibility_filter(self):
+        database = Database()
+        database.create_table(
+            Table.from_rows("r", ["num"], [(1,), (2,)])
+        )
+        database.create_table(
+            Table.from_rows("s", ["text"], [("1",), ("2",), ("x",)])
+        )
+        inds = discover_unary_inds(database)
+        assert not inds  # int column never compared against str column
+
+    def test_empty_lhs_skipped_by_default(self):
+        database = Database()
+        database.create_table(Table.from_rows("r", ["a"], []))
+        # An all-empty column is typed "str"; keep s.b textual so the
+        # pair stays type-compatible.
+        database.create_table(Table.from_rows("s", ["b"], [("x",)]))
+        assert discover_unary_inds(database) == []
+        allowed = discover_unary_inds(database, allow_empty_lhs=True)
+        assert any(ind.lhs_table == "r" for ind in allowed)
+
+    def test_nulls_ignored_on_the_lhs(self):
+        database = Database()
+        database.create_table(
+            Table.from_rows("r", ["a"], [(1,), (None,)])
+        )
+        database.create_table(Table.from_rows("s", ["b"], [(1,), (2,)]))
+        inds = {str(i) for i in discover_unary_inds(database)}
+        assert "r[a] ⊆ s[b]" in inds
+
+
+class TestNaryDiscovery:
+    def test_binary_ind_found(self):
+        database = Database()
+        database.create_table(
+            Table.from_rows(
+                "ref", ["x", "y"], [(1, "a"), (2, "b"), (3, "c")]
+            )
+        )
+        database.create_table(
+            Table.from_rows(
+                "src", ["p", "q"], [(1, "a"), (2, "b"), (1, "a")]
+            )
+        )
+        inds = {str(i) for i in discover_inds(database, max_arity=2)}
+        assert "src[p, q] ⊆ ref[x, y]" in inds
+
+    def test_projections_valid_but_combination_not(self):
+        database = Database()
+        database.create_table(
+            Table.from_rows("ref", ["x", "y"], [(1, "a"), (2, "b")])
+        )
+        # (1, 'b') projects into x and into y, but the pair is absent.
+        database.create_table(
+            Table.from_rows("src", ["p", "q"], [(1, "b")])
+        )
+        inds = {str(i) for i in discover_inds(database, max_arity=2)}
+        assert "src[p] ⊆ ref[x]" in inds
+        assert "src[q] ⊆ ref[y]" in inds
+        assert "src[p, q] ⊆ ref[x, y]" not in inds
+
+    def test_max_arity_validation(self, db):
+        with pytest.raises(ReproError):
+            discover_inds(db, max_arity=0)
+
+
+class TestForeignKeySuggestions:
+    def test_unique_rhs_required(self, db):
+        suggestions = {str(i) for i in suggest_foreign_keys(db)}
+        assert "orders[pid] ⊆ products[pid]" in suggestions
+        # orders.pid has duplicates, so nothing should reference it.
+        assert not any("⊆ orders[pid]" in s for s in suggestions)
+
+
+class TestWarehouseBundle:
+    def test_planted_foreign_keys_discovered(self, tmp_path):
+        write_bundle(tmp_path, seed=0)
+        database = Database()
+        database.load_directory(tmp_path)
+        suggestions = {str(i) for i in suggest_foreign_keys(database)}
+        assert "orders[product] ⊆ products[product_id]" in suggestions
+        assert "orders[customer] ⊆ customers[customer_id]" in suggestions
+        assert "flights[origin] ⊆ airports[code]" in suggestions
+        assert "flights[destination] ⊆ airports[code]" in suggestions
+        assert "hospital[city] ⊆ cities[city]" in suggestions
+        assert "hospital[ward] ⊆ wards[ward]" in suggestions

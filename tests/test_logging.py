@@ -1,0 +1,36 @@
+"""Unit tests for the miners' logging instrumentation."""
+
+from __future__ import annotations
+
+import logging
+
+from repro.core.depminer import DepMiner
+from repro.tane.tane import Tane
+
+
+class TestDepMinerLogging:
+    def test_debug_messages_cover_the_phases(self, paper_relation, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.depminer"):
+            DepMiner().run(paper_relation)
+        text = caplog.text
+        assert "stripped 5 attributes" in text
+        assert "agree sets: 5" in text
+        assert "lhs families computed" in text
+
+    def test_info_summary(self, paper_relation, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.depminer"):
+            DepMiner().run(paper_relation)
+        assert "mined 14 minimal FDs" in caplog.text
+
+    def test_silent_by_default(self, paper_relation, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.depminer"):
+            DepMiner().run(paper_relation)
+        assert caplog.text == ""
+
+
+class TestTaneLogging:
+    def test_level_progress(self, paper_relation, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.tane"):
+            Tane().run(paper_relation)
+        assert "TANE level 1: 5 nodes" in caplog.text
+        assert "TANE level 2" in caplog.text

@@ -1,0 +1,85 @@
+"""Unit tests for assorted late additions: rename, Database persistence,
+Armstrong size bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.armstrong import minimum_armstrong_size_bounds
+from repro.core.attributes import Schema
+from repro.core.depminer import DepMiner
+from repro.core.relation import Relation
+from repro.errors import RelationError
+from repro.storage.database import Database
+from repro.storage.table import Table
+
+
+class TestRename:
+    def test_rename_some_columns(self):
+        relation = Relation.from_rows(
+            Schema(["a", "b"]), [(1, "x"), (2, "y")]
+        )
+        renamed = relation.rename({"a": "id"})
+        assert renamed.schema.names == ("id", "b")
+        assert list(renamed.rows()) == list(relation.rows())
+
+    def test_rename_enables_joins(self):
+        employees = Relation.from_rows(
+            Schema(["emp", "dept_id"]), [("ann", 1), ("bob", 2)]
+        )
+        departments = Relation.from_rows(
+            Schema(["id", "dept"]), [(1, "cs"), (2, "math")]
+        )
+        joined = employees.natural_join(
+            departments.rename({"id": "dept_id"})
+        )
+        assert sorted(joined.rows()) == [
+            ("ann", 1, "cs"), ("bob", 2, "math"),
+        ]
+
+    def test_rename_unknown_attribute(self):
+        relation = Relation.from_rows(Schema(["a"]), [(1,)])
+        with pytest.raises(RelationError, match="unknown"):
+            relation.rename({"z": "y"})
+
+    def test_rename_collision_is_a_schema_error(self):
+        relation = Relation.from_rows(Schema(["a", "b"]), [(1, 2)])
+        with pytest.raises(Exception, match="duplicate"):
+            relation.rename({"a": "b"})
+
+
+class TestDatabasePersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        db = Database("wh")
+        db.create_table(
+            Table.from_rows("emp", ["id", "dept"], [(1, "cs"), (2, "ee")])
+        )
+        db.create_table(Table.from_rows("dept", ["code"], [("cs",)]))
+        written = db.save(tmp_path)
+        assert sorted(p.name for p in written) == ["dept.csv", "emp.csv"]
+        restored = Database.load(tmp_path)
+        assert restored.table_names() == ["dept", "emp"]
+        assert list(restored.table("emp").rows()) == [(1, "cs"), (2, "ee")]
+
+    def test_load_names_after_directory(self, tmp_path):
+        (tmp_path / "t.csv").write_text("a\n1\n")
+        assert Database.load(tmp_path).name == tmp_path.name
+
+
+class TestArmstrongSizeBounds:
+    def test_degenerate(self):
+        assert minimum_armstrong_size_bounds([]) == (1, 1)
+
+    def test_small_cases(self):
+        assert minimum_armstrong_size_bounds([0b1]) == (2, 2)
+        assert minimum_armstrong_size_bounds([1, 2, 3]) == (3, 4)
+
+    def test_lower_bound_is_the_pair_coverage_threshold(self):
+        lower, upper = minimum_armstrong_size_bounds(list(range(1, 11)))
+        assert lower == 5            # C(5,2) = 10 >= 10
+        assert upper == 11
+
+    def test_bounds_bracket_the_construction(self, paper_relation):
+        result = DepMiner().run(paper_relation)
+        lower, upper = minimum_armstrong_size_bounds(result.max_union)
+        assert lower <= len(result.armstrong) <= upper

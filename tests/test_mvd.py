@@ -1,0 +1,241 @@
+"""Unit tests for multivalued dependencies and 4NF."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import Schema
+from repro.core.relation import Relation
+from repro.errors import ReproError
+from repro.fd.fd import parse_fd
+from repro.fd.mvd import (
+    MVD,
+    decompose_4nf,
+    dependency_basis,
+    fourth_nf_violations,
+    implies_mvd,
+    is_4nf,
+)
+
+
+def mvd(schema, lhs, rhs):
+    return MVD(
+        schema.attribute_set(list(lhs)), schema.attribute_set(list(rhs))
+    )
+
+
+@pytest.fixture
+def schema():
+    return Schema.of_width(4)  # A B C D
+
+
+@pytest.fixture
+def course_relation():
+    """The textbook course/teacher/book relation: course ↠ teacher."""
+    schema = Schema(["course", "teacher", "book"])
+    rows = [
+        ("db", "smith", "ullman"),
+        ("db", "smith", "date"),
+        ("db", "jones", "ullman"),
+        ("db", "jones", "date"),
+        ("ai", "wong", "russell"),
+    ]
+    return Relation.from_rows(schema, rows)
+
+
+class TestMvdObject:
+    def test_normalised_rhs_excludes_lhs(self, schema):
+        dependency = mvd(schema, "AB", "BC")
+        assert dependency.rhs.names == ("C",)
+
+    def test_complement(self, schema):
+        dependency = mvd(schema, "A", "B")
+        assert dependency.complement().rhs.names == ("C", "D")
+
+    def test_trivial_forms(self, schema):
+        assert mvd(schema, "AB", "B").is_trivial()       # rhs ⊆ lhs
+        assert mvd(schema, "A", "BCD").is_trivial()      # lhs ∪ rhs = R
+        assert not mvd(schema, "A", "B").is_trivial()
+
+    def test_str(self, schema):
+        assert str(mvd(schema, "A", "BC")) == "A ->> BC"
+
+
+class TestHoldsIn:
+    def test_cross_product_group_satisfies(self, course_relation):
+        schema = course_relation.schema
+        dependency = MVD(
+            schema.attribute_set(["course"]),
+            schema.attribute_set(["teacher"]),
+        )
+        assert dependency.holds_in(course_relation)
+        # Complementation: course ->> book holds too.
+        assert dependency.complement().holds_in(course_relation)
+
+    def test_missing_combination_fails(self, course_relation):
+        schema = course_relation.schema
+        # Dropping (db, jones, date) leaves the db group short of the
+        # full teacher × book cross product.
+        dependency = MVD(
+            schema.attribute_set(["course"]),
+            schema.attribute_set(["teacher"]),
+        )
+        rows = [
+            ("db", "smith", "ullman"),
+            ("db", "smith", "date"),
+            ("db", "jones", "ullman"),
+            ("ai", "wong", "russell"),
+        ]
+        partial = Relation.from_rows(schema, rows)
+        assert not dependency.holds_in(partial)
+
+    def test_every_fd_is_an_mvd(self, paper_relation):
+        """X → A implies X ↠ A on instances."""
+        from repro.core.depminer import discover_fds
+
+        schema = paper_relation.schema
+        for fd in discover_fds(paper_relation):
+            dependency = MVD(
+                fd.lhs, schema.from_mask(fd.rhs_mask)
+            )
+            assert dependency.holds_in(paper_relation), str(fd)
+
+    def test_schema_mismatch(self, schema, course_relation):
+        with pytest.raises(ReproError):
+            mvd(schema, "A", "B").holds_in(course_relation)
+
+
+class TestDependencyBasis:
+    def test_partitions_the_complement(self, schema):
+        fds = [parse_fd(schema, "A -> B")]
+        mvds = [mvd(schema, "A", "C")]
+        basis = dependency_basis(
+            schema.mask_of("A"), fds, mvds, schema
+        )
+        union = 0
+        for block in basis:
+            union |= block
+        assert union == schema.universe_mask & ~schema.mask_of("A")
+        # Blocks are pairwise disjoint.
+        total = sum(bin(block).count("1") for block in basis)
+        assert total == bin(union).count("1")
+
+    def test_fd_splits_to_singletons(self, schema):
+        fds = [parse_fd(schema, "A -> B")]
+        basis = dependency_basis(schema.mask_of("A"), fds, [], schema)
+        assert schema.mask_of("B") in basis
+
+    def test_no_dependencies_one_block(self, schema):
+        basis = dependency_basis(schema.mask_of("A"), [], [], schema)
+        assert basis == [schema.universe_mask & ~schema.mask_of("A")]
+
+
+class TestImplication:
+    def test_given_mvd_is_implied(self, schema):
+        mvds = [mvd(schema, "A", "BC")]
+        assert implies_mvd([], mvds, mvd(schema, "A", "BC"))
+
+    def test_complement_is_implied(self, schema):
+        mvds = [mvd(schema, "A", "B")]
+        assert implies_mvd([], mvds, mvd(schema, "A", "CD"))
+
+    def test_fd_conversion(self, schema):
+        fds = [parse_fd(schema, "A -> B")]
+        assert implies_mvd(fds, [], mvd(schema, "A", "B"))
+
+    def test_union_of_blocks(self, schema):
+        mvds = [mvd(schema, "A", "B"), mvd(schema, "A", "C")]
+        assert implies_mvd([], mvds, mvd(schema, "A", "BC"))
+
+    def test_non_implied(self, schema):
+        mvds = [mvd(schema, "A", "BC")]
+        assert not implies_mvd([], mvds, mvd(schema, "A", "B"))
+
+    def test_implied_mvds_hold_on_instances(self, course_relation):
+        """Soundness spot check: implied MVDs hold wherever the givens
+        hold."""
+        schema = course_relation.schema
+        given = MVD(
+            schema.attribute_set(["course"]),
+            schema.attribute_set(["teacher"]),
+        )
+        target = given.complement()
+        assert implies_mvd([], [given], target)
+        assert target.holds_in(course_relation)
+
+
+class Test4NF:
+    def test_violation_detection(self, schema):
+        fds = []
+        mvds = [mvd(schema, "A", "B")]
+        violations = fourth_nf_violations(fds, mvds, schema)
+        assert violations == mvds
+        assert not is_4nf(fds, mvds, schema)
+
+    def test_superkey_lhs_is_fine(self, schema):
+        fds = [parse_fd(schema, "A -> B"), parse_fd(schema, "A -> C"),
+               parse_fd(schema, "A -> D")]
+        mvds = [mvd(schema, "A", "B")]
+        assert is_4nf(fds, mvds, schema)
+
+    def test_decomposition_splits_on_the_mvd(self):
+        schema = Schema(["course", "teacher", "book"])
+        dependency = MVD(
+            schema.attribute_set(["course"]),
+            schema.attribute_set(["teacher"]),
+        )
+        fragments = decompose_4nf([], [dependency], schema)
+        names = {
+            tuple(fragment.attributes.names) for fragment in fragments
+        }
+        assert names == {("course", "teacher"), ("course", "book")}
+
+    def test_decomposition_is_lossless_on_instances(self, course_relation):
+        schema = course_relation.schema
+        dependency = MVD(
+            schema.attribute_set(["course"]),
+            schema.attribute_set(["teacher"]),
+        )
+        fragments = decompose_4nf([], [dependency], schema)
+        assert len(fragments) == 2
+        projections = [
+            course_relation.project(fragment.attributes.names)
+            for fragment in fragments
+        ]
+        joined = projections[0].natural_join(projections[1])
+        assert joined.project(schema.names) == course_relation.distinct()
+
+    def test_4nf_schema_is_untouched(self, schema):
+        fds = [parse_fd(schema, "A -> B"), parse_fd(schema, "A -> C"),
+               parse_fd(schema, "A -> D")]
+        fragments = decompose_4nf(fds, [mvd(schema, "A", "B")], schema)
+        assert len(fragments) == 1
+        assert fragments[0].attributes == schema.universe()
+
+
+class TestNaturalJoin:
+    def test_joins_on_common_attribute(self):
+        left = Relation.from_rows(
+            Schema(["a", "b"]), [(1, "x"), (2, "y")]
+        )
+        right = Relation.from_rows(
+            Schema(["b", "c"]), [("x", 10), ("x", 20), ("z", 30)]
+        )
+        joined = left.natural_join(right)
+        assert joined.schema.names == ("a", "b", "c")
+        assert sorted(joined.rows()) == [(1, "x", 10), (1, "x", 20)]
+
+    def test_cross_product_without_common_attributes(self):
+        left = Relation.from_rows(Schema(["a"]), [(1,), (2,)])
+        right = Relation.from_rows(Schema(["b"]), [("x",), ("y",)])
+        joined = left.natural_join(right)
+        assert len(joined) == 4
+
+    def test_lossless_binary_split_verified_on_instance(self, paper_relation):
+        """Heath's theorem in action: splitting on B -> D E gives a
+        lossless decomposition of the worked example."""
+        schema = paper_relation.schema
+        left = paper_relation.project(["B", "D", "E"])
+        right = paper_relation.project(["A", "B", "C"])
+        joined = right.natural_join(left)
+        assert joined.project(schema.names) == paper_relation.distinct()

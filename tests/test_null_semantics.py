@@ -1,0 +1,137 @@
+"""Unit tests for the two NULL semantics (null = null vs SQL nulls)."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+
+from repro.core.attributes import Schema
+from repro.core.depminer import DepMiner
+from repro.core.relation import Relation
+from repro.fd.fd import FD, sort_fds
+from repro.partitions.database import StrippedPartitionDatabase
+from repro.partitions.partition import stripped_partition_of_column
+from repro.tane.tane import Tane
+
+
+def null_aware_bruteforce(relation, nulls_equal):
+    """Brute-force minimal FDs under the chosen null semantics."""
+    schema = relation.schema
+    width = len(schema)
+    fds = []
+    for rhs_index in range(width):
+        rhs = schema.from_mask(1 << rhs_index)
+        others = [a for a in range(width) if a != rhs_index]
+        found = []
+        for size in range(len(others) + 1):
+            for subset in combinations(others, size):
+                mask = 0
+                for attribute in subset:
+                    mask |= 1 << attribute
+                if any(mask & f == f for f in found):
+                    continue
+                lhs = schema.from_mask(mask)
+                if relation.satisfies(lhs, rhs, nulls_equal=nulls_equal):
+                    found.append(mask)
+                    fds.append(FD(lhs, rhs_index))
+    return sort_fds(fds)
+
+
+class TestStrippedPartitionNulls:
+    def test_null_rows_dropped_under_sql_semantics(self):
+        partition = stripped_partition_of_column(
+            [None, None, 1, 1], nulls_equal=False
+        )
+        assert partition.classes == [(2, 3)]
+
+    def test_null_rows_grouped_by_default(self):
+        partition = stripped_partition_of_column([None, None, 1, 1])
+        assert partition.classes == [(0, 1), (2, 3)]
+
+
+class TestSatisfiesNulls:
+    def test_null_in_lhs_cannot_violate(self):
+        schema = Schema.of_width(2)
+        relation = Relation.from_rows(
+            schema, [(None, 1), (None, 2), (3, 3)]
+        )
+        assert not relation.satisfies(["A"], ["B"])  # default: violated
+        assert relation.satisfies(["A"], ["B"], nulls_equal=False)
+
+    def test_null_in_rhs_breaks_agreement(self):
+        schema = Schema.of_width(2)
+        relation = Relation.from_rows(schema, [(1, None), (1, None)])
+        assert relation.satisfies(["A"], ["B"])  # None == None
+        assert not relation.satisfies(["A"], ["B"], nulls_equal=False)
+
+
+class TestMinersUnderSqlNulls:
+    CASES = [
+        [(None, 1), (None, 2), (3, 3)],
+        [(1, None), (1, None), (2, 5)],
+        [(None, None), (None, None)],
+        [(1, 2), (1, 2), (None, 3)],
+    ]
+
+    @pytest.mark.parametrize("rows", CASES)
+    def test_depminer_matches_null_aware_bruteforce(self, rows):
+        schema = Schema.of_width(2)
+        relation = Relation.from_rows(schema, rows)
+        expected = null_aware_bruteforce(relation, nulls_equal=False)
+        mined = DepMiner(
+            build_armstrong="none", nulls_equal=False
+        ).run(relation).fds
+        assert mined == expected
+
+    @pytest.mark.parametrize("rows", CASES)
+    def test_tane_matches_null_aware_bruteforce(self, rows):
+        schema = Schema.of_width(2)
+        relation = Relation.from_rows(schema, rows)
+        expected = null_aware_bruteforce(relation, nulls_equal=False)
+        assert Tane(nulls_equal=False).run(relation).fds == expected
+
+    def test_semantics_differ_on_null_heavy_data(self):
+        schema = Schema.of_width(2)
+        relation = Relation.from_rows(
+            schema, [(None, 1), (None, 2), (3, 3), (4, 3)]
+        )
+        default = DepMiner(build_armstrong="none").run(relation).fds
+        sql = DepMiner(
+            build_armstrong="none", nulls_equal=False
+        ).run(relation).fds
+        assert default != sql
+
+    def test_random_cross_check(self):
+        import random
+
+        rng = random.Random(11)
+        for _trial in range(40):
+            width = rng.randint(2, 4)
+            schema = Schema.of_width(width)
+            rows = [
+                tuple(
+                    rng.choice([None, 0, 1, 2]) for _ in range(width)
+                )
+                for _ in range(rng.randint(0, 10))
+            ]
+            relation = Relation.from_rows(schema, rows)
+            expected = null_aware_bruteforce(relation, nulls_equal=False)
+            mined = DepMiner(
+                build_armstrong="none", nulls_equal=False
+            ).run(relation).fds
+            tane = Tane(nulls_equal=False).run(relation).fds
+            assert mined == expected, rows
+            assert tane == expected, rows
+
+
+class TestSpdbOption:
+    def test_from_relation_forwards_flag(self):
+        schema = Schema.of_width(1)
+        relation = Relation.from_rows(schema, [(None,), (None,)])
+        default = StrippedPartitionDatabase.from_relation(relation)
+        sql = StrippedPartitionDatabase.from_relation(
+            relation, nulls_equal=False
+        )
+        assert default.partition(0).num_classes == 1
+        assert sql.partition(0).num_classes == 0

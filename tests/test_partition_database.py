@@ -1,0 +1,113 @@
+"""Unit tests for stripped partition databases and maximal classes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import Schema
+from repro.core.relation import Relation
+from repro.errors import RelationError
+from repro.partitions.database import StrippedPartitionDatabase
+from repro.partitions.partition import StrippedPartition
+
+
+@pytest.fixture
+def small_relation():
+    schema = Schema(["a", "b"])
+    return Relation.from_rows(
+        schema, [(1, "x"), (1, "x"), (2, "y"), (3, "y")]
+    )
+
+
+class TestConstruction:
+    def test_from_relation(self, small_relation):
+        spdb = StrippedPartitionDatabase.from_relation(small_relation)
+        assert spdb.num_rows == 4
+        assert len(spdb) == 2
+        assert spdb.partition("a").classes == [(0, 1)]
+        assert spdb.partition("b").classes == [(0, 1), (2, 3)]
+        assert spdb.partition(0) == spdb.partition("a")
+
+    def test_requires_partition_per_attribute(self):
+        schema = Schema(["a", "b"])
+        with pytest.raises(RelationError, match="one partition"):
+            StrippedPartitionDatabase(
+                schema, {0: StrippedPartition([], 3)}, 3
+            )
+
+    def test_requires_consistent_row_counts(self):
+        schema = Schema(["a", "b"])
+        with pytest.raises(RelationError, match="same number"):
+            StrippedPartitionDatabase(
+                schema,
+                {0: StrippedPartition([], 3), 1: StrippedPartition([], 4)},
+                3,
+            )
+
+    def test_iteration_in_schema_order(self, small_relation):
+        spdb = StrippedPartitionDatabase.from_relation(small_relation)
+        assert [index for index, _ in spdb] == [0, 1]
+
+    def test_total_classes(self, small_relation):
+        spdb = StrippedPartitionDatabase.from_relation(small_relation)
+        assert spdb.total_classes() == 3
+
+    def test_repr_mentions_shape(self, small_relation):
+        spdb = StrippedPartitionDatabase.from_relation(small_relation)
+        assert "rows=4" in repr(spdb)
+
+
+class TestMaximalClasses:
+    def test_drops_dominated_classes(self):
+        schema = Schema(["a", "b"])
+        # b's class {0,1,2} strictly contains a's class {0,1}.
+        relation = Relation.from_rows(
+            schema, [(1, "x"), (1, "x"), (2, "x"), (3, "y")]
+        )
+        spdb = StrippedPartitionDatabase.from_relation(relation)
+        assert spdb.maximal_classes() == [(0, 1, 2)]
+
+    def test_keeps_overlapping_incomparable_classes(self):
+        schema = Schema(["a", "b"])
+        relation = Relation.from_rows(
+            schema, [(1, "x"), (1, "y"), (2, "x")]
+        )
+        spdb = StrippedPartitionDatabase.from_relation(relation)
+        # a groups {0,1}; b groups {0,2}: neither contains the other.
+        assert spdb.maximal_classes() == [(0, 1), (0, 2)]
+
+    def test_deduplicates_identical_classes(self, small_relation):
+        spdb = StrippedPartitionDatabase.from_relation(small_relation)
+        # {0,1} appears in both a and b; kept once.
+        assert spdb.maximal_classes() == [(0, 1), (2, 3)]
+
+    def test_no_classes_for_all_distinct_relation(self):
+        schema = Schema(["a", "b"])
+        relation = Relation.from_rows(schema, [(1, "x"), (2, "y")])
+        spdb = StrippedPartitionDatabase.from_relation(relation)
+        assert spdb.maximal_classes() == []
+
+    def test_empty_relation(self):
+        schema = Schema(["a"])
+        relation = Relation.from_rows(schema, [])
+        spdb = StrippedPartitionDatabase.from_relation(relation)
+        assert spdb.maximal_classes() == []
+
+
+class TestIdentifiers:
+    def test_identifiers_only_cover_stripped_rows(self, small_relation):
+        spdb = StrippedPartitionDatabase.from_relation(small_relation)
+        ec = spdb.equivalence_class_identifiers()
+        assert ec[0] == {0: 0, 1: 0}
+        assert ec[2] == {1: 1}
+        assert ec[3] == {1: 1}
+        # Rows 2 and 3 are singletons under 'a': no (a, i) identifier.
+        assert 0 not in ec[2]
+
+    def test_row_in_no_class_is_absent(self):
+        schema = Schema(["a"])
+        relation = Relation.from_rows(schema, [(1,), (2,), (2,)])
+        spdb = StrippedPartitionDatabase.from_relation(relation)
+        ec = spdb.equivalence_class_identifiers()
+        assert 0 not in ec
+        assert ec[1] == {0: 0}

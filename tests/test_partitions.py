@@ -1,0 +1,140 @@
+"""Unit tests for partitions, stripped partitions and their product."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RelationError
+from repro.partitions.partition import (
+    StrippedPartition,
+    full_partition,
+    partition_product,
+    stripped_partition_of_column,
+)
+
+
+class TestFullPartition:
+    def test_groups_by_value(self):
+        assert full_partition(["x", "y", "x", "z", "y"]) == [
+            (0, 2), (1, 4), (3,)
+        ]
+
+    def test_empty_column(self):
+        assert full_partition([]) == []
+
+    def test_all_equal(self):
+        assert full_partition([7, 7, 7]) == [(0, 1, 2)]
+
+    def test_none_values_group_together(self):
+        assert full_partition([None, 1, None]) == [(0, 2), (1,)]
+
+
+class TestStrippedPartition:
+    def test_strips_singletons(self):
+        partition = stripped_partition_of_column(["x", "y", "x", "z"])
+        assert partition.classes == [(0, 2)]
+        assert partition.num_rows == 4
+
+    def test_counts(self):
+        partition = StrippedPartition([(0, 1), (2, 3, 4)], num_rows=7)
+        assert partition.num_classes == 2
+        assert partition.num_rows_in_classes == 5
+        assert partition.num_full_classes == 4  # 2 stripped + 2 singletons
+        assert partition.rank() == 3
+        assert partition.error == pytest.approx(3 / 7)
+
+    def test_error_of_empty_relation_is_zero(self):
+        assert StrippedPartition([], num_rows=0).error == 0.0
+
+    def test_is_superkey(self):
+        assert StrippedPartition([], num_rows=5).is_superkey()
+        assert not StrippedPartition([(0, 1)], num_rows=5).is_superkey()
+
+    def test_rejects_singleton_classes(self):
+        with pytest.raises(RelationError, match="singleton"):
+            StrippedPartition([(0,)], num_rows=3)
+
+    def test_rejects_out_of_range_rows(self):
+        with pytest.raises(RelationError, match="outside"):
+            StrippedPartition([(0, 5)], num_rows=3)
+
+    def test_rejects_negative_num_rows(self):
+        with pytest.raises(RelationError):
+            StrippedPartition([], num_rows=-1)
+
+    def test_canonical_ordering(self):
+        partition = StrippedPartition([(4, 3), (1, 0)], num_rows=5)
+        assert partition.classes == [(0, 1), (3, 4)]
+
+    def test_equality_and_hash(self):
+        first = StrippedPartition([(0, 1)], num_rows=3)
+        second = StrippedPartition([(1, 0)], num_rows=3)
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != StrippedPartition([(0, 1)], num_rows=4)
+
+    def test_iteration_and_len(self):
+        partition = StrippedPartition([(0, 1), (2, 3)], num_rows=4)
+        assert len(partition) == 2
+        assert list(partition) == [(0, 1), (2, 3)]
+
+
+class TestRefines:
+    def test_refinement_holds(self):
+        finer = StrippedPartition([(0, 1)], num_rows=4)
+        coarser = StrippedPartition([(0, 1, 2)], num_rows=4)
+        assert finer.refines(coarser)
+        assert not coarser.refines(finer)
+
+    def test_refinement_fails_across_classes(self):
+        left = StrippedPartition([(0, 1), (2, 3)], num_rows=4)
+        right = StrippedPartition([(0, 2), (1, 3)], num_rows=4)
+        assert not left.refines(right)
+
+    def test_refines_requires_same_relation(self):
+        with pytest.raises(RelationError):
+            StrippedPartition([], 3).refines(StrippedPartition([], 4))
+
+
+class TestProduct:
+    def direct(self, left_column, right_column):
+        """Oracle: stripped partition of the zipped pair column."""
+        return stripped_partition_of_column(
+            list(zip(left_column, right_column))
+        )
+
+    def test_product_matches_direct_grouping(self):
+        left_column = ["x", "x", "y", "y", "x", "z"]
+        right_column = [1, 1, 1, 2, 2, 3]
+        left = stripped_partition_of_column(left_column)
+        right = stripped_partition_of_column(right_column)
+        assert partition_product(left, right) == self.direct(
+            left_column, right_column
+        )
+
+    def test_product_is_commutative(self):
+        left = stripped_partition_of_column([1, 1, 2, 2, 1])
+        right = stripped_partition_of_column(["a", "b", "a", "a", "a"])
+        assert partition_product(left, right) == partition_product(
+            right, left
+        )
+
+    def test_product_with_superkey_is_superkey(self):
+        key = stripped_partition_of_column([1, 2, 3, 4])
+        other = stripped_partition_of_column([1, 1, 1, 1])
+        assert partition_product(key, other).is_superkey()
+
+    def test_product_with_self_is_identity(self):
+        partition = stripped_partition_of_column([1, 1, 2, 2, 3])
+        assert partition_product(partition, partition) == partition
+
+    def test_product_requires_same_relation(self):
+        with pytest.raises(RelationError):
+            partition_product(
+                StrippedPartition([], 3), StrippedPartition([], 4)
+            )
+
+    def test_method_form(self):
+        left = stripped_partition_of_column([1, 1, 2])
+        right = stripped_partition_of_column([5, 5, 5])
+        assert left.product(right) == partition_product(left, right)

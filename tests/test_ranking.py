@@ -1,0 +1,95 @@
+"""Unit tests for evidence-based FD ranking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import Schema
+from repro.core.depminer import discover_fds
+from repro.core.ranking import fd_evidence, rank_fds, witness_pairs
+from repro.core.relation import Relation
+from repro.fd.fd import parse_fd
+from repro.partitions.partition import stripped_partition_of_column
+
+
+class TestWitnessPairs:
+    def test_counts_pairs_within_classes(self):
+        partition = stripped_partition_of_column([1, 1, 1, 2, 2, 3])
+        # {0,1,2} -> 3 pairs, {3,4} -> 1 pair.
+        assert witness_pairs(partition) == 4
+
+    def test_empty_partition(self):
+        assert witness_pairs(stripped_partition_of_column([1, 2, 3])) == 0
+
+
+class TestFdEvidence:
+    @pytest.fixture
+    def relation(self):
+        schema = Schema.of_width(3)
+        # A is a key (so A -> * is vacuous); B -> C has real support.
+        return Relation.from_rows(
+            schema,
+            [(1, "x", 0), (2, "x", 0), (3, "y", 1), (4, "y", 1),
+             (5, "y", 1)],
+        )
+
+    def test_vacuous_fd_detected(self, relation):
+        schema = relation.schema
+        evidence = fd_evidence(relation, [parse_fd(schema, "A -> B")])
+        assert evidence[0].is_vacuous
+        assert "VACUOUS" in evidence[0].render()
+
+    def test_supported_fd_counts_pairs(self, relation):
+        schema = relation.schema
+        evidence = fd_evidence(relation, [parse_fd(schema, "B -> C")])
+        # B groups: {x: 2 rows} -> 1 pair, {y: 3 rows} -> 3 pairs.
+        assert evidence[0].witness_pairs == 4
+        assert evidence[0].witness_fraction == pytest.approx(4 / 10)
+        assert not evidence[0].is_vacuous
+
+    def test_empty_lhs_counts_all_pairs(self, relation):
+        schema = relation.schema
+        evidence = fd_evidence(relation, [parse_fd(schema, "∅ -> A")])
+        assert evidence[0].witness_pairs == 10  # C(5,2)
+
+    def test_compound_lhs_uses_partition_product(self, relation):
+        schema = relation.schema
+        evidence = fd_evidence(relation, [parse_fd(schema, "BC -> A")])
+        # (B, C) groups equal B's groups here.
+        assert evidence[0].witness_pairs == 4
+
+    def test_witness_count_matches_naive_pair_count(self, paper_relation):
+        """Cross-check against direct pair enumeration."""
+        fds = discover_fds(paper_relation)
+        schema = paper_relation.schema
+        for evidence in fd_evidence(paper_relation, fds):
+            direct = sum(
+                1
+                for i in range(len(paper_relation))
+                for j in range(i + 1, len(paper_relation))
+                if paper_relation.tuples_agree(i, j, evidence.fd.lhs)
+            )
+            assert evidence.witness_pairs == direct, str(evidence.fd)
+
+
+class TestRankFds:
+    def test_strongest_first_vacuous_last(self, paper_relation):
+        fds = discover_fds(paper_relation)
+        ranked = rank_fds(paper_relation, fds)
+        counts = [e.witness_pairs for e in ranked]
+        assert counts == sorted(counts, reverse=True)
+        assert len(ranked) == len(fds)
+
+    def test_accidental_fd_ranks_below_genuine_one(self):
+        schema = Schema.of_width(3)
+        # C -> B is heavily exercised; A is unique so A -> B is vacuous.
+        relation = Relation.from_rows(
+            schema,
+            [(i, i % 2, i % 2) for i in range(10)],
+        )
+        fds = discover_fds(relation)
+        ranked = rank_fds(relation, fds)
+        by_fd = {str(e.fd): e for e in ranked}
+        assert by_fd["C -> B"].witness_pairs > 0
+        assert by_fd["A -> B"].is_vacuous
+        assert ranked.index(by_fd["C -> B"]) < ranked.index(by_fd["A -> B"])

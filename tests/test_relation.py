@@ -1,0 +1,189 @@
+"""Unit tests for the Relation container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import Schema
+from repro.core.relation import Relation
+from repro.errors import RelationError, SchemaMismatchError
+
+
+@pytest.fixture
+def schema():
+    return Schema(["a", "b", "c"])
+
+
+@pytest.fixture
+def relation(schema):
+    return Relation.from_rows(
+        schema,
+        [
+            (1, "x", 10),
+            (1, "y", 10),
+            (2, "x", 20),
+            (2, "x", 20),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_from_rows(self, relation):
+        assert len(relation) == 4
+        assert relation.row(0) == (1, "x", 10)
+        assert relation.row(3) == (2, "x", 20)
+
+    def test_from_columns(self, schema):
+        r = Relation.from_columns(schema, [[1, 2], ["x", "y"], [10, 20]])
+        assert list(r.rows()) == [(1, "x", 10), (2, "y", 20)]
+
+    def test_from_dicts_infers_schema(self):
+        r = Relation.from_dicts([{"p": 1, "q": 2}, {"p": 3, "q": 4}])
+        assert r.schema.names == ("p", "q")
+        assert r.row(1) == (3, 4)
+
+    def test_from_dicts_with_explicit_schema(self, schema):
+        r = Relation.from_dicts(
+            [{"a": 1, "b": "x", "c": 2}], schema=schema
+        )
+        assert r.row(0) == (1, "x", 2)
+
+    def test_from_dicts_missing_attribute(self, schema):
+        with pytest.raises(RelationError, match="missing attribute"):
+            Relation.from_dicts([{"a": 1, "b": "x"}], schema=schema)
+
+    def test_from_dicts_empty_without_schema(self):
+        with pytest.raises(RelationError):
+            Relation.from_dicts([])
+
+    def test_rejects_wrong_arity(self, schema):
+        with pytest.raises(RelationError, match="arity"):
+            Relation.from_rows(schema, [(1, 2)])
+
+    def test_rejects_ragged_columns(self, schema):
+        with pytest.raises(RelationError, match="ragged"):
+            Relation.from_columns(schema, [[1], [2, 3], [4]])
+
+    def test_rejects_wrong_column_count(self, schema):
+        with pytest.raises(RelationError, match="columns"):
+            Relation.from_columns(schema, [[1], [2]])
+
+    def test_empty_relation(self, schema):
+        r = Relation.from_rows(schema, [])
+        assert len(r) == 0
+        assert list(r.rows()) == []
+
+
+class TestAccessors:
+    def test_column_by_name_and_index(self, relation):
+        assert relation.column("a") == [1, 1, 2, 2]
+        assert relation.column(1) == ["x", "y", "x", "x"]
+
+    def test_row_out_of_range(self, relation):
+        with pytest.raises(RelationError):
+            relation.row(99)
+        with pytest.raises(RelationError):
+            relation.row(-1)
+
+    def test_attributes_is_universe(self, relation):
+        assert relation.attributes == relation.schema.universe()
+
+    def test_restrict(self, relation):
+        x = relation.schema.attribute_set(["a", "c"])
+        assert relation.restrict(2, x) == (2, 20)
+
+    def test_restrict_foreign_schema(self, relation):
+        foreign = Schema(["a", "b", "c"])  # equal schema is fine
+        assert relation.restrict(0, foreign.attribute_set(["a"])) == (1,)
+        alien = Schema(["x", "y", "z"]).attribute_set(["x"])
+        with pytest.raises(SchemaMismatchError):
+            relation.restrict(0, alien)
+
+    def test_distinct_values_preserve_first_seen_order(self, relation):
+        assert relation.distinct_values("b") == ["x", "y"]
+
+    def test_active_domain_sizes(self, relation):
+        assert relation.active_domain_sizes() == {"a": 2, "b": 2, "c": 2}
+
+
+class TestRelationalOperations:
+    def test_project_distinct(self, relation):
+        projected = relation.project(["a", "c"])
+        assert projected.schema.names == ("a", "c")
+        assert sorted(projected.rows()) == [(1, 10), (2, 20)]
+
+    def test_project_keeps_duplicates_when_asked(self, relation):
+        projected = relation.project(["a"], distinct=False)
+        assert len(projected) == 4
+
+    def test_select(self, relation):
+        filtered = relation.select(lambda row: row[0] == 2)
+        assert len(filtered) == 2
+
+    def test_distinct(self, relation):
+        assert len(relation.distinct()) == 3
+
+    def test_take(self, relation):
+        taken = relation.take([3, 0])
+        assert list(taken.rows()) == [(2, "x", 20), (1, "x", 10)]
+
+
+class TestFdChecking:
+    def test_tuples_agree(self, relation):
+        x = relation.schema.attribute_set(["a", "c"])
+        assert relation.tuples_agree(0, 1, x)
+        assert not relation.tuples_agree(0, 2, x)
+
+    def test_agree_set_of_pair(self, relation):
+        agreed = relation.agree_set_of_pair(0, 1)
+        assert agreed.names == ("a", "c")
+        assert relation.agree_set_of_pair(2, 3) == relation.attributes
+
+    def test_satisfies_holds(self, relation):
+        assert relation.satisfies(["a"], ["c"])
+        assert relation.satisfies("a", "c")
+
+    def test_satisfies_fails(self, relation):
+        assert not relation.satisfies(["a"], ["b"])
+
+    def test_satisfies_empty_lhs_means_constant(self, schema):
+        constant = Relation.from_rows(
+            schema, [(1, "x", 9), (2, "y", 9)]
+        )
+        assert constant.satisfies([], ["c"])
+        assert not constant.satisfies([], ["a"])
+
+    def test_satisfies_multi_attribute_rhs(self, relation):
+        assert relation.satisfies(["a"], ["a", "c"])
+        assert not relation.satisfies(["a"], ["b", "c"])
+
+    def test_is_superkey(self, relation, schema):
+        assert not relation.is_superkey(["a"])
+        # Rows 2 and 3 are duplicates, so even R is not an instance key.
+        assert not relation.is_superkey(["a", "b", "c"])
+        unique = Relation.from_rows(
+            schema, [(1, "x", 1), (1, "y", 2), (2, "x", 3)]
+        )
+        assert unique.is_superkey(["a", "b"])
+        assert unique.is_superkey(["c"])
+        assert not unique.is_superkey(["a"])
+
+
+class TestMisc:
+    def test_equality_ignores_row_order(self, schema):
+        first = Relation.from_rows(schema, [(1, "x", 1), (2, "y", 2)])
+        second = Relation.from_rows(schema, [(2, "y", 2), (1, "x", 1)])
+        assert first == second
+
+    def test_to_text_contains_header_and_rows(self, relation):
+        text = relation.to_text()
+        assert "a" in text.splitlines()[0]
+        assert "x" in text
+
+    def test_to_text_truncates(self, schema):
+        r = Relation.from_rows(schema, [(i, "v", i) for i in range(30)])
+        text = r.to_text(max_rows=5)
+        assert "more rows" in text
+
+    def test_repr(self, relation):
+        assert "size=4" in repr(relation)

@@ -1,0 +1,70 @@
+"""Unit tests for the profiling report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.depminer import DepMiner
+from repro.datasets import (
+    course_schedule_relation,
+    paper_example_relation,
+    supplier_parts_relation,
+)
+from repro.report import profile_relation
+
+
+class TestProfileRelation:
+    def test_paper_relation_profile(self):
+        report = profile_relation(
+            paper_example_relation(), name="employees"
+        )
+        assert report.name == "employees"
+        assert len(report.mining.fds) == 14
+        assert len(report.cover) <= 14
+        assert report.keys
+        assert set(report.normal_forms) == {"2NF", "3NF", "BCNF"}
+
+    def test_denormalized_schema_gets_a_decomposition(self):
+        report = profile_relation(course_schedule_relation())
+        assert not report.normal_forms["BCNF"]
+        assert report.decomposition
+        union = 0
+        for fragment in report.decomposition:
+            union |= fragment.attributes.mask
+        assert union == course_schedule_relation().schema.universe_mask
+
+    def test_custom_miner_is_honoured(self):
+        miner = DepMiner(build_armstrong="none")
+        report = profile_relation(paper_example_relation(), miner=miner)
+        assert report.mining.armstrong is None
+
+
+class TestMarkdownRendering:
+    def test_contains_all_sections(self):
+        report = profile_relation(supplier_parts_relation(), name="sp")
+        markdown = report.to_markdown()
+        assert markdown.startswith("# Profile of `sp`")
+        assert "## Columns" in markdown
+        assert "## Minimal functional dependencies" in markdown
+        assert "## Candidate keys" in markdown
+        assert "## Normal forms" in markdown
+
+    def test_armstrong_section_present_or_explained(self):
+        with_sample = profile_relation(paper_example_relation())
+        assert "Armstrong sample" in with_sample.to_markdown()
+        without = profile_relation(course_schedule_relation())
+        markdown = without.to_markdown()
+        assert (
+            "No real-world Armstrong relation exists" in markdown
+            or "Armstrong sample (" in markdown
+        )
+
+    def test_decomposition_section_only_when_not_bcnf(self):
+        denormalized = profile_relation(course_schedule_relation())
+        assert "Suggested 3NF decomposition" in denormalized.to_markdown()
+
+    def test_summary_line(self):
+        report = profile_relation(paper_example_relation(), name="emp")
+        line = report.summary_line()
+        assert line.startswith("emp:")
+        assert "14 FDs" in line

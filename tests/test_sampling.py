@@ -1,0 +1,103 @@
+"""Unit tests for guided-sampling FD discovery."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.attributes import Schema
+from repro.core.depminer import discover_fds
+from repro.core.relation import Relation
+from repro.core.sampling import discover_with_sampling
+from repro.datagen.synthetic import generate_relation
+from repro.errors import ReproError
+
+
+class TestFindViolation:
+    def test_returns_witness_pair(self):
+        schema = Schema.of_width(2)
+        relation = Relation.from_rows(
+            schema, [(1, "x"), (1, "y"), (2, "z")]
+        )
+        violation = relation.find_violation(["A"], ["B"])
+        assert violation == (0, 1)
+
+    def test_none_when_fd_holds(self):
+        schema = Schema.of_width(2)
+        relation = Relation.from_rows(schema, [(1, "x"), (1, "x")])
+        assert relation.find_violation(["A"], ["B"]) is None
+
+    def test_witness_actually_violates(self, paper_relation):
+        violation = paper_relation.find_violation(["A"], ["B"])
+        assert violation is not None
+        i, j = violation
+        a = paper_relation.schema.attribute_set(["A"])
+        b = paper_relation.schema.attribute_set(["B"])
+        assert paper_relation.tuples_agree(i, j, a)
+        assert not paper_relation.tuples_agree(i, j, b)
+
+
+class TestSamplingDiscovery:
+    def test_exact_on_paper_relation(self, paper_relation):
+        result = discover_with_sampling(paper_relation, sample_size=3)
+        assert result.fds == discover_fds(paper_relation)
+
+    def test_exact_on_synthetic_relations(self):
+        relation = generate_relation(6, 400, correlation=0.5, seed=3)
+        result = discover_with_sampling(relation, sample_size=32, seed=1)
+        assert result.fds == discover_fds(relation)
+        assert result.sample_size < len(relation)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_exact_on_random_relations(self, seed):
+        rng = random.Random(seed)
+        width = rng.randint(2, 5)
+        schema = Schema.of_width(width)
+        relation = Relation.from_rows(
+            schema,
+            [
+                tuple(rng.randint(0, 4) for _ in range(width))
+                for _ in range(rng.randint(1, 60))
+            ],
+        )
+        result = discover_with_sampling(relation, sample_size=5, seed=seed)
+        assert result.fds == discover_fds(relation)
+
+    def test_tiny_sample_still_converges(self, paper_relation):
+        result = discover_with_sampling(paper_relation, sample_size=1)
+        assert result.fds == discover_fds(paper_relation)
+        assert result.rounds >= 1
+
+    def test_whole_relation_as_sample_takes_one_round(self, paper_relation):
+        result = discover_with_sampling(paper_relation, sample_size=1000)
+        assert result.rounds == 1
+        assert result.sample_size == len(paper_relation)
+
+    def test_sample_rows_come_from_the_relation(self, paper_relation):
+        result = discover_with_sampling(paper_relation, sample_size=3)
+        original_rows = set(paper_relation.rows())
+        assert set(result.sample.rows()) <= original_rows
+
+    def test_rejects_bad_sample_size(self, paper_relation):
+        with pytest.raises(ReproError):
+            discover_with_sampling(paper_relation, sample_size=0)
+
+    def test_max_rounds_guard(self):
+        relation = generate_relation(6, 500, correlation=0.5, seed=0)
+        with pytest.raises(ReproError, match="converge"):
+            discover_with_sampling(
+                relation, sample_size=2, max_rounds=1, seed=0
+            )
+
+    def test_deterministic_given_seed(self, paper_relation):
+        first = discover_with_sampling(paper_relation, sample_size=3, seed=9)
+        second = discover_with_sampling(paper_relation, sample_size=3, seed=9)
+        assert first.fds == second.fds
+        assert list(first.sample.rows()) == list(second.sample.rows())
+
+    def test_empty_relation(self):
+        schema = Schema.of_width(2)
+        relation = Relation.from_rows(schema, [])
+        result = discover_with_sampling(relation, sample_size=4)
+        assert {str(fd) for fd in result.fds} == {"∅ -> A", "∅ -> B"}

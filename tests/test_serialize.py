@@ -1,0 +1,101 @@
+"""Unit tests for JSON (de)serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.attributes import Schema
+from repro.core.depminer import DepMiner
+from repro.errors import ReproError
+from repro.fd.fd import parse_fd
+from repro.serialize import (
+    fd_from_dict,
+    fd_to_dict,
+    fds_from_json,
+    fds_to_json,
+    result_to_dict,
+    result_to_json,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.of_width(4)
+
+
+class TestSchemaRoundTrip:
+    def test_round_trip(self, schema):
+        assert schema_from_dict(schema_to_dict(schema)) == schema
+
+    def test_malformed(self):
+        with pytest.raises(ReproError, match="malformed schema"):
+            schema_from_dict({})
+
+
+class TestFdRoundTrip:
+    def test_round_trip(self, schema):
+        fd = parse_fd(schema, "BC -> A")
+        assert fd_from_dict(fd_to_dict(fd), schema) == fd
+
+    def test_empty_lhs(self, schema):
+        fd = parse_fd(schema, "∅ -> B")
+        assert fd_from_dict(fd_to_dict(fd), schema) == fd
+
+    def test_malformed(self, schema):
+        with pytest.raises(ReproError, match="malformed FD"):
+            fd_from_dict({"lhs": ["A"]}, schema)
+
+
+class TestFdListRoundTrip:
+    def test_round_trip(self, schema):
+        fds = [parse_fd(schema, "BC -> A"), parse_fd(schema, "D -> B")]
+        assert fds_from_json(fds_to_json(fds)) == fds
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ReproError, match="empty FD list"):
+            fds_to_json([])
+
+    def test_rejects_bad_json(self):
+        with pytest.raises(ReproError, match="invalid JSON"):
+            fds_from_json("{not json")
+
+    def test_rejects_unknown_version(self, schema):
+        fds = [parse_fd(schema, "A -> B")]
+        document = json.loads(fds_to_json(fds))
+        document["version"] = 99
+        with pytest.raises(ReproError, match="version"):
+            fds_from_json(json.dumps(document))
+
+    def test_mined_cover_round_trips(self, paper_relation):
+        fds = DepMiner(build_armstrong="none").run(paper_relation).fds
+        restored = fds_from_json(fds_to_json(fds))
+        assert restored == fds
+
+
+class TestResultDocument:
+    def test_contains_all_artifacts(self, paper_relation):
+        result = DepMiner().run(paper_relation)
+        document = result_to_dict(result)
+        assert document["num_rows"] == 7
+        assert len(document["fds"]) == 14
+        assert document["armstrong_size"] == 4
+        assert ["B", "D", "E"] in document["agree_sets"]
+        assert set(document["max_sets"]) == set("ABCDE")
+
+    def test_json_is_valid_and_loadable(self, paper_relation):
+        result = DepMiner().run(paper_relation)
+        document = json.loads(result_to_json(result))
+        assert document["version"] == 1
+        # The fds block is itself loadable as an FD list.
+        fds_block = json.dumps(
+            {
+                "version": 1,
+                "schema": document["schema"],
+                "fds": document["fds"],
+            }
+        )
+        assert len(fds_from_json(fds_block)) == 14

@@ -1,0 +1,47 @@
+"""Unit tests for pipeline statistics counters."""
+
+from __future__ import annotations
+
+from repro.core.depminer import DepMiner
+from repro.datagen.synthetic import generate_relation
+
+
+class TestDepMinerStats:
+    def test_paper_example_counters(self, paper_relation):
+        stats = DepMiner().run(paper_relation).stats
+        assert stats["num_maximal_classes"] == 4    # example 4
+        assert stats["largest_maximal_class"] == 3  # {3,4,5}
+        assert stats["num_couples"] == 6            # example 5
+        assert stats["num_agree_sets"] == 5         # {∅,A,BDE,CE,E}
+        assert stats["num_maximal_sets"] == 3       # {A,BDE,CE}
+        assert stats["num_fds"] == 14               # example 11
+
+    def test_chunk_counter(self, paper_relation):
+        stats = DepMiner(max_couples=2).run(paper_relation).stats
+        assert stats["num_chunks"] == 3  # 6 couples in chunks of 2
+
+    def test_identifiers_variant_counts_couples(self, paper_relation):
+        stats = DepMiner(
+            agree_algorithm="identifiers"
+        ).run(paper_relation).stats
+        assert stats["num_couples"] == 6
+        assert "num_chunks" not in stats
+
+    def test_counters_scale_with_input(self):
+        small = DepMiner().run(
+            generate_relation(4, 50, correlation=0.5, seed=0)
+        ).stats
+        large = DepMiner().run(
+            generate_relation(4, 500, correlation=0.5, seed=0)
+        ).stats
+        assert large["num_couples"] > small["num_couples"]
+
+    def test_empty_relation_counters(self):
+        from repro.core.attributes import Schema
+        from repro.core.relation import Relation
+
+        relation = Relation.from_rows(Schema.of_width(2), [])
+        stats = DepMiner().run(relation).stats
+        assert stats["num_couples"] == 0
+        assert stats["num_maximal_classes"] == 0
+        assert stats["num_fds"] == 2  # the two constant-column FDs

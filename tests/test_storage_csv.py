@@ -1,0 +1,110 @@
+"""Unit tests for CSV I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import Schema
+from repro.core.relation import Relation
+from repro.errors import StorageError
+from repro.storage.csv_io import (
+    read_csv,
+    relation_from_csv,
+    relation_to_csv,
+    write_csv,
+)
+from repro.storage.table import Table
+
+
+def write(tmp_path, text, name="data.csv"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestReadCsv:
+    def test_basic_with_type_inference(self, tmp_path):
+        path = write(tmp_path, "a,b,c\n1,2.5,x\n2,3.5,y\n")
+        table = read_csv(path)
+        assert table.name == "data"
+        assert table.column("a").values == [1, 2]
+        assert table.column("b").values == [2.5, 3.5]
+        assert table.column("c").values == ["x", "y"]
+
+    def test_mixed_column_stays_text(self, tmp_path):
+        path = write(tmp_path, "a\n1\nx\n")
+        assert read_csv(path).column("a").values == ["1", "x"]
+
+    def test_infer_types_disabled(self, tmp_path):
+        path = write(tmp_path, "a\n1\n2\n")
+        assert read_csv(path, infer_types=False).column("a").values == [
+            "1", "2",
+        ]
+
+    def test_null_tokens(self, tmp_path):
+        path = write(tmp_path, "a,b\n1,NULL\n,x\n")
+        table = read_csv(path)
+        assert table.column("a").values == [1, None]
+        assert table.column("b").values == [None, "x"]
+
+    def test_custom_null_tokens(self, tmp_path):
+        path = write(tmp_path, "a\n-\n1\n")
+        table = read_csv(path, null_tokens=("-",))
+        assert table.column("a").values == [None, 1]
+
+    def test_no_header(self, tmp_path):
+        path = write(tmp_path, "1,2\n3,4\n")
+        table = read_csv(path, has_header=False)
+        assert table.column_names == ("col1", "col2")
+        assert len(table) == 2
+
+    def test_custom_delimiter(self, tmp_path):
+        path = write(tmp_path, "a;b\n1;2\n")
+        assert len(read_csv(path, delimiter=";")) == 1
+
+    def test_explicit_name(self, tmp_path):
+        path = write(tmp_path, "a\n1\n")
+        assert read_csv(path, name="custom").name == "custom"
+
+    def test_header_only_file(self, tmp_path):
+        path = write(tmp_path, "a,b\n")
+        table = read_csv(path)
+        assert len(table) == 0
+        assert table.column_names == ("a", "b")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError, match="not found"):
+            read_csv(tmp_path / "absent.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = write(tmp_path, "")
+        with pytest.raises(StorageError, match="empty"):
+            read_csv(path)
+
+    def test_ragged_row_reports_line_number(self, tmp_path):
+        path = write(tmp_path, "a,b\n1,2\n3\n")
+        with pytest.raises(StorageError, match=":3"):
+            read_csv(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = write(tmp_path, "a\n1\n\n2\n")
+        assert len(read_csv(path)) == 2
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        table = Table.from_rows(
+            "t", ["a", "b"], [(1, "x"), (2, None)]
+        )
+        path = tmp_path / "out.csv"
+        write_csv(table, path)
+        back = read_csv(path, name="t")
+        assert back.column("a").values == [1, 2]
+        assert back.column("b").values == ["x", None]
+
+    def test_relation_round_trip(self, tmp_path):
+        schema = Schema(["a", "b"])
+        relation = Relation.from_rows(schema, [(1, "x"), (2, "y")])
+        path = tmp_path / "rel.csv"
+        relation_to_csv(relation, path)
+        assert relation_from_csv(path) == relation

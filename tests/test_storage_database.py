@@ -1,0 +1,90 @@
+"""Unit tests for the database catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.database import Database
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def table():
+    return Table.from_rows(
+        "emp", ["id", "dept"], [(1, "cs"), (2, "cs"), (3, "math")]
+    )
+
+
+class TestCatalog:
+    def test_create_and_lookup(self, table):
+        db = Database("test")
+        db.create_table(table)
+        assert "emp" in db
+        assert db.table("emp") is table
+        assert db.table_names() == ["emp"]
+        assert len(db) == 1
+
+    def test_create_refuses_overwrite(self, table):
+        db = Database()
+        db.create_table(table)
+        with pytest.raises(StorageError, match="already exists"):
+            db.create_table(table)
+        db.create_table(table, replace=True)  # explicit replace is fine
+
+    def test_drop(self, table):
+        db = Database()
+        db.create_table(table)
+        db.drop_table("emp")
+        assert "emp" not in db
+
+    def test_drop_unknown(self):
+        with pytest.raises(StorageError, match="unknown table"):
+            Database().drop_table("ghost")
+
+    def test_lookup_unknown_lists_available(self, table):
+        db = Database()
+        db.create_table(table)
+        with pytest.raises(StorageError, match="emp"):
+            db.table("ghost")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(StorageError):
+            Database("")
+
+
+class TestLoading:
+    def test_load_csv(self, tmp_path):
+        (tmp_path / "people.csv").write_text("id,name\n1,ann\n2,bob\n")
+        db = Database()
+        table = db.load_csv(tmp_path / "people.csv")
+        assert table.name == "people"
+        assert "people" in db
+
+    def test_load_directory(self, tmp_path):
+        (tmp_path / "one.csv").write_text("a\n1\n")
+        (tmp_path / "two.csv").write_text("b\n2\n")
+        (tmp_path / "ignore.txt").write_text("nope")
+        db = Database()
+        loaded = db.load_directory(tmp_path)
+        assert [t.name for t in loaded] == ["one", "two"]
+
+    def test_load_directory_rejects_file(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("a\n1\n")
+        with pytest.raises(StorageError, match="not a directory"):
+            Database().load_directory(path)
+
+
+class TestProfiling:
+    def test_discover_fds_over_catalogued_table(self, table):
+        db = Database()
+        db.create_table(table)
+        result = db.discover_fds("emp")
+        assert "id -> dept" in {str(fd) for fd in result.fds}
+
+    def test_discover_fds_forwards_options(self, table):
+        db = Database()
+        db.create_table(table)
+        result = db.discover_fds("emp", build_armstrong="none")
+        assert result.armstrong is None

@@ -1,0 +1,102 @@
+"""Unit tests for the minimal query interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.storage.query import Query
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def table():
+    return Table.from_rows(
+        "emp",
+        ["id", "dept", "salary"],
+        [
+            (1, "cs", 100),
+            (2, "cs", 120),
+            (3, "math", 90),
+            (4, "math", 90),
+            (5, "cs", 100),
+        ],
+    )
+
+
+class TestOperators:
+    def test_select(self, table):
+        rows = Query(table).select("dept").rows()
+        assert rows == [("cs",), ("cs",), ("math",), ("math",), ("cs",)]
+
+    def test_select_unknown_column(self, table):
+        with pytest.raises(QueryError, match="unknown column"):
+            Query(table).select("ghost")
+
+    def test_select_requires_columns(self, table):
+        with pytest.raises(QueryError):
+            Query(table).select()
+
+    def test_where(self, table):
+        rows = Query(table).where(lambda row: row["salary"] > 95).rows()
+        assert len(rows) == 3
+
+    def test_distinct(self, table):
+        rows = Query(table).select("dept").distinct().rows()
+        assert rows == [("cs",), ("math",)]
+
+    def test_order_by(self, table):
+        rows = Query(table).order_by("salary", "id").rows()
+        assert [row[0] for row in rows] == [3, 4, 1, 5, 2]
+
+    def test_order_by_descending(self, table):
+        rows = Query(table).order_by("salary", descending=True).rows()
+        assert rows[0][2] == 120
+
+    def test_order_by_requires_columns(self, table):
+        with pytest.raises(QueryError):
+            Query(table).order_by()
+
+    def test_limit(self, table):
+        assert len(Query(table).limit(2).rows()) == 2
+        assert Query(table).limit(0).rows() == []
+
+    def test_limit_rejects_negative(self, table):
+        with pytest.raises(QueryError):
+            Query(table).limit(-1)
+
+    def test_chaining(self, table):
+        rows = (
+            Query(table)
+            .where(lambda row: row["dept"] == "cs")
+            .select("salary")
+            .distinct()
+            .order_by("salary")
+            .limit(1)
+            .rows()
+        )
+        assert rows == [(100,)]
+
+
+class TestEvaluation:
+    def test_count(self, table):
+        assert Query(table).where(lambda r: r["dept"] == "cs").count() == 3
+
+    def test_to_table(self, table):
+        result = Query(table).select("id").limit(2).to_table("ids")
+        assert result.name == "ids"
+        assert result.column_names == ("id",)
+        assert len(result) == 2
+
+    def test_to_relation_feeds_mining(self, table):
+        from repro.core.depminer import discover_fds
+
+        relation = Query(table).select("dept", "salary").to_relation()
+        fds = {str(fd) for fd in discover_fds(relation)}
+        assert "salary -> dept" in fds
+
+    def test_query_is_reusable_pipeline_not_stateful_source(self, table):
+        query = Query(table).select("id")
+        first = query.rows()
+        second = query.rows()
+        assert first == second

@@ -1,0 +1,144 @@
+"""Unit tests for the mini SQL SELECT dialect."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.storage.database import Database
+from repro.storage.sql import execute_sql, parse_select
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def db():
+    database = Database("t")
+    database.create_table(
+        Table.from_rows(
+            "emp",
+            ["id", "name", "dept", "salary", "bonus"],
+            [
+                (1, "ann", "cs", 100, None),
+                (2, "bob", "cs", 120, 10),
+                (3, "cat", "math", 90, None),
+                (4, "dan", "math", 90, 5),
+                (5, "eve", "cs", 100, None),
+            ],
+        )
+    )
+    return database
+
+
+class TestParsing:
+    def test_star(self):
+        statement = parse_select("SELECT * FROM emp")
+        assert statement.columns is None
+        assert statement.table == "emp"
+        assert not statement.distinct
+
+    def test_column_list_and_distinct(self):
+        statement = parse_select("select distinct dept, name from emp")
+        assert statement.columns == ["dept", "name"]
+        assert statement.distinct
+
+    def test_trailing_semicolon(self):
+        assert parse_select("SELECT * FROM emp;").table == "emp"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(QueryError):
+            parse_select("SELEKT * FROM emp")
+        with pytest.raises(QueryError, match="trailing"):
+            parse_select("SELECT * FROM emp JUNK")
+        with pytest.raises(QueryError):
+            parse_select("SELECT FROM emp")
+
+    def test_rejects_unknown_operator(self):
+        with pytest.raises(QueryError, match="operator"):
+            parse_select("SELECT * FROM emp WHERE id , 3")
+
+    def test_rejects_untokenizable_input(self):
+        with pytest.raises(QueryError, match="tokenize"):
+            parse_select("SELECT * FROM emp WHERE id ~ 3")
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(QueryError):
+            parse_select("SELECT * FROM emp LIMIT x")
+
+
+class TestExecution:
+    def test_full_scan(self, db):
+        result = execute_sql(db, "SELECT * FROM emp")
+        assert len(result) == 5
+        assert result.column_names == ("id", "name", "dept", "salary",
+                                       "bonus")
+
+    def test_projection(self, db):
+        result = execute_sql(db, "SELECT name FROM emp")
+        assert result.column_names == ("name",)
+
+    def test_where_comparisons(self, db):
+        assert len(execute_sql(db, "SELECT * FROM emp WHERE salary > 90")) == 3
+        assert len(execute_sql(db, "SELECT * FROM emp WHERE salary >= 90")) == 5
+        assert len(execute_sql(db, "SELECT * FROM emp WHERE dept = 'cs'")) == 3
+        assert len(execute_sql(db, "SELECT * FROM emp WHERE dept <> 'cs'")) == 2
+
+    def test_and_conjunction(self, db):
+        result = execute_sql(
+            db, "SELECT id FROM emp WHERE dept = 'cs' AND salary = 100"
+        )
+        assert sorted(row[0] for row in result.rows()) == [1, 5]
+
+    def test_is_null(self, db):
+        assert len(
+            execute_sql(db, "SELECT * FROM emp WHERE bonus IS NULL")
+        ) == 3
+        assert len(
+            execute_sql(db, "SELECT * FROM emp WHERE bonus IS NOT NULL")
+        ) == 2
+
+    def test_null_comparisons_are_false(self, db):
+        # NULL-valued rows never satisfy <, <=, >, >=.
+        assert len(
+            execute_sql(db, "SELECT * FROM emp WHERE bonus > 0")
+        ) == 2
+
+    def test_order_by_and_desc(self, db):
+        result = execute_sql(db, "SELECT id FROM emp ORDER BY salary DESC, id")
+        assert [row[0] for row in result.rows()] == [2, 1, 5, 3, 4]
+
+    def test_limit(self, db):
+        assert len(execute_sql(db, "SELECT * FROM emp LIMIT 2")) == 2
+        assert len(execute_sql(db, "SELECT * FROM emp LIMIT 0")) == 0
+
+    def test_distinct(self, db):
+        result = execute_sql(db, "SELECT DISTINCT dept FROM emp")
+        assert sorted(row[0] for row in result.rows()) == ["cs", "math"]
+
+    def test_string_literal_escaping(self, db):
+        db.create_table(
+            Table.from_rows("notes", ["text"], [("it's",), ("plain",)])
+        )
+        result = execute_sql(
+            db, "SELECT * FROM notes WHERE text = 'it''s'"
+        )
+        assert len(result) == 1
+
+    def test_unknown_table(self, db):
+        with pytest.raises(Exception):
+            execute_sql(db, "SELECT * FROM ghost")
+
+    def test_run_against_single_table(self, db):
+        table = db.table("emp")
+        result = execute_sql(table, "SELECT id FROM emp LIMIT 1")
+        assert len(result) == 1
+        with pytest.raises(QueryError, match="was run against"):
+            execute_sql(table, "SELECT id FROM other")
+
+    def test_query_result_feeds_mining(self, db):
+        from repro.core.depminer import discover_fds
+
+        result = execute_sql(
+            db, "SELECT dept, salary FROM emp WHERE salary >= 90"
+        )
+        fds = discover_fds(result.to_relation())
+        assert fds  # dept/salary carry some structure

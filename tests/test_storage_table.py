@@ -1,0 +1,130 @@
+"""Unit tests for columns and tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import Schema
+from repro.core.relation import Relation
+from repro.errors import StorageError
+from repro.storage.table import Column, Table, coerce_value, infer_type
+
+
+class TestInferType:
+    def test_ladder(self):
+        assert infer_type([True, False]) == "bool"
+        assert infer_type([1, 2]) == "int"
+        assert infer_type([1, 2.5]) == "float"
+        assert infer_type([1, "x"]) == "str"
+
+    def test_nulls_are_skipped(self):
+        assert infer_type([None, 3, None]) == "int"
+
+    def test_all_null_defaults_to_str(self):
+        assert infer_type([None, None]) == "str"
+        assert infer_type([]) == "str"
+
+
+class TestCoerceValue:
+    def test_int_float_str(self):
+        assert coerce_value("42", "int") == 42
+        assert coerce_value("2.5", "float") == 2.5
+        assert coerce_value("x", "str") == "x"
+
+    def test_bool_tokens(self):
+        assert coerce_value("true", "bool") is True
+        assert coerce_value("NO", "bool") is False
+        assert coerce_value("1", "bool") is True
+
+    def test_none_passthrough(self):
+        assert coerce_value(None, "int") is None
+
+    def test_bad_bool(self):
+        with pytest.raises(StorageError, match="bool"):
+            coerce_value("perhaps", "bool")
+
+    def test_bad_int(self):
+        with pytest.raises(StorageError, match="int"):
+            coerce_value("x", "int")
+
+    def test_unknown_type(self):
+        with pytest.raises(StorageError, match="unknown type"):
+            coerce_value("1", "decimal")
+
+
+class TestColumn:
+    def test_basic(self):
+        column = Column("age", [30, 40, None])
+        assert column.type_name == "int"
+        assert len(column) == 3
+        assert column.distinct_count() == 3
+        assert column.null_count() == 1
+
+    def test_explicit_type(self):
+        assert Column("x", [], type_name="float").type_name == "float"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(StorageError):
+            Column("", [1])
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(StorageError, match="unknown type"):
+            Column("x", [], type_name="varchar")
+
+    def test_not_null_enforced(self):
+        with pytest.raises(StorageError, match="NOT NULL"):
+            Column("x", [1, None], nullable=False)
+
+
+class TestTable:
+    def test_from_rows(self):
+        table = Table.from_rows("t", ["a", "b"], [(1, "x"), (2, "y")])
+        assert len(table) == 2
+        assert table.column_names == ("a", "b")
+        assert table.row(1) == (2, "y")
+        assert list(table.rows()) == [(1, "x"), (2, "y")]
+
+    def test_from_rows_with_types(self):
+        table = Table.from_rows(
+            "t", ["a"], [(1,)], types=["float"]
+        )
+        assert table.column("a").type_name == "float"
+
+    def test_rejects_arity_mismatch(self):
+        with pytest.raises(StorageError, match="arity"):
+            Table.from_rows("t", ["a", "b"], [(1,)])
+
+    def test_rejects_ragged_columns(self):
+        with pytest.raises(StorageError, match="ragged"):
+            Table("t", [Column("a", [1]), Column("b", [1, 2])])
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(StorageError, match="duplicate"):
+            Table("t", [Column("a", [1]), Column("a", [2])])
+
+    def test_rejects_empty(self):
+        with pytest.raises(StorageError):
+            Table("t", [])
+        with pytest.raises(StorageError):
+            Table("", [Column("a", [])])
+
+    def test_unknown_column_lookup(self):
+        table = Table.from_rows("t", ["a"], [(1,)])
+        with pytest.raises(StorageError, match="no column"):
+            table.column("b")
+
+    def test_round_trip_with_relation(self):
+        schema = Schema(["a", "b"])
+        relation = Relation.from_rows(schema, [(1, "x"), (2, "y")])
+        table = Table.from_relation("t", relation)
+        assert table.to_relation() == relation
+
+    def test_profile(self):
+        table = Table.from_rows(
+            "t", ["a", "b"], [(1, None), (1, "x"), (2, "x")]
+        )
+        profile = table.profile()
+        assert profile["a"] == {
+            "type": "int", "rows": 3, "distinct": 2, "nulls": 0,
+        }
+        assert profile["b"]["nulls"] == 1

@@ -1,0 +1,108 @@
+"""Unit tests for streaming partition construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.depminer import DepMiner
+from repro.errors import StorageError
+from repro.partitions.database import StrippedPartitionDatabase
+from repro.partitions.streaming import mine_csv, stream_partition_database
+from repro.storage.csv_io import relation_from_csv
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "emp.csv"
+    path.write_text(
+        "empnum,depnum,year\n"
+        "1,1,85\n"
+        "1,5,94\n"
+        "2,2,92\n"
+        "3,2,92\n"
+    )
+    return path
+
+
+class TestStreamPartitionDatabase:
+    def test_matches_materialised_path(self, csv_file):
+        streamed = stream_partition_database(csv_file)
+        materialised = StrippedPartitionDatabase.from_relation(
+            relation_from_csv(csv_file, infer_types=False)
+        )
+        assert streamed.schema == materialised.schema
+        for index in range(len(streamed.schema)):
+            assert streamed.partition(index) == \
+                materialised.partition(index)
+
+    def test_no_header(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("1,a\n1,b\n")
+        spdb = stream_partition_database(path, has_header=False)
+        assert spdb.schema.names == ("col1", "col2")
+        assert spdb.partition("col1").classes == [(0, 1)]
+
+    def test_null_tokens_grouped_or_dropped(self, tmp_path):
+        path = tmp_path / "nulls.csv"
+        path.write_text("a\nNULL\nNULL\n")
+        default = stream_partition_database(path)
+        assert default.partition("a").classes == [(0, 1)]
+        sql = stream_partition_database(path, nulls_equal=False)
+        assert sql.partition("a").classes == []
+
+    def test_ragged_row_reports_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(StorageError, match=":3"):
+            stream_partition_database(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError, match="not found"):
+            stream_partition_database(tmp_path / "ghost.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(StorageError, match="empty"):
+            stream_partition_database(path)
+
+    def test_header_only(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("a,b\n")
+        spdb = stream_partition_database(path)
+        assert spdb.num_rows == 0
+
+
+class TestMineCsv:
+    def test_same_fds_as_materialised_mining(self, csv_file):
+        streamed = mine_csv(csv_file)
+        relation = relation_from_csv(csv_file, infer_types=False)
+        direct = DepMiner(build_armstrong="classical").run(relation)
+        assert streamed.fds == direct.fds
+        assert streamed.max_union == direct.max_union
+
+    def test_classical_armstrong_produced(self, csv_file):
+        result = mine_csv(csv_file)
+        assert result.classical_armstrong is not None
+        assert result.armstrong is None  # values were never kept
+
+    def test_miner_options_forwarded(self, csv_file):
+        result = mine_csv(csv_file, agree_algorithm="identifiers",
+                          build_armstrong="none")
+        assert result.classical_armstrong is None
+        assert len(result.fds) > 0
+
+    def test_paper_example_through_streaming(self, tmp_path):
+        path = tmp_path / "paper.csv"
+        path.write_text(
+            "A,B,C,D,E\n"
+            "1,1,85,Biochemistry,5\n"
+            "1,5,94,Admission,12\n"
+            "2,2,92,Computer Sce,2\n"
+            "3,2,98,Computer Sce,2\n"
+            "4,3,98,Geophysics,2\n"
+            "5,1,75,Biochemistry,5\n"
+            "6,5,88,Admission,12\n"
+        )
+        result = mine_csv(path)
+        assert len(result.fds) == 14

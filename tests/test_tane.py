@@ -1,0 +1,218 @@
+"""Unit tests for the TANE baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.attributes import Schema
+from repro.core.depminer import discover_fds
+from repro.core.relation import Relation
+from repro.errors import ReproError
+from repro.fd.bruteforce import bruteforce_minimal_fds
+from repro.partitions.partition import stripped_partition_of_column
+from repro.tane.tane import Tane, g3_error
+
+
+class TestConfiguration:
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ReproError):
+            Tane(epsilon=-0.1)
+        with pytest.raises(ReproError):
+            Tane(epsilon=1.0)
+
+    def test_rejects_bad_max_level(self):
+        with pytest.raises(ReproError):
+            Tane(max_level=0)
+
+
+class TestExactDiscovery:
+    def test_matches_depminer_on_paper_example(self, paper_relation):
+        tane = Tane().run(paper_relation)
+        depminer = discover_fds(paper_relation)
+        assert tane.fds == depminer
+
+    def test_superkey_pruning_regression(self):
+        """All level-2 nodes are superkeys: FDs must still be emitted by
+        the key-pruning rule (the deletion-order bug this guards against
+        silently dropped half the paper example's FDs)."""
+        schema = Schema.of_width(3)
+        relation = Relation.from_rows(
+            schema, [(1, 1, "x"), (1, 2, "y"), (2, 1, "y"), (2, 2, "x")]
+        )
+        tane = Tane().run(relation)
+        expected = bruteforce_minimal_fds(relation)
+        assert tane.fds == expected
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_matches_brute_force_on_random_relations(self, seed):
+        rng = random.Random(seed)
+        width = rng.randint(1, 5)
+        num_rows = rng.randint(0, 14)
+        schema = Schema.of_width(width)
+        relation = Relation.from_rows(
+            schema,
+            [
+                tuple(rng.randint(0, 2) for _ in range(width))
+                for _ in range(num_rows)
+            ],
+        )
+        assert Tane().run(relation).fds == bruteforce_minimal_fds(relation)
+
+    def test_constant_column(self):
+        schema = Schema.of_width(2)
+        relation = Relation.from_rows(schema, [(1, 9), (2, 9), (3, 9)])
+        fds = Tane().run(relation).fds
+        assert "∅ -> B" in {str(fd) for fd in fds}
+
+    def test_empty_relation(self):
+        schema = Schema.of_width(2)
+        relation = Relation.from_rows(schema, [])
+        fds = Tane().run(relation).fds
+        assert {str(fd) for fd in fds} == {"∅ -> A", "∅ -> B"}
+
+    def test_level_sizes_recorded(self, paper_relation):
+        result = Tane().run(paper_relation)
+        assert result.level_sizes[0] == 5
+        assert all(size > 0 for size in result.level_sizes)
+
+    def test_max_level_caps_the_walk(self, paper_relation):
+        capped = Tane(max_level=1).run(paper_relation)
+        assert len(capped.level_sizes) == 1
+        # Level 1 can only find constant-column FDs; there are none.
+        assert capped.fds == []
+
+    def test_phase_timings(self, paper_relation):
+        result = Tane().run(paper_relation)
+        assert set(result.phase_seconds) == {"strip", "lattice"}
+        assert result.total_seconds >= 0
+
+    def test_summary(self, paper_relation):
+        assert "exact" in Tane().run(paper_relation).summary()
+        assert "approximate" in Tane(epsilon=0.1).run(paper_relation).summary()
+
+
+class TestLhsSets:
+    def test_lhs_sets_add_trivial_singleton(self, paper_relation):
+        result = Tane().run(paper_relation)
+        schema = paper_relation.schema
+        lhs = result.lhs_sets()
+        a = schema.index_of("A")
+        assert (1 << a) in lhs[a]
+
+    def test_lhs_sets_keep_empty_for_constant(self):
+        schema = Schema.of_width(2)
+        relation = Relation.from_rows(schema, [(1, 9), (2, 9)])
+        lhs = Tane().run(relation).lhs_sets()
+        b = schema.index_of("B")
+        assert lhs[b] == [0]  # ∅ -> B; {B} must not be added back
+
+    def test_lhs_sets_match_depminer(self, paper_relation):
+        from repro.core.depminer import DepMiner
+
+        tane_lhs = Tane().run(paper_relation).lhs_sets()
+        depminer_lhs = DepMiner().run(paper_relation).lhs_sets
+        assert {a: sorted(m) for a, m in tane_lhs.items()} == \
+            {a: sorted(m) for a, m in depminer_lhs.items()}
+
+
+class TestG3Error:
+    def test_zero_when_fd_holds(self):
+        lhs = stripped_partition_of_column([1, 1, 2, 2])
+        whole = stripped_partition_of_column([(1, "a"), (1, "a"),
+                                              (2, "b"), (2, "b")])
+        assert g3_error(lhs, whole, 4) == 0.0
+
+    def test_counts_minimum_removals(self):
+        # lhs class {0,1,2} splits into sizes 2 and 1 => remove 1 of 4.
+        lhs = stripped_partition_of_column([1, 1, 1, 2])
+        whole = stripped_partition_of_column(
+            [(1, "a"), (1, "a"), (1, "b"), (2, "a")]
+        )
+        assert g3_error(lhs, whole, 4) == pytest.approx(0.25)
+
+    def test_empty_relation(self):
+        empty = stripped_partition_of_column([])
+        assert g3_error(empty, empty, 0) == 0.0
+
+
+class TestApproximateDiscovery:
+    def test_approximate_finds_almost_fd(self):
+        # B -> A holds except for one violating row out of ten.
+        schema = Schema.of_width(2)
+        rows = [(i // 2, i // 2) for i in range(9)] + [(9, 0)]
+        # B column: 0,0,1,1,2,2,3,3,4,0 ; A: 0,0,1,1,2,2,3,3,4,9
+        relation = Relation.from_rows(
+            schema, [(a, b) for (a, b) in rows]
+        )
+        exact = {str(fd) for fd in Tane().run(relation).fds}
+        approximate = {
+            str(fd) for fd in Tane(epsilon=0.2).run(relation).fds
+        }
+        assert "B -> A" not in exact
+        assert "B -> A" in approximate
+
+    def test_epsilon_zero_equals_exact(self, paper_relation):
+        assert Tane(epsilon=0.0).run(paper_relation).fds == \
+            Tane().run(paper_relation).fds
+
+    @pytest.mark.parametrize("epsilon", [0.05, 0.15, 0.3])
+    def test_reported_approximate_fds_meet_the_error_bound(self, epsilon):
+        """Soundness: every reported FD has g3 <= epsilon, verified by
+        direct partition computation on the relation."""
+        import random
+
+        from repro.partitions.partition import (
+            partition_product,
+            stripped_partition_of_column,
+        )
+
+        rng = random.Random(7)
+        schema = Schema.of_width(4)
+        relation = Relation.from_rows(
+            schema,
+            [
+                tuple(rng.randint(0, 3) for _ in range(4))
+                for _ in range(40)
+            ],
+        )
+        columns = {
+            a: stripped_partition_of_column(relation.column(a))
+            for a in range(4)
+        }
+
+        def partition_of(mask):
+            current = None
+            for a in range(4):
+                if mask & (1 << a):
+                    current = columns[a] if current is None else \
+                        partition_product(current, columns[a])
+            return current
+
+        for fd in Tane(epsilon=epsilon).run(relation).fds:
+            lhs_partition = partition_of(fd.lhs.mask)
+            whole = partition_of(fd.lhs.mask | fd.rhs_mask)
+            if lhs_partition is None:
+                # lhs = ∅: error = 1 - max value frequency / n.
+                from collections import Counter
+
+                top = Counter(
+                    relation.column(fd.rhs_index)
+                ).most_common(1)[0][1]
+                error = 1 - top / len(relation)
+            else:
+                error = g3_error(lhs_partition, whole, len(relation))
+            assert error <= epsilon + 1e-12, (str(fd), error)
+
+    def test_approximate_is_superset_of_exact_rhs_coverage(self, paper_relation):
+        """Every exactly-valid minimal FD is at least *implied* by the
+        approximate output (an approximate lhs can only be smaller)."""
+        exact = Tane().run(paper_relation).fds
+        approx = Tane(epsilon=0.3).run(paper_relation).fds
+        for fd in exact:
+            assert any(
+                other.rhs_index == fd.rhs_index
+                and other.lhs.mask & ~fd.lhs.mask == 0
+                for other in approx
+            ), str(fd)

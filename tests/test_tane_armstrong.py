@@ -1,0 +1,63 @@
+"""Unit tests for the TANE→Armstrong extension (section 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import Schema
+from repro.core.depminer import DepMiner
+from repro.core.relation import Relation
+from repro.tane.armstrong_ext import cmax_from_lhs, tane_with_armstrong
+
+
+class TestCmaxFromLhs:
+    def test_recovers_cmax_via_transversals(self, paper_relation):
+        depminer = DepMiner().run(paper_relation)
+        recovered = cmax_from_lhs(
+            depminer.lhs_sets, len(paper_relation.schema)
+        )
+        expected = {a: sorted(m) for a, m in depminer.cmax_sets.items()}
+        assert {a: sorted(m) for a, m in recovered.items()} == expected
+
+    def test_constant_column_maps_to_no_edges(self):
+        assert cmax_from_lhs({0: [0]}, 2) == {0: []}
+
+    def test_berge_method(self, paper_relation):
+        depminer = DepMiner().run(paper_relation)
+        recovered = cmax_from_lhs(
+            depminer.lhs_sets, len(paper_relation.schema), method="berge"
+        )
+        assert {a: sorted(m) for a, m in recovered.items()} == \
+            {a: sorted(m) for a, m in depminer.cmax_sets.items()}
+
+
+class TestTaneWithArmstrong:
+    def test_matches_depminer_end_to_end(self, paper_relation):
+        tane = tane_with_armstrong(paper_relation)
+        depminer = DepMiner().run(paper_relation)
+        assert tane.fds == depminer.fds
+        assert tane.max_union == depminer.max_union
+        assert {a: sorted(m) for a, m in tane.max_sets.items()} == \
+            {a: sorted(m) for a, m in depminer.max_sets.items()}
+        assert len(tane.armstrong) == len(depminer.armstrong)
+
+    def test_armstrong_none_when_not_existing(self):
+        schema = Schema.of_width(3)
+        relation = Relation.from_rows(
+            schema, [(0, 0, 0), (1, 0, 1), (1, 1, 0)]
+        )
+        result = tane_with_armstrong(relation)
+        assert result.armstrong is None
+        assert result.classical_armstrong is not None
+
+    def test_total_seconds_includes_extension(self, paper_relation):
+        result = tane_with_armstrong(paper_relation)
+        assert result.total_seconds >= result.tane_result.total_seconds
+        assert result.extension_seconds >= 0
+
+    def test_armstrong_values_from_initial_relation(self, paper_relation):
+        result = tane_with_armstrong(paper_relation)
+        for name in paper_relation.schema.names:
+            assert set(result.armstrong.column(name)) <= set(
+                paper_relation.column(name)
+            )

@@ -1,0 +1,137 @@
+"""Unit tests for the minimal-transversal algorithms (Algorithm 5 + Berge)."""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.hypergraph.hypergraph import SimpleHypergraph, minimize_sets
+from repro.hypergraph.transversals import (
+    apriori_gen,
+    minimal_transversals,
+    minimal_transversals_berge,
+    minimal_transversals_levelwise,
+)
+
+
+def brute_force_transversals(edges, num_vertices):
+    """Oracle: enumerate all vertex subsets, keep minimal transversals."""
+    transversals = [
+        mask
+        for mask in range(1 << num_vertices)
+        if all(mask & edge for edge in edges)
+    ]
+    return sorted(minimize_sets(transversals))
+
+
+class TestAprioriGen:
+    def test_joins_on_shared_prefix(self):
+        assert apriori_gen([(0, 1), (0, 2), (1, 2), (1, 3)]) == [(0, 1, 2)]
+
+    def test_prunes_candidates_with_missing_subsets(self):
+        # (0,1,2) needs (1,2); absent -> no candidates.
+        assert apriori_gen([(0, 1), (0, 2)]) == []
+
+    def test_level_one_joins_all_pairs(self):
+        assert apriori_gen([(0,), (1,), (2,)]) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_empty_level(self):
+        assert apriori_gen([]) == []
+
+
+class TestLevelwise:
+    def test_no_edges_gives_empty_transversal(self):
+        assert minimal_transversals_levelwise([], 4) == [0]
+
+    def test_single_edge(self):
+        assert minimal_transversals_levelwise([0b110], 3) == [0b010, 0b100]
+
+    def test_disjoint_edges_need_one_vertex_each(self):
+        result = minimal_transversals_levelwise([0b001, 0b110], 3)
+        assert result == [0b011, 0b101]
+
+    def test_paper_example_attribute_A(self):
+        # cmax(dep(r), A) = {AC, ABD}: Tr = {A, BC, CD} (example 10).
+        ac, abd = 0b00101, 0b01011
+        result = minimal_transversals_levelwise([ac, abd], 5)
+        a, bc, cd = 0b00001, 0b00110, 0b01100
+        assert sorted(result) == sorted([a, bc, cd])
+
+    def test_rejects_empty_edge(self):
+        with pytest.raises(ReproError, match="non-empty"):
+            minimal_transversals_levelwise([0b01, 0], 2)
+
+
+class TestBerge:
+    def test_no_edges(self):
+        assert minimal_transversals_berge([], 3) == [0]
+
+    def test_matches_levelwise_on_paper_edges(self):
+        edges = [0b00101, 0b01011]
+        assert minimal_transversals_berge(edges, 5) == \
+            minimal_transversals_levelwise(edges, 5)
+
+    def test_rejects_empty_edge(self):
+        with pytest.raises(ReproError):
+            minimal_transversals_berge([0], 1)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_hypergraphs(self, seed):
+        rng = random.Random(seed)
+        num_vertices = rng.randint(1, 7)
+        universe = (1 << num_vertices) - 1
+        edges = []
+        for _ in range(rng.randint(0, 6)):
+            edge = rng.randint(1, universe)
+            edges.append(edge)
+        edges = minimize_sets(edges)  # keep the hypergraph simple
+        expected = brute_force_transversals(edges, num_vertices)
+        assert minimal_transversals_levelwise(edges, num_vertices) == expected
+        assert minimal_transversals_berge(edges, num_vertices) == expected
+
+    @pytest.mark.parametrize("size", [2, 3, 4])
+    def test_complete_uniform_hypergraph(self, size):
+        # Edges = all `size`-subsets of 5 vertices; minimal transversals
+        # are all (5 - size + 1)-subsets.
+        num_vertices = 5
+        edges = []
+        for subset in combinations(range(num_vertices), size):
+            mask = 0
+            for vertex in subset:
+                mask |= 1 << vertex
+            edges.append(mask)
+        result = minimal_transversals_levelwise(edges, num_vertices)
+        expected_size = num_vertices - size + 1
+        assert all(bin(t).count("1") == expected_size for t in result)
+        assert len(result) == len(
+            list(combinations(range(num_vertices), expected_size))
+        )
+
+
+class TestDispatch:
+    def test_methods_agree(self):
+        edges = [0b011, 0b101, 0b110]
+        assert minimal_transversals(edges, 3, method="levelwise") == \
+            minimal_transversals(edges, 3, method="berge")
+
+    def test_unknown_method(self):
+        with pytest.raises(ReproError, match="unknown transversal method"):
+            minimal_transversals([0b1], 1, method="magic")
+
+
+class TestNihilpotence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_tr_tr_is_identity(self, seed):
+        rng = random.Random(seed)
+        num_vertices = rng.randint(2, 6)
+        universe = (1 << num_vertices) - 1
+        edges = minimize_sets(
+            rng.randint(1, universe) for _ in range(rng.randint(1, 5))
+        )
+        h = SimpleHypergraph(num_vertices, edges, check_simple=False)
+        assert h.transversal_hypergraph().transversal_hypergraph() == h

@@ -1,0 +1,97 @@
+"""Unit tests for the result-validation module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import AttributeSet
+from repro.core.depminer import DepMiner
+from repro.datagen.synthetic import generate_relation
+from repro.fd.fd import FD
+from repro.validate import validate_result
+
+
+class TestKnownGoodResults:
+    def test_paper_example_validates(self, paper_relation):
+        result = DepMiner().run(paper_relation)
+        report = validate_result(result, paper_relation)
+        assert report.ok, report.render()
+        assert "agree-sets-oracle" in report.checks_run
+        assert any(
+            check.startswith("armstrong-dep-equality")
+            for check in report.checks_run
+        )
+
+    def test_synthetic_relations_validate(self):
+        for seed in range(5):
+            relation = generate_relation(5, 60, correlation=0.5, seed=seed)
+            result = DepMiner().run(relation)
+            report = validate_result(result, relation)
+            assert report.ok, report.render()
+
+    def test_shallow_mode_skips_expensive_checks(self, paper_relation):
+        result = DepMiner().run(paper_relation)
+        report = validate_result(result, paper_relation, deep=False)
+        assert report.ok
+        assert "agree-sets-oracle" not in report.checks_run
+
+    def test_render(self, paper_relation):
+        result = DepMiner().run(paper_relation)
+        text = validate_result(result, paper_relation).render()
+        assert text.startswith("validation: OK")
+
+
+class TestCorruptedResults:
+    def test_detects_bogus_fd(self, paper_relation):
+        result = DepMiner().run(paper_relation)
+        schema = result.schema
+        result.fds.append(FD(schema.attribute_set(["A"]), "B"))
+        report = validate_result(result, paper_relation)
+        assert not report.ok
+        assert any("does not hold" in v for v in report.violations)
+
+    def test_detects_trivial_fd(self, paper_relation):
+        result = DepMiner().run(paper_relation)
+        schema = result.schema
+        result.fds.append(FD(schema.attribute_set(["A", "B"]), "A"))
+        report = validate_result(result, paper_relation)
+        assert any("trivial" in v for v in report.violations)
+
+    def test_detects_non_minimal_lhs(self, paper_relation):
+        result = DepMiner().run(paper_relation)
+        schema = result.schema
+        # D -> B holds, so CD -> B is valid but not minimal.
+        result.fds.append(FD(schema.attribute_set(["C", "D"]), "B"))
+        report = validate_result(result, paper_relation)
+        assert any("non-minimal" in v for v in report.violations)
+
+    def test_detects_corrupted_agree_sets(self, paper_relation):
+        result = DepMiner().run(paper_relation)
+        result.agree_sets.add(0b11111)
+        report = validate_result(result, paper_relation)
+        assert any("agree sets differ" in v for v in report.violations)
+
+    def test_detects_corrupted_max_sets(self, paper_relation):
+        result = DepMiner().run(paper_relation)
+        result.max_sets[0] = [0b00010]
+        report = validate_result(result, paper_relation)
+        assert any("maximal agree-set" in v for v in report.violations)
+
+    def test_detects_corrupted_lhs(self, paper_relation):
+        result = DepMiner().run(paper_relation)
+        # Replace A's lhs family with a non-transversal.
+        result.lhs_sets[0] = [0b00010]
+        report = validate_result(result, paper_relation)
+        assert any("minimal transversal" in v for v in report.violations)
+
+    def test_detects_foreign_armstrong_values(self, paper_relation):
+        from repro.core.relation import Relation
+
+        result = DepMiner().run(paper_relation)
+        rows = [list(row) for row in result.armstrong.rows()]
+        rows[0][0] = "not-in-input"
+        result.armstrong = Relation.from_rows(result.schema, rows)
+        report = validate_result(result, paper_relation)
+        assert any(
+            "values not in the input" in v for v in report.violations
+        )
