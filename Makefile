@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-paper examples clean
+.PHONY: install test bench trace-smoke experiments experiments-paper \
+	examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +13,20 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# End-to-end observability smoke: trace a discover run and a tiny bench
+# grid, then validate both JSONL files against the repro-trace schema.
+trace-smoke:
+	mkdir -p .trace-smoke
+	$(PYTHON) -m repro generate -a 5 -t 200 -c 0.3 --seed 0 \
+		-o .trace-smoke/data.csv
+	$(PYTHON) -m repro discover .trace-smoke/data.csv \
+		--trace .trace-smoke/discover.jsonl --metrics > /dev/null
+	$(PYTHON) -m repro bench -e table3 --scale tiny --quiet \
+		--algorithms depminer tane \
+		--trace .trace-smoke/bench.jsonl > /dev/null
+	$(PYTHON) scripts/check_trace.py .trace-smoke/discover.jsonl \
+		.trace-smoke/bench.jsonl
 
 # The paper's tables and figures at the laptop-friendly scale.
 experiments:
@@ -31,5 +46,5 @@ examples:
 	$(PYTHON) examples/large_table_sampling.py --rows 5000 --attrs 6
 
 clean:
-	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks .trace-smoke
 	find . -name __pycache__ -type d -exec rm -rf {} +

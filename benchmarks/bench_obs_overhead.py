@@ -1,0 +1,166 @@
+"""Overhead guard for the ``repro.obs`` instrumentation.
+
+Compares three ways of running the Dep-Miner pipeline over the Table-3
+benchmark cells (the same |R| x |r| grid as ``bench_table3.py``):
+
+- **baseline** — the five pipeline steps called directly, with no
+  observability wiring at all (the pre-``repro.obs`` shape of
+  ``DepMiner.run``, minus its per-phase clock reads);
+- **default** — ``DepMiner().run``: a private enabled tracer collects
+  the ~9 coarse phase spans, metrics and progress are no-ops;
+- **disabled** — ``DepMiner(tracer=NULL_TRACER).run``: even the phase
+  spans are no-op singletons.
+
+The test asserts the instrumented paths stay within 2% of the baseline
+(min-of-repeats timings; a 2 ms absolute floor absorbs scheduler noise
+on runs this short — the whole grid completes in tens of milliseconds).
+
+Run as a script to (re)generate the committed baseline document::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py [BENCH_obs.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.agree_sets import agree_sets
+from repro.core.armstrong import (
+    classical_armstrong,
+    real_world_armstrong,
+    real_world_armstrong_exists,
+)
+from repro.core.depminer import DepMiner
+from repro.core.lhs import fd_output, left_hand_sides
+from repro.core.maximal_sets import (
+    complement_maximal_sets,
+    max_set_union,
+    maximal_sets,
+)
+from repro.core.relation import Relation
+from repro.datagen.synthetic import generate_relation
+from repro.obs import NULL_TRACER
+from repro.partitions.database import StrippedPartitionDatabase
+
+# The Table-3 grid at benchmark scale ("without constraints").
+CELLS: Tuple[Tuple[int, int], ...] = ((5, 200), (5, 500), (10, 200),
+                                      (10, 500))
+REPEATS = 20
+MAX_OVERHEAD_RATIO = 0.02
+ABSOLUTE_SLACK_SECONDS = 0.002
+
+
+def _baseline_pipeline(relation: Relation) -> None:
+    """The seed-equivalent pipeline: no spans, metrics or progress."""
+    spdb = StrippedPartitionDatabase.from_relation(relation)
+    schema = spdb.schema
+    mc = spdb.maximal_classes()
+    agree = agree_sets(spdb, mc=mc)
+    max_sets = maximal_sets(agree, schema)
+    cmax = complement_maximal_sets(max_sets, schema)
+    lhs_sets = left_hand_sides(cmax, schema)
+    fd_output(lhs_sets, schema)
+    union = max_set_union(max_sets)
+    classical_armstrong(schema, union)
+    if real_world_armstrong_exists(relation, union):
+        real_world_armstrong(relation, union)
+
+
+def _default_pipeline(relation: Relation) -> None:
+    DepMiner().run(relation)
+
+
+def _disabled_pipeline(relation: Relation) -> None:
+    DepMiner(tracer=NULL_TRACER).run(relation)
+
+
+VARIANTS: Dict[str, Callable[[Relation], None]] = {
+    "baseline": _baseline_pipeline,
+    "default": _default_pipeline,
+    "disabled": _disabled_pipeline,
+}
+
+
+def _grid() -> List[Relation]:
+    return [
+        generate_relation(attrs, rows, correlation=None, seed=0)
+        for attrs, rows in CELLS
+    ]
+
+
+def measure(repeats: int = REPEATS) -> Dict[str, float]:
+    """Min-of-*repeats* seconds for one full grid sweep, per variant.
+
+    Variants are interleaved within each repeat so cache warm-up and
+    frequency scaling hit all three alike.
+    """
+    relations = _grid()
+    best = {name: float("inf") for name in VARIANTS}
+    for _ in range(repeats):
+        for name, run in VARIANTS.items():
+            start = time.perf_counter()
+            for relation in relations:
+                run(relation)
+            best[name] = min(best[name], time.perf_counter() - start)
+    return best
+
+
+def overhead_report(timings: Dict[str, float]) -> Dict[str, object]:
+    baseline = timings["baseline"]
+    return {
+        "workload": {
+            "cells": [list(cell) for cell in CELLS],
+            "correlation": None,
+            "repeats": REPEATS,
+        },
+        "seconds": {name: round(value, 6)
+                    for name, value in timings.items()},
+        "overhead_vs_baseline": {
+            name: round((timings[name] - baseline) / baseline, 4)
+            for name in ("default", "disabled")
+        },
+        "budget": {
+            "max_ratio": MAX_OVERHEAD_RATIO,
+            "absolute_slack_seconds": ABSOLUTE_SLACK_SECONDS,
+        },
+    }
+
+
+def test_instrumentation_overhead_is_within_budget():
+    timings = measure()
+    baseline = timings["baseline"]
+    allowed = max(baseline * MAX_OVERHEAD_RATIO, ABSOLUTE_SLACK_SECONDS)
+    for name in ("default", "disabled"):
+        overhead = timings[name] - baseline
+        assert overhead <= allowed, (
+            f"{name} pipeline exceeded the overhead budget: "
+            f"{timings[name]:.4f}s vs baseline {baseline:.4f}s "
+            f"(+{overhead:.4f}s, allowed {allowed:.4f}s)"
+        )
+
+
+def test_variants_compute_the_same_cover():
+    relation = _grid()[0]
+    fds = {
+        tuple(sorted(str(fd) for fd in DepMiner(tracer=tracer).run(
+            relation).fds))
+        for tracer in (None, NULL_TRACER)
+    }
+    assert len(fds) == 1
+
+
+def main(argv: List[str]) -> int:
+    path = argv[0] if argv else "BENCH_obs.json"
+    report = overhead_report(measure())
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

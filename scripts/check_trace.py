@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Validate a trace JSONL file (the ``make trace-smoke`` checker).
+
+Usage::
+
+    python scripts/check_trace.py TRACE.jsonl [TRACE2.jsonl ...]
+
+Checks each file against the ``repro-trace`` schema
+(:func:`repro.obs.validate_records`) plus a few whole-file sanity
+conditions the per-record validator cannot see: at least one span, a
+meta header carrying the producing command, and parents exported before
+their children (tree order).  Exits non-zero with one line per problem.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+try:
+    from repro.obs import validate_records
+except ImportError:  # running from a checkout without installation
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.obs import validate_records
+
+
+def check_file(path: Path) -> list:
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as error:
+        return [f"cannot read: {error}"]
+    records = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            return [f"line {number}: not JSON ({error})"]
+    problems = validate_records(records)
+    spans = [r for r in records if r.get("type") == "span"]
+    if not spans:
+        problems.append("trace contains no spans")
+    seen = set()
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None and parent not in seen:
+            problems.append(
+                f"span {span.get('id')} ({span.get('name')!r}) exported "
+                f"before its parent {parent}"
+            )
+        seen.add(span.get("id"))
+    return problems
+
+
+def main(argv) -> int:
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    status = 0
+    for name in argv:
+        path = Path(name)
+        problems = check_file(path)
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"{path}: {problem}")
+        else:
+            spans = sum(
+                1 for line in path.read_text().splitlines()
+                if '"type": "span"' in line
+            )
+            print(f"{path}: OK ({spans} spans)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

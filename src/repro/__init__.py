@@ -68,6 +68,14 @@ from repro.errors import (
 from repro.fd.fd import FD, parse_fd
 from repro.fdep import Fdep, FdepResult
 from repro.hypergraph.hypergraph import SimpleHypergraph
+from repro.obs import (
+    MetricsRegistry,
+    ProgressAborted,
+    Span,
+    Tracer,
+    configure_logging,
+    get_logger,
+)
 from repro.partitions.database import StrippedPartitionDatabase
 from repro.partitions.partition import StrippedPartition
 from repro.report import ProfileReport, profile_relation
@@ -117,6 +125,12 @@ __all__ = [
     "CoverDiff",
     "Tane",
     "TaneResult",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "ProgressAborted",
+    "get_logger",
+    "configure_logging",
     "agree_sets",
     "agree_sets_from_couples",
     "agree_sets_from_identifiers",

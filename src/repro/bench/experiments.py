@@ -100,8 +100,14 @@ def run_experiment(name: str, scale: str = "small",
                    algorithms: Sequence[str] = ALGORITHM_NAMES,
                    timeout: Optional[float] = None,
                    isolated: bool = False, seed: int = 0,
-                   progress=None) -> Tuple[Experiment, GridResult]:
-    """Execute the named experiment's grid and return the measurements."""
+                   progress=None, tracer=None, metrics=None,
+                   miner_progress=None) -> Tuple[Experiment, GridResult]:
+    """Execute the named experiment's grid and return the measurements.
+
+    *tracer*/*metrics*/*miner_progress* are the observability hooks of
+    :func:`~repro.bench.harness.run_grid` (per-cell span trees on
+    ``CellResult.trace``, miner counters, inner-loop progress).
+    """
     try:
         experiment = EXPERIMENTS[name]
     except KeyError:
@@ -112,6 +118,7 @@ def run_experiment(name: str, scale: str = "small",
     result = run_grid(
         grid, algorithms=algorithms, timeout=timeout,
         isolated=isolated, progress=progress,
+        tracer=tracer, metrics=metrics, miner_progress=miner_progress,
     )
     return experiment, result
 

@@ -31,6 +31,13 @@ from repro.core.relation import Relation
 from repro.datagen.synthetic import SyntheticSpec, generate_relation
 from repro.datagen.workloads import WorkloadGrid
 from repro.errors import BenchmarkError
+from repro.obs import (
+    MetricsRegistry,
+    ProgressCallback,
+    Span,
+    Tracer,
+    get_logger,
+)
 from repro.tane.armstrong_ext import tane_with_armstrong
 
 __all__ = [
@@ -42,6 +49,8 @@ __all__ = [
     "run_cell",
     "run_grid",
 ]
+
+logger = get_logger(__name__)
 
 # The paper's three competitors (run by default)...
 ALGORITHM_NAMES = ("depminer", "depminer2", "tane")
@@ -55,34 +64,35 @@ ALGORITHM_LABELS = {
 }
 
 
-def _run_depminer(relation: Relation) -> Tuple[int, Optional[int]]:
-    result = DepMiner(agree_algorithm="couples").run(relation)
+def _run_depminer(relation: Relation, **obs) -> Tuple[int, Optional[int]]:
+    result = DepMiner(agree_algorithm="couples", **obs).run(relation)
     return len(result.fds), result.armstrong_size
 
-def _run_depminer2(relation: Relation) -> Tuple[int, Optional[int]]:
-    result = DepMiner(agree_algorithm="identifiers").run(relation)
+def _run_depminer2(relation: Relation, **obs) -> Tuple[int, Optional[int]]:
+    result = DepMiner(agree_algorithm="identifiers", **obs).run(relation)
     return len(result.fds), result.armstrong_size
 
-def _run_tane(relation: Relation) -> Tuple[int, Optional[int]]:
-    result = tane_with_armstrong(relation)
+def _run_tane(relation: Relation, **obs) -> Tuple[int, Optional[int]]:
+    result = tane_with_armstrong(relation, **obs)
     size = len(result.armstrong) if result.armstrong is not None else None
     return len(result.fds), size
 
-def _run_depminer_fast(relation: Relation) -> Tuple[int, Optional[int]]:
-    result = DepMiner(agree_algorithm="vectorized").run(relation)
+def _run_depminer_fast(relation: Relation, **obs) -> Tuple[int, Optional[int]]:
+    result = DepMiner(agree_algorithm="vectorized", **obs).run(relation)
     return len(result.fds), result.armstrong_size
 
-def _run_fdep(relation: Relation) -> Tuple[int, Optional[int]]:
+def _run_fdep(relation: Relation, **obs) -> Tuple[int, Optional[int]]:
     # FDEP [SF93] — an extra baseline beyond the paper's comparison; it
     # produces no Armstrong relation (like TANE without the extension).
     from repro.fdep import Fdep
 
-    result = Fdep().run(relation)
+    result = Fdep(**obs).run(relation)
     return len(result.fds), None
 
 
-# ... plus extra baselines selectable by name.
-_RUNNERS: Dict[str, Callable[[Relation], Tuple[int, Optional[int]]]] = {
+# ... plus extra baselines selectable by name.  Every runner forwards the
+# observability keywords (tracer/metrics/progress) to its miner.
+_RUNNERS: Dict[str, Callable[..., Tuple[int, Optional[int]]]] = {
     "depminer": _run_depminer,
     "depminer2": _run_depminer2,
     "tane": _run_tane,
@@ -93,7 +103,13 @@ _RUNNERS: Dict[str, Callable[[Relation], Tuple[int, Optional[int]]]] = {
 
 @dataclass(frozen=True)
 class CellResult:
-    """One (workload cell, algorithm) measurement."""
+    """One (workload cell, algorithm) measurement.
+
+    ``trace`` carries the finished :class:`~repro.obs.Span` objects of
+    the measurement when the run collected one (``tracer=`` passed to
+    :func:`run_cell`/:func:`run_grid`); isolated subprocess cells never
+    carry a trace (the spans die with the child process).
+    """
 
     spec: SyntheticSpec
     algorithm: str
@@ -101,6 +117,7 @@ class CellResult:
     num_fds: int
     armstrong_size: Optional[int]
     timed_out: bool = False
+    trace: Optional[Tuple[Span, ...]] = None
 
     @property
     def display_time(self) -> str:
@@ -175,9 +192,16 @@ class GridResult:
         }
 
 
-def run_algorithm(algorithm: str,
-                  relation: Relation) -> Tuple[float, int, Optional[int]]:
-    """Time one algorithm on one relation; returns (seconds, #FDs, size)."""
+def run_algorithm(algorithm: str, relation: Relation,
+                  tracer: Optional[Tracer] = None,
+                  metrics: Optional[MetricsRegistry] = None,
+                  progress: Optional[ProgressCallback] = None) -> Tuple[float, int, Optional[int]]:
+    """Time one algorithm on one relation; returns (seconds, #FDs, size).
+
+    *tracer*/*metrics*/*progress* are forwarded to the miner under test
+    so a benchmark run can collect the same per-phase spans and counters
+    as a direct :class:`~repro.core.depminer.DepMiner` run.
+    """
     try:
         runner = _RUNNERS[algorithm]
     except KeyError:
@@ -185,7 +209,9 @@ def run_algorithm(algorithm: str,
             f"unknown algorithm {algorithm!r}; choose from {ALGORITHM_NAMES}"
         ) from None
     start = time.perf_counter()
-    num_fds, armstrong_size = runner(relation)
+    num_fds, armstrong_size = runner(
+        relation, tracer=tracer, metrics=metrics, progress=progress
+    )
     return time.perf_counter() - start, num_fds, armstrong_size
 
 
@@ -216,15 +242,56 @@ def _run_cell_isolated(spec: SyntheticSpec, algorithm: str,
     return queue.get()
 
 
+def _measure_cell(spec: SyntheticSpec, algorithm: str, relation: Relation,
+                  timeout: Optional[float],
+                  tracer: Optional[Tracer],
+                  metrics: Optional[MetricsRegistry],
+                  progress: Optional[ProgressCallback]) -> CellResult:
+    """In-process measurement; attaches the cell's spans when tracing."""
+    trace: Optional[Tuple[Span, ...]] = None
+    if tracer is not None:
+        mark = tracer.mark()
+        with tracer.span("bench.cell", algorithm=algorithm,
+                         attributes=spec.num_attributes,
+                         rows=spec.num_tuples,
+                         correlation=spec.correlation, seed=spec.seed):
+            seconds, num_fds, armstrong_size = run_algorithm(
+                algorithm, relation, tracer=tracer, metrics=metrics,
+                progress=progress,
+            )
+        trace = tuple(tracer.finished_spans(mark))
+    else:
+        seconds, num_fds, armstrong_size = run_algorithm(
+            algorithm, relation, metrics=metrics, progress=progress
+        )
+    logger.debug(
+        "cell %s %s: %.3fs, %d FDs", spec.label(), algorithm, seconds,
+        num_fds,
+    )
+    return CellResult(
+        spec=spec, algorithm=algorithm, seconds=seconds,
+        num_fds=num_fds, armstrong_size=armstrong_size,
+        timed_out=timeout is not None and seconds > timeout,
+        trace=trace,
+    )
+
+
 def run_cell(spec: SyntheticSpec, algorithm: str,
              timeout: Optional[float] = None,
-             isolated: bool = False) -> CellResult:
+             isolated: bool = False,
+             tracer: Optional[Tracer] = None,
+             metrics: Optional[MetricsRegistry] = None,
+             progress: Optional[ProgressCallback] = None) -> CellResult:
     """Run one algorithm on one workload cell.
 
     With ``isolated=True`` and a *timeout*, the cell runs in a forked
     subprocess that is terminated at the deadline (hard ``*`` cells);
     otherwise the run completes in-process and is merely *flagged* as
     timed out when it exceeded the budget.
+
+    In-process cells can collect observability data: pass a *tracer* to
+    attach the cell's span tree to ``CellResult.trace`` (isolated cells
+    cannot — the spans die with the forked child).
     """
     if isolated and timeout is not None:
         outcome = _run_cell_isolated(spec, algorithm, timeout)
@@ -242,12 +309,8 @@ def run_cell(spec: SyntheticSpec, algorithm: str,
         spec.num_attributes, spec.num_tuples,
         correlation=spec.correlation, seed=spec.seed,
     )
-    seconds, num_fds, armstrong_size = run_algorithm(algorithm, relation)
-    timed_out = timeout is not None and seconds > timeout
-    return CellResult(
-        spec=spec, algorithm=algorithm, seconds=seconds,
-        num_fds=num_fds, armstrong_size=armstrong_size,
-        timed_out=timed_out,
+    return _measure_cell(
+        spec, algorithm, relation, timeout, tracer, metrics, progress
     )
 
 
@@ -255,12 +318,21 @@ def run_grid(grid: WorkloadGrid,
              algorithms: Sequence[str] = ALGORITHM_NAMES,
              timeout: Optional[float] = None,
              isolated: bool = False,
-             progress: Optional[Callable[[str], None]] = None) -> GridResult:
+             progress: Optional[Callable[[str], None]] = None,
+             tracer: Optional[Tracer] = None,
+             metrics: Optional[MetricsRegistry] = None,
+             miner_progress: Optional[ProgressCallback] = None) -> GridResult:
     """Run every algorithm over every cell of *grid*.
 
     The relation of each cell is generated once and shared by the
     in-process algorithms (isolated runs regenerate it in the child).
     *progress* receives one line per finished measurement.
+
+    A shared *tracer* collects one ``bench.cell`` span tree per
+    in-process measurement, sliced into that cell's
+    :attr:`CellResult.trace`; *metrics* and *miner_progress* are
+    forwarded to the miners (isolated cells skip all three — the spans
+    would die with the forked child).
     """
     for algorithm in algorithms:
         if algorithm not in _RUNNERS:
@@ -282,11 +354,9 @@ def run_grid(grid: WorkloadGrid,
                     spec, algorithm, timeout=timeout, isolated=True
                 )
             else:
-                seconds, num_fds, size = run_algorithm(algorithm, shared)
-                cell = CellResult(
-                    spec=spec, algorithm=algorithm, seconds=seconds,
-                    num_fds=num_fds, armstrong_size=size,
-                    timed_out=timeout is not None and seconds > timeout,
+                cell = _measure_cell(
+                    spec, algorithm, shared, timeout, tracer, metrics,
+                    miner_progress,
                 )
             result.cells.append(cell)
             if progress is not None:

@@ -33,9 +33,58 @@ from repro.datagen.synthetic import generate_relation
 from repro.datagen.workloads import SCALES
 from repro.errors import ReproError
 from repro.fd.fd import fds_to_text
+from repro.obs import (
+    ConsoleProgress,
+    MetricsRegistry,
+    Tracer,
+    configure_logging,
+    export_jsonl,
+)
 from repro.storage.csv_io import relation_from_csv, relation_to_csv
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_obs_arguments(subparser: argparse.ArgumentParser) -> None:
+    """The shared observability flags (discover / bench / report)."""
+    subparser.add_argument(
+        "--trace", dest="trace_path", default=None, metavar="PATH",
+        help="write a JSONL trace (spans + metrics) of the run to PATH",
+    )
+    subparser.add_argument(
+        "--metrics", action="store_true",
+        help="print the collected metrics as a markdown table",
+    )
+    subparser.add_argument(
+        "--progress", action="store_true",
+        help="report inner-loop progress on stderr while mining",
+    )
+
+
+def _obs_hooks(args: argparse.Namespace):
+    """(tracer, metrics, progress) per the command's observability flags."""
+    tracer = Tracer() if args.trace_path else None
+    metrics = (
+        MetricsRegistry() if (args.trace_path or args.metrics) else None
+    )
+    progress = ConsoleProgress() if args.progress else None
+    return tracer, metrics, progress
+
+
+def _finish_obs(args: argparse.Namespace, tracer, metrics, meta) -> None:
+    """Export the trace and/or print the metrics table, as requested."""
+    if args.trace_path:
+        try:
+            export_jsonl(args.trace_path, tracer=tracer, metrics=metrics,
+                         meta=meta)
+        except OSError as error:
+            raise ReproError(
+                f"cannot write trace to {args.trace_path}: {error}"
+            ) from error
+        print(f"wrote trace to {args.trace_path}", file=sys.stderr)
+    if args.metrics and metrics is not None:
+        print()
+        print(metrics.to_markdown())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,6 +94,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Dep-Miner: efficient discovery of functional dependencies "
             "and real-world Armstrong relations (EDBT 2000 reproduction)"
         ),
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="increase log verbosity (-v INFO, -vv DEBUG)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -86,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat NULL <> NULL (SQL semantics) instead of grouping "
              "nulls together",
     )
+    _add_obs_arguments(discover)
 
     armstrong = subparsers.add_parser(
         "armstrong", help="write the real-world Armstrong relation of a CSV"
@@ -140,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress"
     )
+    _add_obs_arguments(bench)
 
     report = subparsers.add_parser(
         "report", help="full profiling report (FDs, keys, normal forms, "
@@ -150,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", "-o", default=None,
         help="write the markdown report here (default: stdout)",
     )
+    _add_obs_arguments(report)
 
     sample = subparsers.add_parser(
         "sample", help="exact FD discovery via guided sampling "
@@ -198,12 +254,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _command_discover(args: argparse.Namespace) -> int:
     relation = relation_from_csv(args.csv)
+    tracer, metrics, progress = _obs_hooks(args)
     miner = DepMiner(
         agree_algorithm=args.algorithm,
         max_couples=args.max_couples,
         build_armstrong="real-world" if args.armstrong else "none",
         nulls_equal=not args.sql_nulls,
         max_lhs_size=args.max_lhs,
+        tracer=tracer,
+        metrics=metrics,
+        progress=progress,
     )
     result = miner.run(relation)
     print(fds_to_text(result.fds))
@@ -228,6 +288,11 @@ def _command_discover(args: argparse.Namespace) -> int:
 
         Path(args.json_path).write_text(fds_to_json(result.fds))
         print(f"wrote JSON cover to {args.json_path}", file=sys.stderr)
+    _finish_obs(
+        args, result.trace, metrics,
+        meta={"command": "discover", "input": args.csv,
+              "algorithm": args.algorithm},
+    )
     return 0
 
 
@@ -283,12 +348,25 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 def _command_bench(args: argparse.Namespace) -> int:
     progress = None if args.quiet else lambda line: print(line, file=sys.stderr)
+    tracer, metrics, miner_progress = _obs_hooks(args)
+    if args.isolated and (tracer or metrics or miner_progress):
+        print(
+            "note: --isolated cells run in forked subprocesses; their "
+            "spans and metrics cannot be collected",
+            file=sys.stderr,
+        )
     experiment, result = run_experiment(
         args.experiment, scale=args.scale,
         algorithms=args.algorithms, timeout=args.timeout,
         isolated=args.isolated, seed=args.seed, progress=progress,
+        tracer=tracer, metrics=metrics, miner_progress=miner_progress,
     )
     print(experiment_report(experiment, result))
+    _finish_obs(
+        args, tracer, metrics,
+        meta={"command": "bench", "experiment": args.experiment,
+              "scale": args.scale, "algorithms": list(args.algorithms)},
+    )
     return 0
 
 
@@ -324,7 +402,9 @@ def _command_report(args: argparse.Namespace) -> int:
 
     relation = relation_from_csv(args.csv)
     name = Path(args.csv).stem
-    report = profile_relation(relation, name=name)
+    tracer, metrics, progress = _obs_hooks(args)
+    miner = DepMiner(tracer=tracer, metrics=metrics, progress=progress)
+    report = profile_relation(relation, name=name, miner=miner)
     markdown = report.to_markdown()
     if args.output:
         Path(args.output).write_text(markdown)
@@ -332,6 +412,10 @@ def _command_report(args: argparse.Namespace) -> int:
         print(report.summary_line())
     else:
         print(markdown)
+    _finish_obs(
+        args, miner.last_trace, metrics,
+        meta={"command": "report", "input": args.csv},
+    )
     return 0
 
 
@@ -405,6 +489,8 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.verbose:
+        configure_logging(args.verbose)
     try:
         return _COMMANDS[args.command](args)
     except ReproError as error:

@@ -25,6 +25,8 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressCallback, emit_progress
 from repro.partitions.database import StrippedPartitionDatabase
 
 __all__ = ["agree_sets_vectorized"]
@@ -67,20 +69,33 @@ def _couple_arrays(
 
 def agree_sets_vectorized(spdb: StrippedPartitionDatabase,
                           mc: Optional[List[Tuple[int, ...]]] = None,
-                          stats: Optional[Dict[str, int]] = None) -> Set[int]:
-    """``ag(r)`` via NumPy lane accumulation — same output as the others."""
+                          stats: Optional[Dict[str, int]] = None,
+                          metrics: Optional[MetricsRegistry] = None,
+                          progress: Optional[ProgressCallback] = None) -> Set[int]:
+    """``ag(r)`` via NumPy lane accumulation — same output as the others.
+
+    The couple resolution is one array sweep per attribute rather than a
+    per-couple loop, so *progress* reports once per attribute (stage
+    ``"agree_sets.attributes"``) instead of per couple chunk.
+    """
     num_rows = spdb.num_rows
     width = len(spdb.schema)
     left, right = _couple_arrays(spdb, mc)
     visited = int(left.shape[0])
     if stats is not None:
         stats["num_couples"] = visited
+    if metrics is not None:
+        metrics.inc("agree.couples_enumerated", visited)
 
     result: Set[int] = set()
     if visited:
         num_lanes = (width + _BITS_PER_LANE - 1) // _BITS_PER_LANE
         lanes = np.zeros((num_lanes, visited), dtype=np.uint64)
         for attribute, partition in spdb:
+            if progress is not None:
+                emit_progress(
+                    progress, "agree_sets.attributes", attribute, width
+                )
             class_of = np.full(num_rows, -1, dtype=np.int64)
             if partition.num_classes:
                 members = np.fromiter(

@@ -39,6 +39,8 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.relation import Relation
 from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressCallback, emit_progress
 from repro.partitions.database import StrippedPartitionDatabase
 
 __all__ = [
@@ -48,6 +50,9 @@ __all__ = [
     "agree_sets",
     "AGREE_SET_ALGORITHMS",
 ]
+
+# Couples between progress-callback invocations in the enumeration loops.
+PROGRESS_INTERVAL = 1024
 
 
 def naive_agree_sets(relation: Relation) -> Set[int]:
@@ -102,13 +107,18 @@ def _empty_agree_set_present(spdb: StrippedPartitionDatabase,
 def agree_sets_from_couples(spdb: StrippedPartitionDatabase,
                             max_couples: Optional[int] = None,
                             mc: Optional[List[Tuple[int, ...]]] = None,
-                            stats: Optional[Dict[str, int]] = None) -> Set[int]:
+                            stats: Optional[Dict[str, int]] = None,
+                            metrics: Optional[MetricsRegistry] = None,
+                            progress: Optional[ProgressCallback] = None) -> Set[int]:
     """Algorithm 2 (``AGREE_SET``) — couples from ``MC`` + partition sweep.
 
     *max_couples* bounds the number of couples held in memory at once
     (``None`` = unbounded); the paper processes couples in chunks for the
     same reason.  *stats*, when given, receives the counters
-    ``num_couples`` and ``num_chunks``.
+    ``num_couples`` and ``num_chunks``.  *metrics* receives the
+    ``agree.couples_enumerated`` counter; *progress* is called every
+    :data:`PROGRESS_INTERVAL` couples (stage ``"agree_sets.couples"``)
+    and may abort the enumeration by returning ``False``.
     """
     if max_couples is not None and max_couples < 1:
         raise ReproError("max_couples must be a positive integer or None")
@@ -143,10 +153,16 @@ def agree_sets_from_couples(spdb: StrippedPartitionDatabase,
             resolve(chunk)
             chunk = []
             chunks += 1
+        if progress is not None and visited % PROGRESS_INTERVAL == 0:
+            emit_progress(progress, "agree_sets.couples", visited)
     resolve(chunk)
     if chunk:
         chunks += 1
+    if progress is not None and visited:
+        emit_progress(progress, "agree_sets.couples", visited, visited)
 
+    if metrics is not None:
+        metrics.inc("agree.couples_enumerated", visited)
     if stats is not None:
         stats["num_couples"] = visited
         stats["num_chunks"] = max(chunks, 1 if visited else 0)
@@ -157,12 +173,15 @@ def agree_sets_from_couples(spdb: StrippedPartitionDatabase,
 
 def agree_sets_from_identifiers(spdb: StrippedPartitionDatabase,
                                 mc: Optional[List[Tuple[int, ...]]] = None,
-                                stats: Optional[Dict[str, int]] = None) -> Set[int]:
+                                stats: Optional[Dict[str, int]] = None,
+                                metrics: Optional[MetricsRegistry] = None,
+                                progress: Optional[ProgressCallback] = None) -> Set[int]:
     """Algorithm 3 (``AGREE_SET_2``) — identifier-set intersection.
 
     ``ec(t)`` is the map ``attribute → class index`` of the stripped
     classes containing ``t`` (Lemma 2); the agree set of a couple is the
-    set of attributes where both maps give the same class.
+    set of attributes where both maps give the same class.  *metrics*
+    and *progress* behave as in :func:`agree_sets_from_couples`.
     """
     identifiers = spdb.equivalence_class_identifiers()
     empty: Dict[int, int] = {}
@@ -179,6 +198,12 @@ def agree_sets_from_identifiers(spdb: StrippedPartitionDatabase,
             if ec_right.get(attribute) == class_index:
                 mask |= 1 << attribute
         result.add(mask)
+        if progress is not None and visited % PROGRESS_INTERVAL == 0:
+            emit_progress(progress, "agree_sets.couples", visited)
+    if progress is not None and visited:
+        emit_progress(progress, "agree_sets.couples", visited, visited)
+    if metrics is not None:
+        metrics.inc("agree.couples_enumerated", visited)
     if stats is not None:
         stats["num_couples"] = visited
     if _empty_agree_set_present(spdb, visited):
@@ -196,23 +221,29 @@ AGREE_SET_ALGORITHMS = {
 def agree_sets(spdb: StrippedPartitionDatabase, algorithm: str = "couples",
                max_couples: Optional[int] = None,
                mc: Optional[List[Tuple[int, ...]]] = None,
-               stats: Optional[Dict[str, int]] = None) -> Set[int]:
+               stats: Optional[Dict[str, int]] = None,
+               metrics: Optional[MetricsRegistry] = None,
+               progress: Optional[ProgressCallback] = None) -> Set[int]:
     """Compute ``ag(r)`` with the chosen algorithm.
 
     *algorithm* is ``"couples"`` (Algorithm 2, the Dep-Miner default) or
     ``"identifiers"`` (Algorithm 3, Dep-Miner 2).  *max_couples* only
-    applies to the couples algorithm.
+    applies to the couples algorithm.  *metrics*/*progress* are the
+    optional observability hooks (see :mod:`repro.obs`).
     """
     if algorithm == "couples":
         return agree_sets_from_couples(
-            spdb, max_couples=max_couples, mc=mc, stats=stats
+            spdb, max_couples=max_couples, mc=mc, stats=stats,
+            metrics=metrics, progress=progress,
         )
     if algorithm == "identifiers":
         if max_couples is not None:
             raise ReproError(
                 "max_couples only applies to the 'couples' algorithm"
             )
-        return agree_sets_from_identifiers(spdb, mc=mc, stats=stats)
+        return agree_sets_from_identifiers(
+            spdb, mc=mc, stats=stats, metrics=metrics, progress=progress
+        )
     if algorithm == "vectorized":
         if max_couples is not None:
             raise ReproError(
@@ -220,7 +251,9 @@ def agree_sets(spdb: StrippedPartitionDatabase, algorithm: str = "couples",
             )
         from repro.core.agree_fast import agree_sets_vectorized
 
-        return agree_sets_vectorized(spdb, mc=mc, stats=stats)
+        return agree_sets_vectorized(
+            spdb, mc=mc, stats=stats, metrics=metrics, progress=progress
+        )
     raise ReproError(
         f"unknown agree-set algorithm {algorithm!r}; "
         f"choose from {sorted(AGREE_SET_ALGORITHMS)}"

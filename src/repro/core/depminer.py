@@ -16,12 +16,21 @@ The result object exposes every intermediate artefact — agree sets,
 maximal sets, complements, lhs families — both as raw bitmasks (for
 programmatic use) and as schema-aware :class:`AttributeSet` views, plus
 per-phase wall-clock timings consumed by the benchmark harness.
+
+Observability: every phase runs inside a :class:`repro.obs.Tracer` span
+(pass your own ``tracer=`` to collect them, or read ``result.trace`` /
+``DepMiner.last_trace``), artefact cardinalities go to an optional
+:class:`repro.obs.MetricsRegistry`, and the long inner loops report to
+an optional progress callback.  ``phase_seconds`` is *derived from the
+span durations* — the dict keys and value semantics are unchanged from
+earlier releases (see ``docs/observability.md`` for the compatibility
+guarantee) — and because spans close even when a phase raises, partial
+timings survive error paths such as :class:`ArmstrongExistenceError`
+(read them from ``DepMiner.last_trace``).
 """
 
 from __future__ import annotations
 
-import logging
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
@@ -41,11 +50,18 @@ from repro.core.maximal_sets import (
 from repro.core.relation import Relation
 from repro.errors import ArmstrongExistenceError, ReproError
 from repro.fd.fd import FD
+from repro.obs import (
+    NULL_METRICS,
+    MetricsRegistry,
+    ProgressCallback,
+    Tracer,
+    get_logger,
+)
 from repro.partitions.database import StrippedPartitionDatabase
 
 __all__ = ["DepMiner", "DepMinerResult", "discover_fds", "discover"]
 
-logger = logging.getLogger("repro.depminer")
+logger = get_logger(__name__)
 
 
 @dataclass
@@ -64,6 +80,7 @@ class DepMinerResult:
     classical_armstrong: Optional[Relation]
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     stats: Dict[str, int] = field(default_factory=dict)
+    trace: Optional[Tracer] = None
 
     # -- schema-aware views -------------------------------------------------
 
@@ -147,6 +164,17 @@ class DepMiner:
         Optional cap on the lhs size for very wide schemas; the output
         is then every minimal FD with at most that many lhs attributes
         (sound but incomplete).  Levelwise method only.
+    tracer:
+        Optional :class:`repro.obs.Tracer` collecting the phase spans;
+        when omitted each run uses a fresh private tracer, retrievable
+        afterwards (even after an exception) as ``DepMiner.last_trace``.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry` receiving artefact
+        counters (couples enumerated, level sizes, FD counts, …).
+    progress:
+        Optional callback ``(stage, done, total) -> None | bool`` invoked
+        from the long inner loops; returning ``False`` aborts the run
+        with :class:`repro.obs.ProgressAborted`.
     """
 
     def __init__(self, agree_algorithm: str = "couples",
@@ -154,7 +182,10 @@ class DepMiner:
                  transversal_method: str = "levelwise",
                  build_armstrong: str = "real-world",
                  nulls_equal: bool = True,
-                 max_lhs_size: Optional[int] = None):
+                 max_lhs_size: Optional[int] = None,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 progress: Optional[ProgressCallback] = None):
         if build_armstrong not in ("real-world", "classical", "none", "strict"):
             raise ReproError(
                 f"build_armstrong must be 'real-world', 'classical', "
@@ -169,28 +200,44 @@ class DepMiner:
         # search stops at that level, so the output is every minimal FD
         # with |lhs| <= max_lhs_size (sound but incomplete).
         self.max_lhs_size = max_lhs_size
+        self.tracer = tracer
+        self.metrics = metrics
+        self.progress = progress
+        #: The tracer of the most recent ``run``/``run_on_partitions``
+        #: call.  Holds the partial span tree when a phase raised.
+        self.last_trace: Optional[Tracer] = None
+
+    def _begin_trace(self) -> Tracer:
+        tracer = self.tracer if self.tracer is not None else Tracer()
+        self.last_trace = tracer
+        return tracer
 
     def run(self, relation: Relation) -> DepMinerResult:
         """Execute the full pipeline on *relation*."""
-        timings: Dict[str, float] = {}
+        tracer = self._begin_trace()
+        metrics = self.metrics if self.metrics is not None else NULL_METRICS
+        mark = tracer.mark()
 
-        start = time.perf_counter()
-        spdb = StrippedPartitionDatabase.from_relation(
-            relation, nulls_equal=self.nulls_equal
-        )
-        timings["strip"] = time.perf_counter() - start
-        logger.debug(
-            "stripped %d attributes over %d rows into %d classes "
-            "(%.3fs)", len(relation.schema), len(relation),
-            spdb.total_classes(), timings["strip"],
-        )
-
-        result = self.run_on_partitions(spdb, relation=relation)
-        result.phase_seconds = {**timings, **result.phase_seconds}
+        with tracer.span("depminer.run", width=len(relation.schema),
+                         rows=len(relation)):
+            with tracer.span("strip", phase=True) as strip_span:
+                spdb = StrippedPartitionDatabase.from_relation(
+                    relation, nulls_equal=self.nulls_equal, metrics=metrics
+                )
+            logger.debug(
+                "stripped %d attributes over %d rows into %d classes "
+                "(%.3fs)", len(relation.schema), len(relation),
+                spdb.total_classes(), strip_span.duration,
+            )
+            result = self.run_on_partitions(
+                spdb, relation=relation, _tracer=tracer, _mark=mark
+            )
         return result
 
     def run_on_partitions(self, spdb: StrippedPartitionDatabase,
-                          relation: Optional[Relation] = None) -> DepMinerResult:
+                          relation: Optional[Relation] = None,
+                          _tracer: Optional[Tracer] = None,
+                          _mark: Optional[int] = None) -> DepMinerResult:
         """Execute steps 1–5 on a pre-built stripped partition database.
 
         *relation* is only needed for the real-world Armstrong step (its
@@ -198,73 +245,87 @@ class DepMiner:
         ``"real-world"``/``"strict"`` to the classical construction.
         """
         schema = spdb.schema
-        timings: Dict[str, float] = {}
+        tracer = _tracer if _tracer is not None else self._begin_trace()
+        mark = _mark if _mark is not None else tracer.mark()
+        metrics = self.metrics if self.metrics is not None else NULL_METRICS
         stats: Dict[str, int] = {}
 
-        start = time.perf_counter()
-        mc = spdb.maximal_classes()
-        stats["num_maximal_classes"] = len(mc)
-        stats["largest_maximal_class"] = max(
-            (len(cls) for cls in mc), default=0
-        )
-        agree = agree_sets(
-            spdb,
-            algorithm=self.agree_algorithm,
-            max_couples=self.max_couples,
-            mc=mc,
-            stats=stats,
-        )
-        stats["num_agree_sets"] = len(agree)
-        timings["agree_sets"] = time.perf_counter() - start
+        metrics.gauge("partition.stripped_classes", spdb.total_classes())
+
+        with tracer.span("agree_sets", phase=True,
+                         algorithm=self.agree_algorithm) as agree_span:
+            mc = spdb.maximal_classes()
+            stats["num_maximal_classes"] = len(mc)
+            stats["largest_maximal_class"] = max(
+                (len(cls) for cls in mc), default=0
+            )
+            metrics.gauge("agree.maximal_classes", len(mc))
+            agree = agree_sets(
+                spdb,
+                algorithm=self.agree_algorithm,
+                max_couples=self.max_couples,
+                mc=mc,
+                stats=stats,
+                metrics=metrics,
+                progress=self.progress,
+            )
+            stats["num_agree_sets"] = len(agree)
+            metrics.gauge("agree.sets", len(agree))
         logger.debug(
             "agree sets: %d from %d couples across %d maximal classes "
             "(%s, %.3fs)", len(agree), stats.get("num_couples", 0),
             stats["num_maximal_classes"], self.agree_algorithm,
-            timings["agree_sets"],
+            agree_span.duration,
         )
 
-        start = time.perf_counter()
-        max_sets = maximal_sets(agree, schema)
-        cmax = complement_maximal_sets(max_sets, schema)
-        timings["cmax"] = time.perf_counter() - start
+        with tracer.span("cmax", phase=True):
+            with tracer.span("maximal_sets"):
+                max_sets = maximal_sets(agree, schema)
+            with tracer.span("complements"):
+                cmax = complement_maximal_sets(max_sets, schema)
+            metrics.gauge(
+                "cmax.edges", sum(len(edges) for edges in cmax.values())
+            )
 
-        start = time.perf_counter()
-        lhs_sets = left_hand_sides(
-            cmax, schema, method=self.transversal_method,
-            max_size=self.max_lhs_size,
-        )
-        timings["lhs"] = time.perf_counter() - start
+        with tracer.span("lhs", phase=True,
+                         method=self.transversal_method) as lhs_span:
+            lhs_sets = left_hand_sides(
+                cmax, schema, method=self.transversal_method,
+                max_size=self.max_lhs_size,
+                metrics=metrics, progress=self.progress,
+            )
         logger.debug(
             "lhs families computed via %s (%.3fs)",
-            self.transversal_method, timings["lhs"],
+            self.transversal_method, lhs_span.duration,
         )
 
-        start = time.perf_counter()
-        fds = fd_output(lhs_sets, schema)
-        timings["fd_output"] = time.perf_counter() - start
+        with tracer.span("fd_output", phase=True):
+            fds = fd_output(lhs_sets, schema)
+            metrics.gauge("fd.count", len(fds))
         logger.info(
             "mined %d minimal FDs over %d attributes and %d rows "
             "(%.3fs total so far)", len(fds), len(schema),
-            spdb.num_rows, sum(timings.values()),
+            spdb.num_rows, sum(tracer.phase_seconds(mark).values()),
         )
 
         union = max_set_union(max_sets)
         armstrong = None
         classical = None
-        start = time.perf_counter()
-        if self.build_armstrong != "none":
-            classical = classical_armstrong(schema, union)
-            if self.build_armstrong in ("real-world", "strict"):
-                if relation is None:
-                    if self.build_armstrong == "strict":
-                        raise ReproError(
-                            "strict real-world Armstrong generation needs "
-                            "the initial relation, not just its partitions"
-                        )
-                elif self.build_armstrong == "strict" or \
-                        real_world_armstrong_exists(relation, union):
-                    armstrong = real_world_armstrong(relation, union)
-        timings["armstrong"] = time.perf_counter() - start
+        with tracer.span("armstrong", phase=True, mode=self.build_armstrong):
+            if self.build_armstrong != "none":
+                classical = classical_armstrong(schema, union)
+                if self.build_armstrong in ("real-world", "strict"):
+                    if relation is None:
+                        if self.build_armstrong == "strict":
+                            raise ReproError(
+                                "strict real-world Armstrong generation needs "
+                                "the initial relation, not just its partitions"
+                            )
+                    elif self.build_armstrong == "strict" or \
+                            real_world_armstrong_exists(relation, union):
+                        armstrong = real_world_armstrong(relation, union)
+                if armstrong is not None:
+                    metrics.gauge("armstrong.tuples", len(armstrong))
 
         stats["num_fds"] = len(fds)
         stats["num_maximal_sets"] = len(union)
@@ -279,8 +340,9 @@ class DepMiner:
             max_union=union,
             armstrong=armstrong,
             classical_armstrong=classical,
-            phase_seconds=timings,
+            phase_seconds=tracer.phase_seconds(mark),
             stats=stats,
+            trace=tracer,
         )
 
 

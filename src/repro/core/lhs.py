@@ -18,18 +18,22 @@ Corner cases, both exercised by the tests:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.attributes import AttributeSet, Schema
 from repro.fd.fd import FD, sort_fds
 from repro.hypergraph.transversals import minimal_transversals
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressCallback, emit_progress
 
 __all__ = ["left_hand_sides", "fd_output"]
 
 
 def left_hand_sides(cmax: Dict[int, List[int]], schema: Schema,
                     method: str = "levelwise",
-                    max_size: int = None) -> Dict[int, List[int]]:
+                    max_size: int = None,
+                    metrics: Optional[MetricsRegistry] = None,
+                    progress: Optional[ProgressCallback] = None) -> Dict[int, List[int]]:
     """``lhs(dep(r), A)`` for every attribute, as bitmask lists.
 
     *cmax* maps each attribute index to the edges of ``cmax(dep(r), A)``;
@@ -39,29 +43,39 @@ def left_hand_sides(cmax: Dict[int, List[int]], schema: Schema,
     only supported by the levelwise method: the result is then every
     minimal lhs of at most that many attributes (sound but incomplete —
     the usual wide-schema trade-off).
+
+    *metrics* receives ``transversal.level_size`` /
+    ``lhs.candidates_generated`` from the levelwise search; *progress*
+    reports one ``"lhs.attributes"`` step per attribute (any method) and
+    per-level steps inside the levelwise search.
     """
     width = len(schema)
-    if max_size is not None:
-        if method != "levelwise":
-            from repro.errors import ReproError
+    if max_size is not None and method != "levelwise":
+        from repro.errors import ReproError
 
-            raise ReproError(
-                "max_size is only supported by the levelwise method"
-            )
-        from repro.hypergraph.transversals import (
-            minimal_transversals_levelwise,
+        raise ReproError(
+            "max_size is only supported by the levelwise method"
         )
-
-        return {
-            attribute: minimal_transversals_levelwise(
-                edges, width, max_size=max_size
+    result: Dict[int, List[int]] = {}
+    for done, (attribute, edges) in enumerate(cmax.items()):
+        if progress is not None:
+            emit_progress(progress, "lhs.attributes", done, len(cmax))
+        if method == "levelwise":
+            from repro.hypergraph.transversals import (
+                minimal_transversals_levelwise,
             )
-            for attribute, edges in cmax.items()
-        }
-    return {
-        attribute: minimal_transversals(edges, width, method=method)
-        for attribute, edges in cmax.items()
-    }
+
+            result[attribute] = minimal_transversals_levelwise(
+                edges, width, max_size=max_size,
+                metrics=metrics, progress=progress,
+            )
+        else:
+            result[attribute] = minimal_transversals(
+                edges, width, method=method
+            )
+    if progress is not None and cmax:
+        emit_progress(progress, "lhs.attributes", len(cmax), len(cmax))
+    return result
 
 
 def fd_output(lhs_sets: Dict[int, List[int]], schema: Schema) -> List[FD]:

@@ -18,9 +18,8 @@ its costs concentrate on the minimization after each specialization.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from repro.core.agree_sets import agree_sets_from_identifiers
 from repro.core.attributes import AttributeSet, Schema, iter_bits
@@ -28,9 +27,19 @@ from repro.core.maximal_sets import maximal_sets
 from repro.core.relation import Relation
 from repro.fd.fd import FD, sort_fds
 from repro.hypergraph.hypergraph import minimize_sets
+from repro.obs import (
+    NULL_METRICS,
+    MetricsRegistry,
+    ProgressCallback,
+    Tracer,
+    emit_progress,
+    get_logger,
+)
 from repro.partitions.database import StrippedPartitionDatabase
 
 __all__ = ["Fdep", "FdepResult", "specialize_hypotheses"]
+
+logger = get_logger(__name__)
 
 
 def specialize_hypotheses(witness_mask: int, hypotheses: List[int],
@@ -75,6 +84,7 @@ class FdepResult:
     lhs_sets: Dict[int, List[int]]
     negative_cover: Dict[int, List[int]]
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    trace: Optional[Tracer] = None
 
     @property
     def total_seconds(self) -> float:
@@ -82,54 +92,85 @@ class FdepResult:
 
 
 class Fdep:
-    """FDEP runner (negative cover + specialization)."""
+    """FDEP runner (negative cover + specialization).
 
-    def __init__(self, nulls_equal: bool = True):
+    *tracer*/*metrics*/*progress* are the optional observability hooks
+    of :mod:`repro.obs`: phase spans (``strip`` → ``negative_cover`` →
+    ``specialize``), artefact counters, and a per-attribute progress
+    callback (stage ``"fdep.attributes"``).
+    """
+
+    def __init__(self, nulls_equal: bool = True,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 progress: Optional[ProgressCallback] = None):
         self.nulls_equal = nulls_equal
+        self.tracer = tracer
+        self.metrics = metrics
+        self.progress = progress
+        #: Tracer of the most recent run (partial on error paths).
+        self.last_trace: Optional[Tracer] = None
 
     def run(self, relation: Relation) -> FdepResult:
-        start = time.perf_counter()
-        spdb = StrippedPartitionDatabase.from_relation(
-            relation, nulls_equal=self.nulls_equal
-        )
-        strip_seconds = time.perf_counter() - start
+        tracer = self.tracer if self.tracer is not None else Tracer()
+        self.last_trace = tracer
+        mark = tracer.mark()
+        metrics = self.metrics if self.metrics is not None else NULL_METRICS
 
-        start = time.perf_counter()
-        agree = agree_sets_from_identifiers(spdb)
-        negative_cover = maximal_sets(agree, spdb.schema)
-        negative_seconds = time.perf_counter() - start
-
-        start = time.perf_counter()
-        schema = spdb.schema
-        universe = schema.universe_mask
-        lhs_sets: Dict[int, List[int]] = {}
-        for attribute in range(len(schema)):
-            rhs_bit = 1 << attribute
-            hypotheses = [0]  # start from ∅ -> A
-            for witness in negative_cover[attribute]:
-                hypotheses = specialize_hypotheses(
-                    witness, hypotheses, universe, rhs_bit
+        with tracer.span("fdep.run", width=len(relation.schema),
+                         rows=len(relation)):
+            with tracer.span("strip", phase=True):
+                spdb = StrippedPartitionDatabase.from_relation(
+                    relation, nulls_equal=self.nulls_equal, metrics=metrics
                 )
-                if not hypotheses:
-                    break
-            lhs_sets[attribute] = sorted(hypotheses)
-        specialize_seconds = time.perf_counter() - start
 
-        fds = [
-            FD(AttributeSet(schema, lhs), attribute)
-            for attribute, masks in lhs_sets.items()
-            for lhs in masks
-            if lhs != (1 << attribute)
-        ]
+            with tracer.span("negative_cover", phase=True):
+                agree = agree_sets_from_identifiers(
+                    spdb, metrics=metrics, progress=self.progress
+                )
+                negative_cover = maximal_sets(agree, spdb.schema)
+                metrics.gauge(
+                    "fdep.negative_cover.edges",
+                    sum(len(edges) for edges in negative_cover.values()),
+                )
+
+            with tracer.span("specialize", phase=True):
+                schema = spdb.schema
+                universe = schema.universe_mask
+                lhs_sets: Dict[int, List[int]] = {}
+                for attribute in range(len(schema)):
+                    emit_progress(
+                        self.progress, "fdep.attributes", attribute,
+                        len(schema),
+                    )
+                    rhs_bit = 1 << attribute
+                    hypotheses = [0]  # start from ∅ -> A
+                    for witness in negative_cover[attribute]:
+                        hypotheses = specialize_hypotheses(
+                            witness, hypotheses, universe, rhs_bit
+                        )
+                        metrics.inc("fdep.specializations")
+                        if not hypotheses:
+                            break
+                    lhs_sets[attribute] = sorted(hypotheses)
+
+            fds = [
+                FD(AttributeSet(schema, lhs), attribute)
+                for attribute, masks in lhs_sets.items()
+                for lhs in masks
+                if lhs != (1 << attribute)
+            ]
+            metrics.gauge("fd.count", len(fds))
+        logger.debug(
+            "FDEP mined %d minimal FDs over %d attributes and %d rows",
+            len(fds), len(schema), spdb.num_rows,
+        )
         return FdepResult(
             schema=schema,
             num_rows=spdb.num_rows,
             fds=sort_fds(fds),
             lhs_sets=lhs_sets,
             negative_cover=negative_cover,
-            phase_seconds={
-                "strip": strip_seconds,
-                "negative_cover": negative_seconds,
-                "specialize": specialize_seconds,
-            },
+            phase_seconds=tracer.phase_seconds(mark),
+            trace=tracer,
         )

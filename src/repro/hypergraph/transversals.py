@@ -26,6 +26,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.attributes import iter_bits
 from repro.errors import ReproError
 from repro.hypergraph.hypergraph import minimize_sets
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressCallback, emit_progress
 
 __all__ = [
     "minimal_transversals",
@@ -67,7 +69,9 @@ def apriori_gen(level: Sequence[Tuple[int, ...]]) -> List[Tuple[int, ...]]:
 
 def minimal_transversals_levelwise(edges: Sequence[int],
                                    num_vertices: int,
-                                   max_size: Optional[int] = None) -> List[int]:
+                                   max_size: Optional[int] = None,
+                                   metrics: Optional[MetricsRegistry] = None,
+                                   progress: Optional[ProgressCallback] = None) -> List[int]:
     """Algorithm 5 of the paper: levelwise minimal-transversal search.
 
     ``L1`` is initialised with the vertices appearing in some edge; at
@@ -79,6 +83,11 @@ def minimal_transversals_levelwise(edges: Sequence[int],
     is then every minimal transversal of size ≤ *max_size* (sound but
     incomplete) — the standard mitigation for wide schemas, where the
     candidate space ``C(|R|, k)`` explodes with the level ``k``.
+
+    *metrics* receives one ``transversal.level_size`` histogram sample
+    and one ``lhs.candidates_generated`` increment per level; *progress*
+    is called once per level (stage ``"transversal.candidates"``, with
+    the cumulative candidate count) and may abort by returning ``False``.
     """
     if any(edge == 0 for edge in edges):
         raise ReproError("hypergraph edges must be non-empty")
@@ -94,7 +103,14 @@ def minimal_transversals_levelwise(edges: Sequence[int],
     ]
     found: List[int] = []
     size = 1
+    candidates_seen = 0
     while level:
+        if metrics is not None:
+            metrics.observe("transversal.level_size", len(level))
+            metrics.inc("lhs.candidates_generated", len(level))
+        candidates_seen += len(level)
+        if progress is not None:
+            emit_progress(progress, "transversal.candidates", candidates_seen)
         survivors: List[Tuple[int, ...]] = []
         for candidate in level:
             mask = 0

@@ -1,0 +1,80 @@
+"""``repro.obs`` — structured observability for the mining pipelines.
+
+One package gathers the four instruments every miner and the bench
+harness share:
+
+- :mod:`repro.obs.tracer` — span-based tracing (:class:`Tracer`,
+  :class:`Span`): nested, thread-safe, wall-clock (+ optional
+  ``tracemalloc``) timings that survive mid-pipeline exceptions;
+- :mod:`repro.obs.metrics` — counters / gauges / histograms
+  (:class:`MetricsRegistry`) for artefact cardinalities such as
+  ``agree.couples_enumerated`` or ``transversal.level_size``;
+- :mod:`repro.obs.progress` — abortable progress callbacks
+  (:func:`emit_progress`, :class:`ProgressAborted`) for the
+  long-running inner loops;
+- :mod:`repro.obs.exporters` — JSONL trace dump, flame-style text and
+  markdown renderers, plus the schema validator behind
+  ``make trace-smoke``;
+- :mod:`repro.obs.logsetup` — the ``repro.<component>`` logger
+  hierarchy (:func:`get_logger`) and the CLI's ``-v``-driven
+  :func:`configure_logging`.
+
+Everything defaults to *off*: :data:`NULL_TRACER` and
+:data:`NULL_METRICS` make the instrumentation calls no-ops, and the
+overhead benchmark (``benchmarks/bench_obs_overhead.py``) holds the
+disabled path under 2% of pipeline time.  See ``docs/observability.md``
+for the full API tour.
+"""
+
+from __future__ import annotations
+
+from repro.obs.exporters import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    dumps_jsonl,
+    export_jsonl,
+    flame_text,
+    parse_jsonl,
+    spans_markdown,
+    trace_records,
+    validate_records,
+)
+from repro.obs.logsetup import configure_logging, get_logger, verbosity_to_level
+from repro.obs.metrics import NULL_METRICS, HistogramSummary, MetricsRegistry
+from repro.obs.progress import (
+    ConsoleProgress,
+    ProgressAborted,
+    ProgressCallback,
+    emit_progress,
+)
+from repro.obs.tracer import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    # tracer
+    "Tracer",
+    "Span",
+    "NULL_TRACER",
+    # metrics
+    "MetricsRegistry",
+    "HistogramSummary",
+    "NULL_METRICS",
+    # progress
+    "ProgressAborted",
+    "ProgressCallback",
+    "emit_progress",
+    "ConsoleProgress",
+    # exporters
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "trace_records",
+    "dumps_jsonl",
+    "export_jsonl",
+    "parse_jsonl",
+    "validate_records",
+    "flame_text",
+    "spans_markdown",
+    # logging
+    "get_logger",
+    "configure_logging",
+    "verbosity_to_level",
+]

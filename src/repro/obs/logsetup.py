@@ -1,0 +1,84 @@
+"""Unified logger naming and CLI-driven configuration.
+
+Every module of the library obtains its logger through
+:func:`get_logger`, which collapses dotted module paths onto the
+``repro.<component>`` hierarchy the docs promise:
+
+>>> get_logger("repro.tane.tane").name
+'repro.tane'
+>>> get_logger("repro.partitions.database").name
+'repro.partitions'
+>>> get_logger("repro.core.depminer").name
+'repro.depminer'
+
+i.e. the logger is named after the subpackage — except for
+``repro.core``, whose modules are the pipeline's named algorithms and
+log under their own module name (``repro.depminer``, ``repro.agree_sets``,
+…), preserving the names the test-suite and downstream handlers already
+filter on.
+
+:func:`configure_logging` maps the CLI's ``-v`` count onto levels for
+the whole ``repro`` tree (0 → WARNING, 1 → INFO, ≥2 → DEBUG) and is
+idempotent: re-invocations replace the handler it installed rather than
+stacking duplicates.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["get_logger", "configure_logging", "verbosity_to_level"]
+
+_HANDLER_MARKER = "_repro_obs_handler"
+
+_LOG_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+
+
+def get_logger(module_name: str) -> logging.Logger:
+    """Logger for *module_name*, normalized to ``repro.<component>``.
+
+    Call as ``get_logger(__name__)``.  Names outside the ``repro``
+    package are passed through unchanged.
+    """
+    parts = module_name.split(".")
+    if parts[0] != "repro" or len(parts) == 1:
+        return logging.getLogger(module_name)
+    component = parts[1]
+    if component == "core" and len(parts) > 2:
+        component = parts[2]
+    return logging.getLogger(f"repro.{component}")
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """``-v`` count → logging level (0 WARNING, 1 INFO, ≥2 DEBUG)."""
+    if verbosity <= 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(verbosity: int = 0, stream=None,
+                      fmt: Optional[str] = None) -> logging.Logger:
+    """Configure the ``repro`` logger tree for console output.
+
+    Installs (or replaces) one :class:`~logging.StreamHandler` on the
+    ``repro`` root logger and sets its level from *verbosity*.  Returns
+    the configured logger.
+    """
+    root = logging.getLogger("repro")
+    level = verbosity_to_level(verbosity)
+    root.setLevel(level)
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_MARKER, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(
+        stream if stream is not None else sys.stderr
+    )
+    handler.setLevel(level)
+    handler.setFormatter(logging.Formatter(fmt or _LOG_FORMAT))
+    setattr(handler, _HANDLER_MARKER, True)
+    root.addHandler(handler)
+    return root

@@ -1,0 +1,171 @@
+"""Lightweight metrics registry: counters, gauges and histograms.
+
+The miners report cardinalities of their intermediate artefacts here —
+``agree.couples_enumerated``, ``lhs.candidates_generated``,
+``transversal.level_size``, ``partition.stripped_classes`` … — so the
+bench harness and the CLI can account for *work done*, not just wall
+time.  A disabled registry (:data:`NULL_METRICS`) turns every update
+into an attribute lookup plus an immediate return, cheap enough to leave
+the instrumentation unconditionally in the hot paths.
+
+Three instrument kinds:
+
+- **counter** — monotonically increasing total (:meth:`MetricsRegistry.inc`);
+- **gauge** — last-written value (:meth:`MetricsRegistry.gauge`);
+- **histogram** — running count/sum/min/max of observed values
+  (:meth:`MetricsRegistry.observe`), enough for the level-size style
+  distributions the paper's figures discuss without storing samples.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["HistogramSummary", "MetricsRegistry", "NULL_METRICS"]
+
+Number = Union[int, float]
+
+
+class HistogramSummary:
+    """Running summary of observed values (no stored samples)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total: Number = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Number]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"HistogramSummary(count={self.count}, sum={self.total}, "
+            f"min={self.min}, max={self.max})"
+        )
+
+
+class MetricsRegistry:
+    """Thread-safe registry of named counters, gauges and histograms."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.counters: Dict[str, Number] = {}
+        self.gauges: Dict[str, Number] = {}
+        self.histograms: Dict[str, HistogramSummary] = {}
+        self._lock = threading.Lock()
+
+    # -- updates ------------------------------------------------------------
+
+    def inc(self, name: str, value: Number = 1) -> None:
+        """Add *value* to counter *name* (creating it at zero)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: Number) -> None:
+        """Set gauge *name* to *value* (last write wins)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self.gauges[name] = value
+
+    def observe(self, name: str, value: Number) -> None:
+        """Record one sample into histogram *name*."""
+        if not self.enabled:
+            return
+        with self._lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = HistogramSummary()
+            histogram.observe(value)
+
+    # -- queries ------------------------------------------------------------
+
+    def names(self) -> List[str]:
+        """Every metric name seen so far, sorted."""
+        with self._lock:
+            return sorted(
+                set(self.counters) | set(self.gauges) | set(self.histograms)
+            )
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-ready dump of the whole registry."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "histograms": {
+                    name: histogram.to_dict()
+                    for name, histogram in self.histograms.items()
+                },
+            }
+
+    def to_records(self) -> List[Dict[str, Any]]:
+        """One JSON-ready record per metric (the exporters' lines)."""
+        snapshot = self.snapshot()
+        records: List[Dict[str, Any]] = []
+        for name in sorted(snapshot["counters"]):
+            records.append({
+                "type": "metric", "kind": "counter", "name": name,
+                "value": snapshot["counters"][name],
+            })
+        for name in sorted(snapshot["gauges"]):
+            records.append({
+                "type": "metric", "kind": "gauge", "name": name,
+                "value": snapshot["gauges"][name],
+            })
+        for name in sorted(snapshot["histograms"]):
+            records.append({
+                "type": "metric", "kind": "histogram", "name": name,
+                "value": snapshot["histograms"][name],
+            })
+        return records
+
+    def to_markdown(self) -> str:
+        """Markdown table of every metric (for reports and ``--metrics``)."""
+        lines = ["| metric | kind | value |", "|---|---|---|"]
+        for record in self.to_records():
+            value = record["value"]
+            if record["kind"] == "histogram":
+                value = (
+                    f"count={value['count']}, sum={value['sum']}, "
+                    f"min={value['min']}, max={value['max']}, "
+                    f"mean={value['mean']:.2f}"
+                )
+            lines.append(f"| {record['name']} | {record['kind']} | {value} |")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"MetricsRegistry({state}, {len(self.names())} metrics)"
+
+
+#: Shared disabled registry: every update returns immediately.
+NULL_METRICS = MetricsRegistry(enabled=False)

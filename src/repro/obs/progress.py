@@ -1,0 +1,86 @@
+"""Progress callbacks for the long-running inner loops.
+
+The couple enumeration of the agree-set phase, the levelwise transversal
+search and TANE's lattice walk can all run for minutes on large inputs.
+They periodically call a user-supplied callback::
+
+    def callback(stage: str, done: int, total: Optional[int]) -> Optional[bool]
+
+with the loop's stage name, a monotone work counter and (when known) the
+total amount of work.  Returning ``False`` — and only literally
+``False``; ``None`` (an ordinary ``print``-style callback) continues —
+aborts the computation by raising :class:`ProgressAborted`, which
+derives from :class:`~repro.errors.ReproError` so existing CLI error
+handling reports it cleanly.
+
+:func:`emit_progress` is the helper the instrumented loops use;
+:class:`ConsoleProgress` is the CLI's stderr reporter.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional
+
+from repro.errors import ReproError
+
+__all__ = ["ProgressAborted", "ProgressCallback", "emit_progress",
+           "ConsoleProgress"]
+
+#: Callback signature: ``(stage, done, total) -> None | bool``.
+ProgressCallback = Callable[[str, int, Optional[int]], Optional[bool]]
+
+
+class ProgressAborted(ReproError):
+    """A progress callback returned ``False``: the run was cancelled."""
+
+    def __init__(self, stage: str, done: int,
+                 total: Optional[int] = None):
+        of_total = f" of {total}" if total is not None else ""
+        super().__init__(
+            f"aborted by progress callback during {stage!r} "
+            f"({done}{of_total} units done)"
+        )
+        self.stage = stage
+        self.done = done
+        self.total = total
+
+
+def emit_progress(callback: Optional[ProgressCallback], stage: str,
+                  done: int, total: Optional[int] = None) -> None:
+    """Invoke *callback* (if any); raise :class:`ProgressAborted` on
+    ``False``."""
+    if callback is None:
+        return
+    if callback(stage, done, total) is False:
+        raise ProgressAborted(stage, done, total)
+
+
+class ConsoleProgress:
+    """Rate-limited progress printer (the CLI's ``--progress`` flag).
+
+    Prints at most one line per *interval* seconds per stage, plus the
+    first report of each stage, to *stream* (stderr by default).
+    """
+
+    def __init__(self, stream=None, interval: float = 0.1):
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self._last_emit = {}
+
+    def __call__(self, stage: str, done: int,
+                 total: Optional[int] = None) -> None:
+        now = time.monotonic()
+        last = self._last_emit.get(stage)
+        if last is not None and now - last < self.interval:
+            return
+        self._last_emit[stage] = now
+        if total:
+            percent = 100.0 * done / total
+            print(
+                f"[{stage}] {done}/{total} ({percent:.0f}%)",
+                file=self.stream,
+            )
+        else:
+            print(f"[{stage}] {done}", file=self.stream)

@@ -15,17 +15,21 @@ worth enumerating.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, List, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.core.attributes import Schema
 from repro.core.relation import Relation
 from repro.errors import RelationError
+from repro.obs.logsetup import get_logger
+from repro.obs.metrics import MetricsRegistry
 from repro.partitions.partition import (
     StrippedPartition,
     stripped_partition_of_column,
 )
 
 __all__ = ["StrippedPartitionDatabase", "maximal_classes"]
+
+logger = get_logger(__name__)
 
 
 class StrippedPartitionDatabase:
@@ -52,13 +56,16 @@ class StrippedPartitionDatabase:
 
     @classmethod
     def from_relation(cls, relation: Relation,
-                      nulls_equal: bool = True) -> "StrippedPartitionDatabase":
+                      nulls_equal: bool = True,
+                      metrics: Optional[MetricsRegistry] = None) -> "StrippedPartitionDatabase":
         """Scan *relation* column-wise and strip each attribute partition.
 
         This is the paper's pre-processing phase; it is the only place
         the actual tuple values are read.  ``nulls_equal=False`` switches
         to SQL null semantics (see
         :func:`~repro.partitions.partition.stripped_partition_of_column`).
+        *metrics*, when given, receives the ``partition.stripped_classes``
+        and ``partition.rows`` gauges.
         """
         partitions = {
             index: stripped_partition_of_column(
@@ -66,7 +73,16 @@ class StrippedPartitionDatabase:
             )
             for index in range(len(relation.schema))
         }
-        return cls(relation.schema, partitions, len(relation))
+        spdb = cls(relation.schema, partitions, len(relation))
+        if metrics is not None:
+            metrics.gauge("partition.stripped_classes", spdb.total_classes())
+            metrics.gauge("partition.rows", spdb.num_rows)
+        logger.debug(
+            "built stripped partition database: %d attributes, %d rows, "
+            "%d classes", len(relation.schema), len(relation),
+            spdb.total_classes(),
+        )
+        return spdb
 
     @property
     def schema(self) -> Schema:

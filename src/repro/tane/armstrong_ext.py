@@ -77,28 +77,38 @@ def cmax_from_lhs(lhs_sets: Dict[int, List[int]], width: int,
 
 
 def tane_with_armstrong(relation: Relation, epsilon: float = 0.0,
-                        transversal_method: str = "levelwise") -> TaneArmstrongResult:
+                        transversal_method: str = "levelwise",
+                        tracer=None, metrics=None,
+                        progress=None) -> TaneArmstrongResult:
     """Run TANE, then derive maximal sets and build Armstrong relations.
 
     The real-world relation is built when Proposition 1 allows it
     (``armstrong`` is ``None`` otherwise); the classical integer-valued
-    relation is always built.
+    relation is always built.  *tracer*/*metrics*/*progress* are
+    forwarded to :class:`~repro.tane.tane.Tane`; the extension itself
+    runs inside a ``tane.armstrong_extension`` span.
     """
-    tane_result = Tane(epsilon=epsilon).run(relation)
+    from repro.obs import NULL_TRACER
+
+    tane_result = Tane(
+        epsilon=epsilon, tracer=tracer, metrics=metrics, progress=progress
+    ).run(relation)
+    span_tracer = tracer if tracer is not None else NULL_TRACER
     start = time.perf_counter()
-    schema = tane_result.schema
-    universe = schema.universe_mask
-    lhs_sets = tane_result.lhs_sets()
-    cmax = cmax_from_lhs(lhs_sets, len(schema), method=transversal_method)
-    max_sets = {
-        attribute: sorted(universe & ~edge for edge in edges)
-        for attribute, edges in cmax.items()
-    }
-    union = sorted({mask for masks in max_sets.values() for mask in masks})
-    classical = classical_armstrong(schema, union)
-    armstrong = None
-    if real_world_armstrong_exists(relation, union):
-        armstrong = real_world_armstrong(relation, union)
+    with span_tracer.span("tane.armstrong_extension"):
+        schema = tane_result.schema
+        universe = schema.universe_mask
+        lhs_sets = tane_result.lhs_sets()
+        cmax = cmax_from_lhs(lhs_sets, len(schema), method=transversal_method)
+        max_sets = {
+            attribute: sorted(universe & ~edge for edge in edges)
+            for attribute, edges in cmax.items()
+        }
+        union = sorted({mask for masks in max_sets.values() for mask in masks})
+        classical = classical_armstrong(schema, union)
+        armstrong = None
+        if real_world_armstrong_exists(relation, union):
+            armstrong = real_world_armstrong(relation, union)
     extension_seconds = time.perf_counter() - start
     return TaneArmstrongResult(
         tane_result=tane_result,

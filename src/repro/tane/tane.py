@@ -25,8 +25,6 @@ relations.
 
 from __future__ import annotations
 
-import logging
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -34,12 +32,20 @@ from repro.core.attributes import AttributeSet, Schema, iter_bits
 from repro.core.relation import Relation
 from repro.errors import ReproError
 from repro.fd.fd import FD, sort_fds
+from repro.obs import (
+    NULL_METRICS,
+    MetricsRegistry,
+    ProgressCallback,
+    Tracer,
+    emit_progress,
+    get_logger,
+)
 from repro.partitions.database import StrippedPartitionDatabase
 from repro.partitions.partition import StrippedPartition, partition_product
 
 __all__ = ["Tane", "TaneResult"]
 
-logger = logging.getLogger("repro.tane")
+logger = get_logger(__name__)
 
 
 @dataclass
@@ -62,6 +68,7 @@ class TaneResult:
     epsilon: float
     level_sizes: List[int] = field(default_factory=list)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    trace: Optional[Tracer] = None
 
     @property
     def total_seconds(self) -> float:
@@ -106,10 +113,18 @@ class Tane:
     max_level:
         Optional cap on the lattice level (lhs size + 1); ``None`` runs
         the full lattice.  Useful to profile level-by-level behaviour.
+    tracer / metrics / progress:
+        Optional observability hooks (see :mod:`repro.obs`): phase spans
+        (``strip``/``lattice``, with one nested span per lattice level),
+        the ``tane.level_size`` histogram, and a per-level progress
+        callback (stage ``"tane.levels"``) that may abort the walk.
     """
 
     def __init__(self, epsilon: float = 0.0, max_level: Optional[int] = None,
-                 nulls_equal: bool = True):
+                 nulls_equal: bool = True,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 progress: Optional[ProgressCallback] = None):
         if epsilon < 0 or epsilon >= 1:
             raise ReproError("epsilon must satisfy 0 <= epsilon < 1")
         if max_level is not None and max_level < 1:
@@ -117,24 +132,40 @@ class Tane:
         self.epsilon = epsilon
         self.max_level = max_level
         self.nulls_equal = nulls_equal
+        self.tracer = tracer
+        self.metrics = metrics
+        self.progress = progress
+        #: Tracer of the most recent run (partial on error paths).
+        self.last_trace: Optional[Tracer] = None
+
+    def _begin_trace(self) -> Tracer:
+        tracer = self.tracer if self.tracer is not None else Tracer()
+        self.last_trace = tracer
+        return tracer
 
     # -- public API ----------------------------------------------------------
 
     def run(self, relation: Relation) -> TaneResult:
-        start = time.perf_counter()
-        spdb = StrippedPartitionDatabase.from_relation(
-            relation, nulls_equal=self.nulls_equal
-        )
-        strip_seconds = time.perf_counter() - start
-        result = self.run_on_partitions(spdb)
-        result.phase_seconds = {
-            "strip": strip_seconds,
-            **result.phase_seconds,
-        }
+        tracer = self._begin_trace()
+        mark = tracer.mark()
+        with tracer.span("tane.run", width=len(relation.schema),
+                         rows=len(relation)):
+            with tracer.span("strip", phase=True):
+                spdb = StrippedPartitionDatabase.from_relation(
+                    relation, nulls_equal=self.nulls_equal,
+                    metrics=self.metrics,
+                )
+            result = self.run_on_partitions(
+                spdb, _tracer=tracer, _mark=mark
+            )
         return result
 
-    def run_on_partitions(self, spdb: StrippedPartitionDatabase) -> TaneResult:
-        start = time.perf_counter()
+    def run_on_partitions(self, spdb: StrippedPartitionDatabase,
+                          _tracer: Optional[Tracer] = None,
+                          _mark: Optional[int] = None) -> TaneResult:
+        tracer = _tracer if _tracer is not None else self._begin_trace()
+        mark = _mark if _mark is not None else tracer.mark()
+        metrics = self.metrics if self.metrics is not None else NULL_METRICS
         schema = spdb.schema
         width = len(schema)
         num_rows = spdb.num_rows
@@ -145,48 +176,58 @@ class Tane:
         fds: List[FD] = []
         level_sizes: List[int] = []
 
-        # Persistent C⁺ store: survives pruning so the key-pruning rule
-        # can evaluate C⁺ of sibling nodes that were deleted — or never
-        # generated — per the TANE paper's on-demand intersection rule.
-        cplus_store: Dict[int, int] = {0: universe}
+        with tracer.span("lattice", phase=True):
+            # Persistent C⁺ store: survives pruning so the key-pruning
+            # rule can evaluate C⁺ of sibling nodes that were deleted —
+            # or never generated — per the TANE paper's on-demand
+            # intersection rule.
+            cplus_store: Dict[int, int] = {0: universe}
 
-        # Level 1.
-        previous: Dict[int, _Node] = {}
-        level: Dict[int, _Node] = {}
-        for attribute in range(width):
-            mask = 1 << attribute
-            level[mask] = _Node(
-                mask=mask,
-                attributes=(attribute,),
-                partition=spdb.partition(attribute),
-                cplus=universe,
-            )
+            # Level 1.
+            previous: Dict[int, _Node] = {}
+            level: Dict[int, _Node] = {}
+            for attribute in range(width):
+                mask = 1 << attribute
+                level[mask] = _Node(
+                    mask=mask,
+                    attributes=(attribute,),
+                    partition=spdb.partition(attribute),
+                    cplus=universe,
+                )
 
-        level_number = 1
-        while level:
-            level_sizes.append(len(level))
-            logger.debug(
-                "TANE level %d: %d nodes, %d FDs so far",
-                level_number, len(level), len(fds),
-            )
-            self._compute_dependencies(
-                level, previous, cplus_store, empty_rank, num_rows,
-                schema, fds,
-            )
-            self._prune(level, fds, schema, universe, cplus_store)
-            if self.max_level is not None and level_number >= self.max_level:
-                break
-            previous, level = level, self._generate_next_level(level)
-            level_number += 1
+            level_number = 1
+            while level:
+                level_sizes.append(len(level))
+                metrics.observe("tane.level_size", len(level))
+                emit_progress(
+                    self.progress, "tane.levels", level_number
+                )
+                logger.debug(
+                    "TANE level %d: %d nodes, %d FDs so far",
+                    level_number, len(level), len(fds),
+                )
+                with tracer.span("level", number=level_number,
+                                 nodes=len(level)):
+                    self._compute_dependencies(
+                        level, previous, cplus_store, empty_rank, num_rows,
+                        schema, fds,
+                    )
+                    self._prune(level, fds, schema, universe, cplus_store)
+                    if self.max_level is not None and \
+                            level_number >= self.max_level:
+                        break
+                    previous, level = level, self._generate_next_level(level)
+                level_number += 1
+            metrics.gauge("fd.count", len(fds))
 
-        elapsed = time.perf_counter() - start
         return TaneResult(
             schema=schema,
             num_rows=num_rows,
             fds=sort_fds(fds),
             epsilon=self.epsilon,
             level_sizes=level_sizes,
-            phase_seconds={"lattice": elapsed},
+            phase_seconds=tracer.phase_seconds(mark),
+            trace=tracer,
         )
 
     # -- internals -------------------------------------------------------------

@@ -88,6 +88,40 @@ class TestRunCell:
         assert cell.display_time == "*"
 
 
+class TestCellTraces:
+    def test_run_cell_attaches_a_span_tree(self):
+        from repro.obs import MetricsRegistry, Tracer
+
+        spec = SyntheticSpec(3, 40, correlation=0.5, seed=0)
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        cell = run_cell(spec, "depminer", tracer=tracer, metrics=metrics)
+        assert cell.trace is not None
+        names = [span.name for span in cell.trace]
+        assert names.count("bench.cell") == 1
+        assert "agree_sets" in names
+        assert metrics.snapshot()["gauges"]["fd.count"] == cell.num_fds
+
+    def test_untraced_cell_has_no_trace(self):
+        spec = SyntheticSpec(3, 40, correlation=0.5, seed=0)
+        assert run_cell(spec, "depminer").trace is None
+
+    def test_run_grid_slices_one_trace_per_cell(self, tiny_grid):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        result = run_grid(
+            tiny_grid, algorithms=("depminer", "tane"), tracer=tracer
+        )
+        for cell in result.cells:
+            roots = [
+                span for span in cell.trace if span.name == "bench.cell"
+            ]
+            assert len(roots) == 1
+            assert roots[0].attrs["algorithm"] == cell.algorithm
+            assert roots[0].attrs["rows"] == cell.spec.num_tuples
+
+
 class TestRunGrid:
     def test_covers_every_cell_and_algorithm(self, tiny_grid, grid_result):
         expected = (

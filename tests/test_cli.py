@@ -174,6 +174,78 @@ class TestReport:
         assert "emp:" in capsys.readouterr().out
 
 
+class TestObservabilityFlags:
+    def test_discover_trace_writes_valid_jsonl(self, paper_csv, tmp_path,
+                                               capsys):
+        import json
+
+        from repro.obs import parse_jsonl, validate_records
+
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(
+            ["discover", str(paper_csv), "--trace", str(trace_path)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "wrote trace to" in captured.err
+        text = trace_path.read_text()
+        assert validate_records(
+            [json.loads(line) for line in text.splitlines()]
+        ) == []
+        parsed = parse_jsonl(text)
+        assert parsed["meta"][0]["command"] == "discover"
+        names = {record["name"] for record in parsed["spans"]}
+        assert {"depminer.run", "strip", "agree_sets", "cmax", "lhs",
+                "fd_output"} <= names
+        assert len({record["name"] for record in parsed["metrics"]}) >= 5
+
+    def test_discover_metrics_table(self, paper_csv, capsys):
+        assert main(["discover", str(paper_csv), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "| metric | kind | value |" in out
+        assert "agree.couples_enumerated" in out
+
+    def test_discover_progress_goes_to_stderr(self, paper_csv, capsys):
+        assert main(["discover", str(paper_csv), "--progress"]) == 0
+        assert "[agree_sets.couples]" in capsys.readouterr().err
+
+    def test_bench_trace(self, tmp_path, capsys):
+        from repro.obs import parse_jsonl
+
+        trace_path = tmp_path / "bench.jsonl"
+        assert main(
+            ["bench", "-e", "table3", "--scale", "tiny",
+             "--algorithms", "depminer", "--quiet",
+             "--trace", str(trace_path)]
+        ) == 0
+        capsys.readouterr()
+        parsed = parse_jsonl(trace_path.read_text())
+        cells = [
+            record for record in parsed["spans"]
+            if record["name"] == "bench.cell"
+        ]
+        assert cells and all(r["attrs"]["algorithm"] == "depminer"
+                             for r in cells)
+
+    def test_report_metrics(self, paper_csv, capsys):
+        assert main(["report", str(paper_csv), "--metrics"]) == 0
+        assert "| metric | kind | value |" in capsys.readouterr().out
+
+    def test_verbose_flag_parses(self, paper_csv):
+        import logging
+
+        parser = build_parser()
+        args = parser.parse_args(["-vv", "discover", str(paper_csv)])
+        assert args.verbose == 2
+        # Undo what a real -v run configures so later tests stay silent.
+        root = logging.getLogger("repro")
+        previous = (root.level, list(root.handlers))
+        try:
+            assert main(["-v", "discover", str(paper_csv)]) == 0
+        finally:
+            root.setLevel(previous[0])
+            root.handlers[:] = previous[1]
+
+
 class TestSample:
     def test_matches_direct_discovery(self, paper_csv, capsys):
         assert main(["sample", str(paper_csv), "--sample-size", "3"]) == 0

@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import io
 import logging
 
 from repro.core.depminer import DepMiner
+from repro.fdep import Fdep
+from repro.obs import configure_logging, get_logger, verbosity_to_level
+from repro.partitions.database import StrippedPartitionDatabase
 from repro.tane.tane import Tane
 
 
@@ -34,3 +38,75 @@ class TestTaneLogging:
             Tane().run(paper_relation)
         assert "TANE level 1: 5 nodes" in caplog.text
         assert "TANE level 2" in caplog.text
+
+
+class TestLoggerNaming:
+    def test_subpackage_modules_log_under_the_subpackage(self):
+        assert get_logger("repro.tane.tane").name == "repro.tane"
+        assert get_logger("repro.partitions.database").name == \
+            "repro.partitions"
+        assert get_logger("repro.fdep.fdep").name == "repro.fdep"
+        assert get_logger("repro.bench.harness").name == "repro.bench"
+
+    def test_core_modules_keep_their_module_name(self):
+        assert get_logger("repro.core.depminer").name == "repro.depminer"
+        assert get_logger("repro.core.agree_sets").name == \
+            "repro.agree_sets"
+
+    def test_foreign_names_pass_through(self):
+        assert get_logger("otherpkg.module").name == "otherpkg.module"
+
+    def test_fdep_logs_under_repro_fdep(self, paper_relation, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.fdep"):
+            Fdep().run(paper_relation)
+        assert "FDEP mined 14 minimal FDs" in caplog.text
+
+    def test_partitions_log_under_repro_partitions(self, paper_relation,
+                                                   caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.partitions"):
+            StrippedPartitionDatabase.from_relation(paper_relation)
+        assert "built stripped partition database" in caplog.text
+
+
+class TestConfigureLogging:
+    def test_verbosity_mapping(self):
+        assert verbosity_to_level(0) == logging.WARNING
+        assert verbosity_to_level(1) == logging.INFO
+        assert verbosity_to_level(2) == logging.DEBUG
+        assert verbosity_to_level(5) == logging.DEBUG
+
+    def test_configures_and_is_idempotent(self, paper_relation):
+        root = logging.getLogger("repro")
+        previous = (root.level, list(root.handlers))
+        try:
+            stream = io.StringIO()
+            configure_logging(1, stream=stream)
+            configure_logging(2, stream=stream)  # replaces, not stacks
+            ours = [
+                h for h in root.handlers
+                if getattr(h, "_repro_obs_handler", False)
+            ]
+            assert len(ours) == 1
+            assert root.level == logging.DEBUG
+            DepMiner().run(paper_relation)
+            text = stream.getvalue()
+            assert "repro.depminer" in text
+            assert "mined 14 minimal FDs" in text
+        finally:
+            root.setLevel(previous[0])
+            root.handlers[:] = previous[1]
+
+    def test_does_not_break_propagation(self, paper_relation, caplog):
+        # pytest's caplog relies on records propagating to the root
+        # logger; configure_logging must leave propagation alone.
+        root = logging.getLogger("repro")
+        previous = (root.level, list(root.handlers))
+        try:
+            configure_logging(1, stream=io.StringIO())
+            assert root.propagate
+            with caplog.at_level(logging.INFO, logger="repro.depminer"):
+                DepMiner().run(paper_relation)
+            assert "mined 14 minimal FDs" in caplog.text
+        finally:
+            root.setLevel(previous[0])
+            root.handlers[:] = previous[1]

@@ -1,0 +1,366 @@
+"""Tests for the ``repro.obs`` observability package.
+
+Covers the tracer (nesting, error paths, disabled mode), the metrics
+registry, the JSONL exporters (round-trip + schema validation), the
+progress callbacks (including abort), and the end-to-end counters a full
+:class:`~repro.core.depminer.DepMiner` run produces on the paper's
+worked example.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.attributes import Schema
+from repro.core.depminer import DepMiner
+from repro.core.relation import Relation
+from repro.errors import ArmstrongExistenceError
+from repro.fdep import Fdep
+from repro.obs import (
+    NULL_METRICS,
+    NULL_TRACER,
+    MetricsRegistry,
+    ProgressAborted,
+    Tracer,
+    dumps_jsonl,
+    emit_progress,
+    flame_text,
+    parse_jsonl,
+    spans_markdown,
+    trace_records,
+    validate_records,
+)
+from repro.obs.tracer import _NULL_SPAN
+from repro.tane.tane import Tane
+
+
+class TestSpanBasics:
+    def test_nesting_assigns_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.depth == 0 and outer.parent_id is None
+        assert inner.depth == 1 and inner.parent_id == outer.span_id
+        # Children finish first, but iter_tree restores parent-first order.
+        assert [s.name for s in tracer.iter_tree()] == ["outer", "inner"]
+
+    def test_duration_and_status(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            pass
+        assert span.finished
+        assert span.status == "ok" and span.error is None
+        assert span.duration >= 0
+
+    def test_error_spans_keep_their_duration(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("broken")
+        (span,) = tracer.finished_spans()
+        assert span.status == "error"
+        assert "ValueError: broken" in span.error
+        assert span.finished and span.duration >= 0
+
+    def test_attrs_are_recorded(self):
+        tracer = Tracer()
+        with tracer.span("phase1", phase=True, width=5) as span:
+            pass
+        assert span.attrs == {"phase": True, "width": 5}
+
+    def test_wrap_decorator(self):
+        tracer = Tracer()
+
+        @tracer.wrap("wrapped", kind="test")
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        (span,) = tracer.find("wrapped")
+        assert span.attrs == {"kind": "test"}
+
+    def test_mark_slices_a_shared_tracer(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        mark = tracer.mark()
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.finished_spans(mark)] == ["second"]
+        assert len(tracer.finished_spans()) == 2
+
+    def test_phase_seconds_selects_flagged_spans(self):
+        tracer = Tracer()
+        with tracer.span("setup"):
+            pass
+        with tracer.span("solve", phase=True) as solve:
+            pass
+        seconds = tracer.phase_seconds()
+        assert set(seconds) == {"solve"}
+        assert seconds["solve"] == solve.duration
+
+    def test_threads_share_one_tracer(self):
+        tracer = Tracer()
+
+        def work(name):
+            with tracer.span(name):
+                with tracer.span(f"{name}.child"):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        spans = tracer.finished_spans()
+        assert len(spans) == 8
+        roots = [s for s in spans if s.parent_id is None]
+        assert len(roots) == 4  # each thread's stack is its own
+
+    def test_memory_tracing_records_a_delta(self):
+        tracer = Tracer(trace_memory=True)
+        try:
+            with tracer.span("alloc") as span:
+                blob = [0] * 50_000
+            assert span.memory_delta is not None
+            del blob
+        finally:
+            tracer.close()
+
+
+class TestDisabledMode:
+    def test_null_tracer_allocates_nothing(self):
+        assert NULL_TRACER.span("anything") is _NULL_SPAN
+        assert NULL_TRACER.span("other", attr=1) is _NULL_SPAN
+        with NULL_TRACER.span("x") as span:
+            assert span is _NULL_SPAN
+        assert NULL_TRACER.finished_spans() == []
+
+    def test_null_span_does_not_swallow_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with NULL_TRACER.span("x"):
+                raise RuntimeError("propagates")
+
+    def test_null_metrics_ignores_updates(self):
+        NULL_METRICS.inc("c")
+        NULL_METRICS.gauge("g", 3)
+        NULL_METRICS.observe("h", 1.5)
+        assert NULL_METRICS.names() == []
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms(self):
+        metrics = MetricsRegistry()
+        metrics.inc("couples", 5)
+        metrics.inc("couples")
+        metrics.gauge("classes", 7)
+        metrics.gauge("classes", 9)
+        metrics.observe("level", 2)
+        metrics.observe("level", 6)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["couples"] == 6
+        assert snapshot["gauges"]["classes"] == 9
+        histogram = snapshot["histograms"]["level"]
+        assert histogram["count"] == 2
+        assert histogram["min"] == 2 and histogram["max"] == 6
+        assert histogram["mean"] == 4.0
+
+    def test_to_records_and_markdown(self):
+        metrics = MetricsRegistry()
+        metrics.inc("a.count", 3)
+        metrics.gauge("b.size", 10)
+        metrics.observe("c.dist", 1)
+        records = metrics.to_records()
+        assert [r["kind"] for r in records] == [
+            "counter", "gauge", "histogram",
+        ]
+        table = metrics.to_markdown()
+        assert "| a.count | counter | 3 |" in table
+        assert "count=1" in table
+
+    def test_clear(self):
+        metrics = MetricsRegistry()
+        metrics.inc("x")
+        metrics.clear()
+        assert metrics.names() == []
+
+
+class TestDepMinerInstrumentation:
+    def test_paper_example_metrics(self, paper_relation):
+        metrics = MetricsRegistry()
+        result = DepMiner(metrics=metrics).run(paper_relation)
+        snapshot = metrics.snapshot()
+        # Lemma 1: only couples within maximal classes are enumerated.
+        assert snapshot["counters"]["agree.couples_enumerated"] == 6
+        assert snapshot["gauges"]["agree.sets"] == 5
+        assert snapshot["gauges"]["agree.maximal_classes"] == 4
+        assert snapshot["gauges"]["fd.count"] == len(result.fds) == 14
+        assert snapshot["gauges"]["partition.rows"] == 7
+        assert "transversal.level_size" in snapshot["histograms"]
+
+    def test_phase_seconds_are_span_durations(self, paper_relation):
+        tracer = Tracer()
+        result = DepMiner(tracer=tracer).run(paper_relation)
+        assert result.trace is tracer
+        assert set(result.phase_seconds) == {
+            "strip", "agree_sets", "cmax", "lhs", "fd_output", "armstrong",
+        }
+        for name, seconds in result.phase_seconds.items():
+            (span,) = tracer.find(name)
+            assert span.attrs.get("phase")
+            assert seconds == span.duration
+
+    def test_default_run_still_records_phases(self, paper_relation):
+        # No hooks passed: a private tracer still feeds phase_seconds.
+        result = DepMiner().run(paper_relation)
+        assert result.trace is not None
+        assert result.phase_seconds["agree_sets"] >= 0
+        assert result.total_seconds == sum(result.phase_seconds.values())
+
+    def test_span_tree_shape(self, paper_relation):
+        tracer = Tracer()
+        DepMiner(tracer=tracer).run(paper_relation)
+        names = [s.name for s in tracer.iter_tree()]
+        assert names[0] == "depminer.run"
+        for phase in ("strip", "agree_sets", "cmax", "lhs", "fd_output",
+                      "armstrong"):
+            assert phase in names
+        (root,) = tracer.roots()
+        assert root.attrs == {"width": 5, "rows": 7}
+
+    def test_error_path_keeps_partial_trace(self):
+        # This relation has no real-world Armstrong relation, so the
+        # strict mode raises in phase 5 — the earlier phases' timings
+        # must survive on miner.last_trace (the recorded-on-error fix).
+        schema = Schema.of_width(3)
+        relation = Relation.from_rows(
+            schema, [(0, 0, 0), (1, 0, 1), (1, 1, 0)]
+        )
+        miner = DepMiner(build_armstrong="strict")
+        with pytest.raises(ArmstrongExistenceError):
+            miner.run(relation)
+        tracer = miner.last_trace
+        assert tracer is not None
+        seconds = tracer.phase_seconds()
+        assert {"strip", "agree_sets", "cmax", "lhs", "fd_output"} <= \
+            set(seconds)
+        (armstrong_span,) = tracer.find("armstrong")
+        assert armstrong_span.status == "error"
+        assert "ArmstrongExistenceError" in armstrong_span.error
+
+
+class TestTaneAndFdepInstrumentation:
+    def test_tane_trace_and_metrics(self, paper_relation):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        result = Tane(tracer=tracer, metrics=metrics).run(paper_relation)
+        assert result.trace is tracer
+        assert set(result.phase_seconds) == {"strip", "lattice"}
+        levels = tracer.find("level")
+        assert levels and all(s.parent_id is not None for s in levels)
+        assert metrics.snapshot()["gauges"]["fd.count"] == len(result.fds)
+
+    def test_fdep_trace_and_metrics(self, paper_relation):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        result = Fdep(tracer=tracer, metrics=metrics).run(paper_relation)
+        assert result.trace is tracer
+        assert set(result.phase_seconds) == {
+            "strip", "negative_cover", "specialize",
+        }
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["fdep.specializations"] >= 1
+        assert snapshot["gauges"]["fd.count"] == len(result.fds)
+
+
+class TestProgress:
+    def test_none_callback_is_a_noop(self):
+        emit_progress(None, "stage", 10)
+
+    def test_callback_receives_stage_and_counts(self, paper_relation):
+        calls = []
+        DepMiner(progress=lambda *args: calls.append(args)).run(
+            paper_relation
+        )
+        stages = {call[0] for call in calls}
+        assert "agree_sets.couples" in stages
+        assert "lhs.attributes" in stages
+        final = [c for c in calls if c[0] == "agree_sets.couples"][-1]
+        assert final[1] == final[2] == 6  # done == total at completion
+
+    def test_returning_false_aborts_the_run(self, paper_relation):
+        def abort(stage, done, total=None):
+            return False
+
+        with pytest.raises(ProgressAborted) as info:
+            DepMiner(progress=abort).run(paper_relation)
+        assert info.value.stage == "agree_sets.couples"
+
+    def test_tane_abort(self, paper_relation):
+        def abort_levels(stage, done, total=None):
+            if stage == "tane.levels" and done >= 2:
+                return False
+            return None
+
+        with pytest.raises(ProgressAborted):
+            Tane(progress=abort_levels).run(paper_relation)
+
+
+class TestExporters:
+    def _traced_run(self, paper_relation):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        DepMiner(tracer=tracer, metrics=metrics).run(paper_relation)
+        return tracer, metrics
+
+    def test_jsonl_round_trip(self, paper_relation, tmp_path):
+        tracer, metrics = self._traced_run(paper_relation)
+        records = trace_records(tracer, metrics, meta={"command": "test"})
+        parsed = parse_jsonl(dumps_jsonl(records))
+        assert parsed["meta"][0]["command"] == "test"
+        assert len(parsed["spans"]) == len(tracer.finished_spans())
+        assert {r["name"] for r in parsed["metrics"]} == set(metrics.names())
+        assert parsed["other"] == []
+        # Tree order: every parent precedes its children.
+        seen = set()
+        for record in parsed["spans"]:
+            if record["parent_id"] is not None:
+                assert record["parent_id"] in seen
+            seen.add(record["id"])
+
+    def test_validate_accepts_real_traces(self, paper_relation):
+        tracer, metrics = self._traced_run(paper_relation)
+        records = trace_records(tracer, metrics)
+        assert validate_records(records) == []
+
+    def test_validate_flags_problems(self):
+        assert validate_records([]) == ["trace is empty"]
+        problems = validate_records([
+            {"type": "span", "id": 0},
+        ])
+        assert any("meta" in p for p in problems)
+        problems = validate_records([
+            {"type": "meta", "format": "repro-trace", "version": 1},
+            {"type": "span", "id": 1, "name": "x", "depth": 0,
+             "start": 1.0, "end": 0.5, "duration": -0.5, "status": "weird",
+             "attrs": {}, "parent_id": 99},
+            {"type": "metric", "kind": "bogus", "name": "", },
+        ])
+        assert any("ends before" in p for p in problems)
+        assert any("negative" in p for p in problems)
+        assert any("parent_id" in p for p in problems)
+        assert any("status" in p for p in problems)
+        assert any("metric kind" in p for p in problems)
+
+    def test_flame_and_markdown_renderers(self, paper_relation):
+        tracer, _ = self._traced_run(paper_relation)
+        flame = flame_text(tracer)
+        assert "depminer.run" in flame and "█" in flame
+        table = spans_markdown(tracer)
+        assert table.startswith("| span |")
+        assert "armstrong" in table
