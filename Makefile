@@ -2,14 +2,26 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench trace-smoke experiments experiments-paper \
-	examples clean
+.PHONY: install test test-parallel bench trace-smoke experiments \
+	experiments-paper examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# The sharded execution layer: equivalence suites plus a traced
+# --jobs 2 discover run whose worker spans are schema-validated.
+test-parallel:
+	$(PYTHON) -m pytest tests/test_parallel.py \
+		tests/test_differential_miners.py tests/test_properties.py
+	mkdir -p .trace-parallel
+	$(PYTHON) -m repro generate -a 6 -t 500 -c 0.3 --seed 0 \
+		-o .trace-parallel/data.csv
+	$(PYTHON) -m repro discover .trace-parallel/data.csv --jobs 2 \
+		--trace .trace-parallel/discover.jsonl --metrics > /dev/null
+	$(PYTHON) scripts/check_trace.py .trace-parallel/discover.jsonl
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -46,5 +58,6 @@ examples:
 	$(PYTHON) examples/large_table_sampling.py --rows 5000 --attrs 6
 
 clean:
-	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks .trace-smoke
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks \
+		.trace-smoke .trace-parallel
 	find . -name __pycache__ -type d -exec rm -rf {} +

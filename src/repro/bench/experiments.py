@@ -100,13 +100,16 @@ def run_experiment(name: str, scale: str = "small",
                    algorithms: Sequence[str] = ALGORITHM_NAMES,
                    timeout: Optional[float] = None,
                    isolated: bool = False, seed: int = 0,
+                   jobs: int = 1,
                    progress=None, tracer=None, metrics=None,
                    miner_progress=None) -> Tuple[Experiment, GridResult]:
     """Execute the named experiment's grid and return the measurements.
 
-    *tracer*/*metrics*/*miner_progress* are the observability hooks of
-    :func:`~repro.bench.harness.run_grid` (per-cell span trees on
-    ``CellResult.trace``, miner counters, inner-loop progress).
+    *jobs* forwards to each miner's sharded execution layer
+    (:mod:`repro.parallel`; the measured artefacts are identical at any
+    value).  *tracer*/*metrics*/*miner_progress* are the observability
+    hooks of :func:`~repro.bench.harness.run_grid` (per-cell span trees
+    on ``CellResult.trace``, miner counters, inner-loop progress).
     """
     try:
         experiment = EXPERIMENTS[name]
@@ -117,7 +120,7 @@ def run_experiment(name: str, scale: str = "small",
     grid = grid_for(experiment.correlation_name, scale=scale, seed=seed)
     result = run_grid(
         grid, algorithms=algorithms, timeout=timeout,
-        isolated=isolated, progress=progress,
+        isolated=isolated, jobs=jobs, progress=progress,
         tracer=tracer, metrics=metrics, miner_progress=miner_progress,
     )
     return experiment, result

@@ -64,26 +64,39 @@ ALGORITHM_LABELS = {
 }
 
 
-def _run_depminer(relation: Relation, **obs) -> Tuple[int, Optional[int]]:
-    result = DepMiner(agree_algorithm="couples", **obs).run(relation)
+def _run_depminer(relation: Relation, jobs: int = 1,
+                  **obs) -> Tuple[int, Optional[int]]:
+    result = DepMiner(agree_algorithm="couples", jobs=jobs,
+                      **obs).run(relation)
     return len(result.fds), result.armstrong_size
 
-def _run_depminer2(relation: Relation, **obs) -> Tuple[int, Optional[int]]:
-    result = DepMiner(agree_algorithm="identifiers", **obs).run(relation)
+def _run_depminer2(relation: Relation, jobs: int = 1,
+                   **obs) -> Tuple[int, Optional[int]]:
+    result = DepMiner(agree_algorithm="identifiers", jobs=jobs,
+                      **obs).run(relation)
     return len(result.fds), result.armstrong_size
 
-def _run_tane(relation: Relation, **obs) -> Tuple[int, Optional[int]]:
+def _run_tane(relation: Relation, jobs: int = 1,
+              **obs) -> Tuple[int, Optional[int]]:
+    # TANE's lattice walk has no sharded path; *jobs* is accepted (the
+    # harness passes it uniformly) and ignored.
+    del jobs
     result = tane_with_armstrong(relation, **obs)
     size = len(result.armstrong) if result.armstrong is not None else None
     return len(result.fds), size
 
-def _run_depminer_fast(relation: Relation, **obs) -> Tuple[int, Optional[int]]:
-    result = DepMiner(agree_algorithm="vectorized", **obs).run(relation)
+def _run_depminer_fast(relation: Relation, jobs: int = 1,
+                       **obs) -> Tuple[int, Optional[int]]:
+    result = DepMiner(agree_algorithm="vectorized", jobs=jobs,
+                      **obs).run(relation)
     return len(result.fds), result.armstrong_size
 
-def _run_fdep(relation: Relation, **obs) -> Tuple[int, Optional[int]]:
+def _run_fdep(relation: Relation, jobs: int = 1,
+              **obs) -> Tuple[int, Optional[int]]:
     # FDEP [SF93] — an extra baseline beyond the paper's comparison; it
-    # produces no Armstrong relation (like TANE without the extension).
+    # produces no Armstrong relation (like TANE without the extension)
+    # and, like TANE, runs single-core regardless of *jobs*.
+    del jobs
     from repro.fdep import Fdep
 
     result = Fdep(**obs).run(relation)
@@ -193,14 +206,17 @@ class GridResult:
 
 
 def run_algorithm(algorithm: str, relation: Relation,
+                  jobs: int = 1,
                   tracer: Optional[Tracer] = None,
                   metrics: Optional[MetricsRegistry] = None,
                   progress: Optional[ProgressCallback] = None) -> Tuple[float, int, Optional[int]]:
     """Time one algorithm on one relation; returns (seconds, #FDs, size).
 
-    *tracer*/*metrics*/*progress* are forwarded to the miner under test
-    so a benchmark run can collect the same per-phase spans and counters
-    as a direct :class:`~repro.core.depminer.DepMiner` run.
+    *jobs* selects the sharded execution layer for the Dep-Miner
+    variants (TANE and FDEP accept and ignore it — they have no sharded
+    path).  *tracer*/*metrics*/*progress* are forwarded to the miner
+    under test so a benchmark run can collect the same per-phase spans
+    and counters as a direct :class:`~repro.core.depminer.DepMiner` run.
     """
     try:
         runner = _RUNNERS[algorithm]
@@ -210,13 +226,15 @@ def run_algorithm(algorithm: str, relation: Relation,
         ) from None
     start = time.perf_counter()
     num_fds, armstrong_size = runner(
-        relation, tracer=tracer, metrics=metrics, progress=progress
+        relation, jobs=jobs, tracer=tracer, metrics=metrics,
+        progress=progress,
     )
     return time.perf_counter() - start, num_fds, armstrong_size
 
 
 def _run_cell_isolated(spec: SyntheticSpec, algorithm: str,
-                       timeout: float) -> Optional[Tuple[float, int, Optional[int]]]:
+                       timeout: float,
+                       jobs: int = 1) -> Optional[Tuple[float, int, Optional[int]]]:
     """Fork a child, run the cell, kill it at *timeout* (the paper's ``*``)."""
     import multiprocessing
 
@@ -228,7 +246,7 @@ def _run_cell_isolated(spec: SyntheticSpec, algorithm: str,
             spec.num_attributes, spec.num_tuples,
             correlation=spec.correlation, seed=spec.seed,
         )
-        queue.put(run_algorithm(algorithm, relation))
+        queue.put(run_algorithm(algorithm, relation, jobs=jobs))
 
     process = context.Process(target=worker, args=(queue,))
     process.start()
@@ -246,7 +264,8 @@ def _measure_cell(spec: SyntheticSpec, algorithm: str, relation: Relation,
                   timeout: Optional[float],
                   tracer: Optional[Tracer],
                   metrics: Optional[MetricsRegistry],
-                  progress: Optional[ProgressCallback]) -> CellResult:
+                  progress: Optional[ProgressCallback],
+                  jobs: int = 1) -> CellResult:
     """In-process measurement; attaches the cell's spans when tracing."""
     trace: Optional[Tuple[Span, ...]] = None
     if tracer is not None:
@@ -254,15 +273,17 @@ def _measure_cell(spec: SyntheticSpec, algorithm: str, relation: Relation,
         with tracer.span("bench.cell", algorithm=algorithm,
                          attributes=spec.num_attributes,
                          rows=spec.num_tuples,
-                         correlation=spec.correlation, seed=spec.seed):
+                         correlation=spec.correlation, seed=spec.seed,
+                         jobs=jobs):
             seconds, num_fds, armstrong_size = run_algorithm(
-                algorithm, relation, tracer=tracer, metrics=metrics,
-                progress=progress,
+                algorithm, relation, jobs=jobs, tracer=tracer,
+                metrics=metrics, progress=progress,
             )
         trace = tuple(tracer.finished_spans(mark))
     else:
         seconds, num_fds, armstrong_size = run_algorithm(
-            algorithm, relation, metrics=metrics, progress=progress
+            algorithm, relation, jobs=jobs, metrics=metrics,
+            progress=progress,
         )
     logger.debug(
         "cell %s %s: %.3fs, %d FDs", spec.label(), algorithm, seconds,
@@ -279,6 +300,7 @@ def _measure_cell(spec: SyntheticSpec, algorithm: str, relation: Relation,
 def run_cell(spec: SyntheticSpec, algorithm: str,
              timeout: Optional[float] = None,
              isolated: bool = False,
+             jobs: int = 1,
              tracer: Optional[Tracer] = None,
              metrics: Optional[MetricsRegistry] = None,
              progress: Optional[ProgressCallback] = None) -> CellResult:
@@ -289,12 +311,14 @@ def run_cell(spec: SyntheticSpec, algorithm: str,
     otherwise the run completes in-process and is merely *flagged* as
     timed out when it exceeded the budget.
 
-    In-process cells can collect observability data: pass a *tracer* to
-    attach the cell's span tree to ``CellResult.trace`` (isolated cells
-    cannot — the spans die with the forked child).
+    *jobs* forwards to the miner's sharded execution layer (the
+    measured output is identical at every value).  In-process cells can
+    collect observability data: pass a *tracer* to attach the cell's
+    span tree to ``CellResult.trace`` (isolated cells cannot — the
+    spans die with the forked child).
     """
     if isolated and timeout is not None:
-        outcome = _run_cell_isolated(spec, algorithm, timeout)
+        outcome = _run_cell_isolated(spec, algorithm, timeout, jobs=jobs)
         if outcome is None:
             return CellResult(
                 spec=spec, algorithm=algorithm, seconds=float(timeout),
@@ -310,7 +334,8 @@ def run_cell(spec: SyntheticSpec, algorithm: str,
         correlation=spec.correlation, seed=spec.seed,
     )
     return _measure_cell(
-        spec, algorithm, relation, timeout, tracer, metrics, progress
+        spec, algorithm, relation, timeout, tracer, metrics, progress,
+        jobs=jobs,
     )
 
 
@@ -318,6 +343,7 @@ def run_grid(grid: WorkloadGrid,
              algorithms: Sequence[str] = ALGORITHM_NAMES,
              timeout: Optional[float] = None,
              isolated: bool = False,
+             jobs: int = 1,
              progress: Optional[Callable[[str], None]] = None,
              tracer: Optional[Tracer] = None,
              metrics: Optional[MetricsRegistry] = None,
@@ -326,7 +352,8 @@ def run_grid(grid: WorkloadGrid,
 
     The relation of each cell is generated once and shared by the
     in-process algorithms (isolated runs regenerate it in the child).
-    *progress* receives one line per finished measurement.
+    *progress* receives one line per finished measurement; *jobs*
+    forwards to each miner's sharded execution layer.
 
     A shared *tracer* collects one ``bench.cell`` span tree per
     in-process measurement, sliced into that cell's
@@ -351,12 +378,13 @@ def run_grid(grid: WorkloadGrid,
         for algorithm in algorithms:
             if isolated and timeout is not None:
                 cell = run_cell(
-                    spec, algorithm, timeout=timeout, isolated=True
+                    spec, algorithm, timeout=timeout, isolated=True,
+                    jobs=jobs,
                 )
             else:
                 cell = _measure_cell(
                     spec, algorithm, shared, timeout, tracer, metrics,
-                    miner_progress,
+                    miner_progress, jobs=jobs,
                 )
             result.cells.append(cell)
             if progress is not None:

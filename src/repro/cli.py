@@ -117,6 +117,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="memory threshold for the couples algorithm",
     )
     discover.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes for the sharded execution layer "
+             "(1 = serial, 0 = all cores; output is identical at any N)",
+    )
+    discover.add_argument(
         "--armstrong", action="store_true",
         help="also print the real-world Armstrong relation",
     )
@@ -192,6 +197,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes for the Dep-Miner variants "
+             "(1 = serial, 0 = all cores)",
+    )
+    bench.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress"
     )
     _add_obs_arguments(bench)
@@ -261,6 +271,7 @@ def _command_discover(args: argparse.Namespace) -> int:
         build_armstrong="real-world" if args.armstrong else "none",
         nulls_equal=not args.sql_nulls,
         max_lhs_size=args.max_lhs,
+        jobs=args.jobs,
         tracer=tracer,
         metrics=metrics,
         progress=progress,
@@ -291,7 +302,7 @@ def _command_discover(args: argparse.Namespace) -> int:
     _finish_obs(
         args, result.trace, metrics,
         meta={"command": "discover", "input": args.csv,
-              "algorithm": args.algorithm},
+              "algorithm": args.algorithm, "jobs": args.jobs},
     )
     return 0
 
@@ -358,7 +369,8 @@ def _command_bench(args: argparse.Namespace) -> int:
     experiment, result = run_experiment(
         args.experiment, scale=args.scale,
         algorithms=args.algorithms, timeout=args.timeout,
-        isolated=args.isolated, seed=args.seed, progress=progress,
+        isolated=args.isolated, seed=args.seed, jobs=args.jobs,
+        progress=progress,
         tracer=tracer, metrics=metrics, miner_progress=miner_progress,
     )
     print(experiment_report(experiment, result))

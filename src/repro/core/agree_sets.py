@@ -49,6 +49,11 @@ __all__ = [
     "agree_sets_from_identifiers",
     "agree_sets",
     "AGREE_SET_ALGORITHMS",
+    "build_class_index_tables",
+    "resolve_couples_with_tables",
+    "resolve_couples_with_identifiers",
+    "empty_agree_set_present",
+    "iter_distinct_couples",
 ]
 
 # Couples between progress-callback invocations in the enumeration loops.
@@ -82,7 +87,12 @@ def _couples_of_maximal_classes(
     """Yield each candidate couple once, from the classes of ``MC``.
 
     Couples are deduplicated across overlapping maximal classes so each
-    (t, t′) is resolved exactly once.  *mc* may carry a precomputed
+    (t, t′) is resolved — and, crucially, *counted* — exactly once.
+    The deduplication must happen on the stream, before any chunking:
+    a couple shared by two maximal classes could otherwise land in two
+    different chunks (or shards of the parallel execution layer), get
+    double-counted, and defeat the distinct-couple comparison of
+    :func:`empty_agree_set_present`.  *mc* may carry a precomputed
     maximal-class list (the orchestrator reuses it for statistics).
     """
     seen: Set[Tuple[int, int]] = set()
@@ -93,15 +103,103 @@ def _couples_of_maximal_classes(
                 yield couple
 
 
-def _empty_agree_set_present(spdb: StrippedPartitionDatabase,
-                             num_couples_visited: int) -> bool:
+def empty_agree_set_present(spdb: StrippedPartitionDatabase,
+                            num_distinct_couples: int) -> bool:
     """Was some pair of tuples never inside a common class?
 
     Such a pair disagrees on every attribute, hence ``∅ ∈ ag(r)``.
+    *num_distinct_couples* must count each visited couple once (see
+    :func:`_couples_of_maximal_classes`); a count inflated by re-visits
+    across chunk or shard boundaries could reach ``p·(p−1)/2`` and mask
+    the empty agree set.
     """
     num_rows = spdb.num_rows
     total_pairs = num_rows * (num_rows - 1) // 2
-    return num_couples_visited < total_pairs
+    return num_distinct_couples < total_pairs
+
+
+# Backwards-compatible private alias (pre-parallel-layer name).
+_empty_agree_set_present = empty_agree_set_present
+
+
+def iter_distinct_couples(
+    spdb: StrippedPartitionDatabase,
+    mc: Optional[List[Tuple[int, ...]]] = None,
+) -> Iterator[Tuple[int, int]]:
+    """The deduplicated candidate-couple stream (each couple once).
+
+    Public entry point for the parallel execution layer, which chunks
+    this stream into shards; the deduplication-before-chunking contract
+    of :func:`_couples_of_maximal_classes` is what keeps the distinct
+    count (and thus the ∅ detection) correct across shard boundaries.
+    """
+    return _couples_of_maximal_classes(spdb, mc)
+
+
+def build_class_index_tables(
+    spdb: StrippedPartitionDatabase,
+) -> List[Dict[int, int]]:
+    """Row → class-index table per attribute (Algorithm 2's bit vectors).
+
+    One dict per attribute, mapping each row to the index of its
+    stripped class under that attribute (rows in singleton classes are
+    absent).  This is the read-only structure both the serial couples
+    algorithm and the sharded workers resolve couples against.
+    """
+    class_of: List[Dict[int, int]] = []
+    for _attribute, partition in spdb:
+        table: Dict[int, int] = {}
+        for class_index, cls in enumerate(partition):
+            for row in cls:
+                table[row] = class_index
+        class_of.append(table)
+    return class_of
+
+
+def resolve_couples_with_tables(
+    couples: Iterable[Tuple[int, int]],
+    class_of: List[Dict[int, int]],
+) -> Set[int]:
+    """Agree-set masks of *couples* via the class-index tables.
+
+    The single shared implementation of Algorithm 2's lines 12–16: the
+    serial path and every shard of the parallel execution layer call
+    exactly this function, which is what makes ``--jobs N`` bit-for-bit
+    identical to the serial run.
+    """
+    result: Set[int] = set()
+    for t, t_prime in couples:
+        mask = 0
+        for attribute, table in enumerate(class_of):
+            left = table.get(t)
+            if left is not None and left == table.get(t_prime):
+                mask |= 1 << attribute
+        result.add(mask)
+    return result
+
+
+def resolve_couples_with_identifiers(
+    couples: Iterable[Tuple[int, int]],
+    identifiers: Dict[int, Dict[int, int]],
+) -> Set[int]:
+    """Agree-set masks of *couples* via identifier-set intersection.
+
+    The shared implementation of Algorithm 3's Lemma 2 step (serial and
+    sharded paths alike).
+    """
+    empty: Dict[int, int] = {}
+    result: Set[int] = set()
+    for t, t_prime in couples:
+        ec_left = identifiers.get(t, empty)
+        ec_right = identifiers.get(t_prime, empty)
+        if len(ec_right) < len(ec_left):
+            ec_left, ec_right = ec_right, ec_left
+        mask = 0
+        for attribute, class_index in ec_left.items():
+            if ec_right.get(attribute) == class_index:
+                mask |= 1 << attribute
+        result.add(mask)
+    return result
 
 
 def agree_sets_from_couples(spdb: StrippedPartitionDatabase,
@@ -122,40 +220,27 @@ def agree_sets_from_couples(spdb: StrippedPartitionDatabase,
     """
     if max_couples is not None and max_couples < 1:
         raise ReproError("max_couples must be a positive integer or None")
-    # Row -> class-index table per attribute: the O(1) realisation of the
-    # "t ∈ c and t′ ∈ c" test of Algorithm 2, lines 12-16.
-    class_of: List[Dict[int, int]] = []
-    for _attribute, partition in spdb:
-        table: Dict[int, int] = {}
-        for class_index, cls in enumerate(partition):
-            for row in cls:
-                table[row] = class_index
-        class_of.append(table)
+    class_of = build_class_index_tables(spdb)
 
     result: Set[int] = set()
     chunk: List[Tuple[int, int]] = []
+    # ``visited`` counts *distinct* couples: the enumeration dedups the
+    # stream before chunking, so a couple shared by two maximal classes
+    # cannot be double-counted across a chunk boundary (which would
+    # break the ∅-detection below).
     visited = 0
-
-    def resolve(chunk: List[Tuple[int, int]]) -> None:
-        for t, t_prime in chunk:
-            mask = 0
-            for attribute, table in enumerate(class_of):
-                left = table.get(t)
-                if left is not None and left == table.get(t_prime):
-                    mask |= 1 << attribute
-            result.add(mask)
 
     chunks = 0
     for couple in _couples_of_maximal_classes(spdb, mc):
         visited += 1
         chunk.append(couple)
         if max_couples is not None and len(chunk) >= max_couples:
-            resolve(chunk)
+            result |= resolve_couples_with_tables(chunk, class_of)
             chunk = []
             chunks += 1
         if progress is not None and visited % PROGRESS_INTERVAL == 0:
             emit_progress(progress, "agree_sets.couples", visited)
-    resolve(chunk)
+    result |= resolve_couples_with_tables(chunk, class_of)
     if chunk:
         chunks += 1
     if progress is not None and visited:
@@ -166,7 +251,7 @@ def agree_sets_from_couples(spdb: StrippedPartitionDatabase,
     if stats is not None:
         stats["num_couples"] = visited
         stats["num_chunks"] = max(chunks, 1 if visited else 0)
-    if _empty_agree_set_present(spdb, visited):
+    if empty_agree_set_present(spdb, visited):
         result.add(0)
     return result
 
@@ -184,29 +269,25 @@ def agree_sets_from_identifiers(spdb: StrippedPartitionDatabase,
     and *progress* behave as in :func:`agree_sets_from_couples`.
     """
     identifiers = spdb.equivalence_class_identifiers()
-    empty: Dict[int, int] = {}
     result: Set[int] = set()
     visited = 0
-    for t, t_prime in _couples_of_maximal_classes(spdb, mc):
+    batch: List[Tuple[int, int]] = []
+    for couple in _couples_of_maximal_classes(spdb, mc):
         visited += 1
-        ec_left = identifiers.get(t, empty)
-        ec_right = identifiers.get(t_prime, empty)
-        if len(ec_right) < len(ec_left):
-            ec_left, ec_right = ec_right, ec_left
-        mask = 0
-        for attribute, class_index in ec_left.items():
-            if ec_right.get(attribute) == class_index:
-                mask |= 1 << attribute
-        result.add(mask)
-        if progress is not None and visited % PROGRESS_INTERVAL == 0:
-            emit_progress(progress, "agree_sets.couples", visited)
+        batch.append(couple)
+        if len(batch) >= PROGRESS_INTERVAL:
+            result |= resolve_couples_with_identifiers(batch, identifiers)
+            batch = []
+            if progress is not None:
+                emit_progress(progress, "agree_sets.couples", visited)
+    result |= resolve_couples_with_identifiers(batch, identifiers)
     if progress is not None and visited:
         emit_progress(progress, "agree_sets.couples", visited, visited)
     if metrics is not None:
         metrics.inc("agree.couples_enumerated", visited)
     if stats is not None:
         stats["num_couples"] = visited
-    if _empty_agree_set_present(spdb, visited):
+    if empty_agree_set_present(spdb, visited):
         result.add(0)
     return result
 

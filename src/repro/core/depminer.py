@@ -57,6 +57,7 @@ from repro.obs import (
     Tracer,
     get_logger,
 )
+from repro.parallel.executor import ShardedExecutor, resolve_jobs
 from repro.partitions.database import StrippedPartitionDatabase
 
 __all__ = ["DepMiner", "DepMinerResult", "discover_fds", "discover"]
@@ -164,6 +165,20 @@ class DepMiner:
         Optional cap on the lhs size for very wide schemas; the output
         is then every minimal FD with at most that many lhs attributes
         (sound but incomplete).  Levelwise method only.
+    jobs:
+        Worker processes for the sharded execution layer
+        (:mod:`repro.parallel`).  ``1`` (default) is today's serial
+        path; ``None``/``0`` uses every core.  Any value produces
+        bit-for-bit identical output — with ``jobs > 1`` the agree-set
+        couples are resolved in chunks by a process pool and the
+        ``CMAX_SET`` + transversal tail fans out per RHS attribute
+        (fused into the ``lhs`` phase span; the ``cmax`` span then
+        covers only parent-side shard preparation).  The ``vectorized``
+        agree algorithm always runs serial (NumPy is already
+        column-parallel); its lhs phase still shards.
+    shard_timeout:
+        Optional per-shard timeout in seconds for ``jobs > 1``
+        (:class:`repro.parallel.ShardTimeoutError` aborts the run).
     tracer:
         Optional :class:`repro.obs.Tracer` collecting the phase spans;
         when omitted each run uses a fresh private tracer, retrievable
@@ -183,6 +198,8 @@ class DepMiner:
                  build_armstrong: str = "real-world",
                  nulls_equal: bool = True,
                  max_lhs_size: Optional[int] = None,
+                 jobs: int = 1,
+                 shard_timeout: Optional[float] = None,
                  tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  progress: Optional[ProgressCallback] = None):
@@ -200,6 +217,8 @@ class DepMiner:
         # search stops at that level, so the output is every minimal FD
         # with |lhs| <= max_lhs_size (sound but incomplete).
         self.max_lhs_size = max_lhs_size
+        self.jobs = resolve_jobs(jobs)
+        self.shard_timeout = shard_timeout
         self.tracer = tracer
         self.metrics = metrics
         self.progress = progress
@@ -252,23 +271,48 @@ class DepMiner:
 
         metrics.gauge("partition.stripped_classes", spdb.total_classes())
 
+        # The sharded execution layer (repro.parallel): one executor per
+        # run, shared by the agree-set chunks and the per-attribute lhs
+        # fan-out.  jobs=1 keeps every call on the serial code path.
+        executor: Optional[ShardedExecutor] = None
+        if self.jobs > 1:
+            executor = ShardedExecutor(
+                jobs=self.jobs, shard_timeout=self.shard_timeout,
+                tracer=tracer, metrics=metrics, progress=self.progress,
+            )
+
         with tracer.span("agree_sets", phase=True,
-                         algorithm=self.agree_algorithm) as agree_span:
+                         algorithm=self.agree_algorithm,
+                         jobs=self.jobs) as agree_span:
             mc = spdb.maximal_classes()
             stats["num_maximal_classes"] = len(mc)
             stats["largest_maximal_class"] = max(
                 (len(cls) for cls in mc), default=0
             )
             metrics.gauge("agree.maximal_classes", len(mc))
-            agree = agree_sets(
-                spdb,
-                algorithm=self.agree_algorithm,
-                max_couples=self.max_couples,
-                mc=mc,
-                stats=stats,
-                metrics=metrics,
-                progress=self.progress,
-            )
+            if executor is not None and \
+                    self.agree_algorithm in ("couples", "identifiers"):
+                from repro.parallel.shards import parallel_agree_sets
+
+                agree = parallel_agree_sets(
+                    spdb, executor, algorithm=self.agree_algorithm,
+                    max_couples=self.max_couples, mc=mc, stats=stats,
+                )
+            else:
+                if executor is not None:
+                    logger.debug(
+                        "agree algorithm %r has no sharded path; running "
+                        "serial (lhs still shards)", self.agree_algorithm,
+                    )
+                agree = agree_sets(
+                    spdb,
+                    algorithm=self.agree_algorithm,
+                    max_couples=self.max_couples,
+                    mc=mc,
+                    stats=stats,
+                    metrics=metrics,
+                    progress=self.progress,
+                )
             stats["num_agree_sets"] = len(agree)
             metrics.gauge("agree.sets", len(agree))
         logger.debug(
@@ -278,22 +322,44 @@ class DepMiner:
             agree_span.duration,
         )
 
-        with tracer.span("cmax", phase=True):
-            with tracer.span("maximal_sets"):
-                max_sets = maximal_sets(agree, schema)
-            with tracer.span("complements"):
-                cmax = complement_maximal_sets(max_sets, schema)
-            metrics.gauge(
-                "cmax.edges", sum(len(edges) for edges in cmax.values())
-            )
+        if executor is not None:
+            # Fused parallel tail: each worker derives max(dep(r), A),
+            # complements it and searches the transversals for its own
+            # RHS attribute.  The cmax phase span then covers only the
+            # parent-side shard preparation; the per-attribute work is
+            # accounted inside the lhs phase (see docs/parallel.md).
+            from repro.parallel.shards import parallel_cmax_lhs
 
-        with tracer.span("lhs", phase=True,
-                         method=self.transversal_method) as lhs_span:
-            lhs_sets = left_hand_sides(
-                cmax, schema, method=self.transversal_method,
-                max_size=self.max_lhs_size,
-                metrics=metrics, progress=self.progress,
-            )
+            with tracer.span("cmax", phase=True, jobs=self.jobs):
+                agree_list = sorted(agree)
+            with tracer.span("lhs", phase=True,
+                             method=self.transversal_method,
+                             jobs=self.jobs, fused_cmax=True) as lhs_span:
+                max_sets, cmax, lhs_sets = parallel_cmax_lhs(
+                    agree_list, schema, executor,
+                    method=self.transversal_method,
+                    max_size=self.max_lhs_size,
+                )
+                metrics.gauge(
+                    "cmax.edges", sum(len(edges) for edges in cmax.values())
+                )
+        else:
+            with tracer.span("cmax", phase=True):
+                with tracer.span("maximal_sets"):
+                    max_sets = maximal_sets(agree, schema)
+                with tracer.span("complements"):
+                    cmax = complement_maximal_sets(max_sets, schema)
+                metrics.gauge(
+                    "cmax.edges", sum(len(edges) for edges in cmax.values())
+                )
+
+            with tracer.span("lhs", phase=True,
+                             method=self.transversal_method) as lhs_span:
+                lhs_sets = left_hand_sides(
+                    cmax, schema, method=self.transversal_method,
+                    max_size=self.max_lhs_size,
+                    metrics=metrics, progress=self.progress,
+                )
         logger.debug(
             "lhs families computed via %s (%.3fs)",
             self.transversal_method, lhs_span.duration,

@@ -27,11 +27,25 @@ from repro.hypergraph.hypergraph import maximize_sets
 
 __all__ = [
     "maximal_sets",
+    "maximal_sets_for_attribute",
     "complement_maximal_sets",
     "max_set_union",
     "disagree_sets",
     "cmax_from_disagree_sets",
 ]
+
+
+def maximal_sets_for_attribute(agree: Iterable[int],
+                               attribute: int) -> List[int]:
+    """``max(dep(r), A)`` for one attribute, from ``ag(r)`` bitmasks.
+
+    The independent per-attribute unit of Lemma 3; :func:`maximal_sets`
+    is this helper over every attribute, and the parallel execution
+    layer fans exactly this computation out per RHS attribute.
+    """
+    bit = 1 << attribute
+    candidates = [mask for mask in agree if not mask & bit]
+    return maximize_sets(candidates)
 
 
 def maximal_sets(agree: Iterable[int], schema: Schema) -> Dict[int, List[int]]:
@@ -41,12 +55,10 @@ def maximal_sets(agree: Iterable[int], schema: Schema) -> Dict[int, List[int]]:
     An attribute mapped to an empty list is constant in the relation.
     """
     agree = list(agree)
-    result: Dict[int, List[int]] = {}
-    for attribute in range(len(schema)):
-        bit = 1 << attribute
-        candidates = [mask for mask in agree if not mask & bit]
-        result[attribute] = maximize_sets(candidates)
-    return result
+    return {
+        attribute: maximal_sets_for_attribute(agree, attribute)
+        for attribute in range(len(schema))
+    }
 
 
 def complement_maximal_sets(max_sets: Dict[int, List[int]],

@@ -100,6 +100,28 @@ class MetricsRegistry:
                 histogram = self.histograms[name] = HistogramSummary()
             histogram.observe(value)
 
+    def merge_histogram(self, name: str,
+                        summary: Dict[str, Number]) -> None:
+        """Fold a serialised summary (:meth:`HistogramSummary.to_dict`)
+        into histogram *name* — how worker-process observations reach
+        the parent registry (see :mod:`repro.parallel`)."""
+        if not self.enabled or not summary.get("count"):
+            return
+        with self._lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = HistogramSummary()
+            histogram.count += summary["count"]
+            histogram.total += summary["sum"]
+            histogram.min = (
+                summary["min"] if histogram.min is None
+                else min(histogram.min, summary["min"])
+            )
+            histogram.max = (
+                summary["max"] if histogram.max is None
+                else max(histogram.max, summary["max"])
+            )
+
     # -- queries ------------------------------------------------------------
 
     def names(self) -> List[str]:

@@ -179,6 +179,36 @@ class Tracer:
         )
         return _SpanContext(self, span)
 
+    def record(self, name: str, seconds: float, **attrs: Any) -> Optional[Span]:
+        """Append an already-measured span (work done elsewhere).
+
+        The parallel execution layer uses this to attribute work that
+        ran in a worker *process*: the worker's own spans die with the
+        child, so the parent re-records each shard from the duration
+        reported through the result queue.  The synthetic span becomes a
+        child of the currently open span (if any) and ends *now*, i.e.
+        ``start`` is back-dated by *seconds*.
+        """
+        if not self.enabled:
+            return None
+        parent = self.current_span
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        span = Span(
+            span_id=span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            depth=parent.depth + 1 if parent is not None else 0,
+            attrs=attrs,
+        )
+        span.end = time.perf_counter()
+        span.start = span.end - seconds
+        span.start_unix = time.time() - seconds
+        with self._lock:
+            self.spans.append(span)
+        return span
+
     def wrap(self, name: Optional[str] = None, **attrs: Any) -> Callable:
         """Decorator form: ``@tracer.wrap("phase")``."""
 

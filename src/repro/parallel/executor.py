@@ -1,0 +1,363 @@
+"""The sharded process-pool executor behind ``--jobs N``.
+
+Dep-Miner's two dominant costs are embarrassingly parallel: couples
+shard by chunk (each chunk resolves against the same read-only
+row → class-index tables) and the per-attribute transversal searches are
+mutually independent.  :class:`ShardedExecutor` is the one execution
+primitive both integrations share:
+
+- **work descriptors** — a :class:`Shard` is ``(kind, index, payload)``,
+  picklable by construction; the *kind* names a registered worker
+  function (see :func:`register_shard_kind`) and the heavy read-only
+  context travels once per worker through the pool initializer, not
+  once per shard;
+- **serial fallback** — ``jobs=1`` (the default everywhere) runs the
+  very same shard functions inline, in order, with no pool, no pickling
+  and no behavioural difference: the parallel layer is a pure execution
+  strategy, never a second implementation of the algorithms;
+- **bounded result queue** — at most ``max_pending`` shards are in
+  flight; submission is windowed so a thousand-shard run never
+  materialises a thousand result buffers;
+- **per-shard timeout + cancellation** — each shard's result is awaited
+  with a deadline (:class:`ShardTimeoutError` terminates the pool), and
+  a progress callback returning ``False`` aborts the whole map through
+  the usual :class:`~repro.obs.ProgressAborted` channel;
+- **observability from workers** — a worker cannot write into the
+  parent's tracer, so every shard reports its wall-clock seconds plus
+  the counters and histogram summaries of a shard-local
+  :class:`~repro.obs.MetricsRegistry` through the result queue; the
+  parent re-records each shard as a synthetic span
+  (:meth:`repro.obs.Tracer.record`), merges the counters
+  (:meth:`~repro.obs.MetricsRegistry.inc`) and histograms
+  (:meth:`~repro.obs.MetricsRegistry.merge_histogram`) into its own
+  registry and emits one progress step per completed shard.
+
+Determinism guarantee: results are reassembled by shard index, so
+``map()`` returns exactly what the serial loop would — the callers
+(``parallel_agree_sets``, ``parallel_cmax_lhs``) are bit-for-bit
+identical to ``jobs=1``.  See ``docs/parallel.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.obs import (
+    MetricsRegistry,
+    ProgressCallback,
+    Tracer,
+    emit_progress,
+    get_logger,
+)
+
+__all__ = [
+    "Shard",
+    "ShardOutcome",
+    "ShardError",
+    "ShardTimeoutError",
+    "ShardedExecutor",
+    "register_shard_kind",
+    "resolve_jobs",
+]
+
+logger = get_logger(__name__)
+
+
+class ShardError(ReproError):
+    """A shard failed in a worker process (carries the worker traceback)."""
+
+
+class ShardTimeoutError(ShardError):
+    """A shard exceeded the per-shard timeout; the pool was terminated."""
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of work: a registered *kind* plus a picklable *payload*."""
+
+    kind: str
+    index: int
+    payload: Any
+
+
+@dataclass
+class ShardOutcome:
+    """What a worker sends back through the result queue for one shard."""
+
+    index: int
+    value: Any = None
+    seconds: float = 0.0
+    counters: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    error: Optional[str] = None
+
+
+#: Registered shard functions: ``kind -> fn(shared, payload, metrics)``.
+SHARD_KINDS: Dict[str, Callable[[Any, Any, MetricsRegistry], Any]] = {}
+
+
+def register_shard_kind(name: str):
+    """Register a worker function under *name* (module-level, picklable).
+
+    The function receives ``(shared, payload, metrics)``: the read-only
+    context shipped once per worker, the shard's own payload, and a
+    shard-local :class:`~repro.obs.MetricsRegistry` — its counters and
+    histogram summaries travel back through the result queue and the
+    parent merges them, which is how worker-side work accounting flows
+    into the run's metrics.  (Gauges do not merge meaningfully across
+    shards and are not relayed.)
+    """
+
+    def decorator(function):
+        SHARD_KINDS[name] = function
+        return function
+
+    return decorator
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: ``None``/``0`` = all cores."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ReproError(f"jobs must be a positive integer, 0 or None; "
+                         f"got {jobs}")
+    return jobs
+
+
+# -- worker side (module-level so 'spawn' contexts can pickle them) ----------
+
+_WORKER_SHARED: Any = None
+
+
+def _worker_init(shared: Any) -> None:
+    global _WORKER_SHARED
+    _WORKER_SHARED = shared
+
+
+def _run_shard(shard: Shard) -> ShardOutcome:
+    start = time.perf_counter()
+    local = MetricsRegistry()
+    try:
+        function = _shard_function(shard.kind)
+        value = function(_WORKER_SHARED, shard.payload, local)
+        return ShardOutcome(
+            index=shard.index, value=value,
+            seconds=time.perf_counter() - start,
+            counters=dict(local.counters),
+            histograms={
+                name: histogram.to_dict()
+                for name, histogram in local.histograms.items()
+            },
+        )
+    except Exception:
+        return ShardOutcome(
+            index=shard.index, seconds=time.perf_counter() - start,
+            error=traceback.format_exc(),
+        )
+
+
+def _shard_function(kind: str):
+    try:
+        return SHARD_KINDS[kind]
+    except KeyError:
+        # A 'spawn' worker imports this module alone; the built-in kinds
+        # live in repro.parallel.shards — import them once and retry.
+        import repro.parallel.shards  # noqa: F401  (registers kinds)
+
+        try:
+            return SHARD_KINDS[kind]
+        except KeyError:
+            raise ReproError(f"unknown shard kind {kind!r}") from None
+
+
+# -- the executor ------------------------------------------------------------
+
+class ShardedExecutor:
+    """Run registered shard kinds over a process pool (or inline).
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (default) runs everything inline — the
+        guaranteed-identical serial path; ``None``/``0`` means all
+        cores.
+    shard_timeout:
+        Seconds to wait for each shard's result before terminating the
+        pool with :class:`ShardTimeoutError`.  ``None`` waits forever.
+        (Shards run concurrently, so this bounds the *straggler* wait,
+        not the sum.)
+    mp_context:
+        ``multiprocessing`` start method; default prefers ``"fork"``
+        (cheap copy-on-write sharing of the read-only context) and
+        falls back to ``"spawn"`` where fork is unavailable.
+    max_pending:
+        Bound on in-flight shards (the result-queue budget); default
+        ``2 × jobs``.
+    tracer / metrics / progress:
+        The usual observability hooks (:mod:`repro.obs`).  Each
+        completed shard is re-recorded as a synthetic ``parallel.shard``
+        span, its counters and histograms are merged, and one progress
+        step is emitted per completion (so an aborting callback cancels
+        the map).
+    """
+
+    def __init__(self, jobs: int = 1,
+                 shard_timeout: Optional[float] = None,
+                 mp_context: Optional[str] = None,
+                 max_pending: Optional[int] = None,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 progress: Optional[ProgressCallback] = None):
+        self.jobs = resolve_jobs(jobs)
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ReproError("shard_timeout must be positive or None")
+        self.shard_timeout = shard_timeout
+        self.mp_context = mp_context
+        if max_pending is not None and max_pending < 1:
+            raise ReproError("max_pending must be a positive integer or None")
+        self.max_pending = max_pending
+        self.tracer = tracer
+        self.metrics = metrics
+        self.progress = progress
+
+    @property
+    def serial(self) -> bool:
+        return self.jobs <= 1
+
+    def map(self, kind: str, payloads: Sequence[Any],
+            shared: Any = None,
+            stage: str = "parallel.shards") -> List[Any]:
+        """Run *kind* over every payload; results in payload order.
+
+        The serial path (``jobs=1``, or fewer than two shards) calls
+        the shard function inline; otherwise the shards are distributed
+        over the pool with a bounded in-flight window.  Either way the
+        observability side effects are the same: one synthetic span,
+        one counter merge and one *stage* progress step per shard.
+        """
+        shards = [
+            Shard(kind=kind, index=index, payload=payload)
+            for index, payload in enumerate(payloads)
+        ]
+        if not shards:
+            return []
+        if self.serial or len(shards) == 1:
+            return self._map_serial(shards, shared, stage)
+        return self._map_pool(shards, shared, stage)
+
+    # -- serial fallback ----------------------------------------------------
+
+    def _map_serial(self, shards: List[Shard], shared: Any,
+                    stage: str) -> List[Any]:
+        function = _shard_function(shards[0].kind)
+        results: List[Any] = []
+        for done, shard in enumerate(shards, start=1):
+            local = MetricsRegistry()
+            start = time.perf_counter()
+            value = function(shared, shard.payload, local)
+            self._absorb(
+                ShardOutcome(
+                    index=shard.index, value=value,
+                    seconds=time.perf_counter() - start,
+                    counters=dict(local.counters),
+                    histograms={
+                        name: histogram.to_dict()
+                        for name, histogram in local.histograms.items()
+                    },
+                ),
+                shard, done, len(shards), stage,
+            )
+            results.append(value)
+        return results
+
+    # -- pool path ----------------------------------------------------------
+
+    def _pool_context(self):
+        import multiprocessing
+
+        method = self.mp_context
+        if method is None:
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else "spawn"
+        return multiprocessing.get_context(method)
+
+    def _map_pool(self, shards: List[Shard], shared: Any,
+                  stage: str) -> List[Any]:
+        import multiprocessing
+
+        context = self._pool_context()
+        processes = min(self.jobs, len(shards))
+        window = self.max_pending or 2 * self.jobs
+        results: List[Any] = [None] * len(shards)
+        pool = context.Pool(
+            processes=processes, initializer=_worker_init,
+            initargs=(shared,),
+        )
+        try:
+            pending: deque = deque()
+            queue = iter(shards[window:])
+            for shard in shards[:window]:
+                pending.append((shard, pool.apply_async(_run_shard, (shard,))))
+            done = 0
+            while pending:
+                shard, handle = pending.popleft()
+                try:
+                    outcome = handle.get(self.shard_timeout)
+                except multiprocessing.TimeoutError:
+                    raise ShardTimeoutError(
+                        f"shard {shard.index} ({shard.kind}) exceeded the "
+                        f"{self.shard_timeout:g}s per-shard timeout"
+                    ) from None
+                done += 1
+                self._absorb(outcome, shard, done, len(shards), stage)
+                if outcome.error is not None:
+                    raise ShardError(
+                        f"shard {shard.index} ({shard.kind}) failed in a "
+                        f"worker:\n{outcome.error}"
+                    )
+                results[outcome.index] = outcome.value
+                for next_shard in queue:
+                    pending.append(
+                        (next_shard, pool.apply_async(_run_shard, (next_shard,)))
+                    )
+                    break
+            pool.close()
+            pool.join()
+        except BaseException:
+            # Timeout, worker failure or cancellation (ProgressAborted):
+            # kill the remaining workers, don't leak the pool.
+            pool.terminate()
+            pool.join()
+            raise
+        return results
+
+    # -- observability relay ------------------------------------------------
+
+    def _absorb(self, outcome: ShardOutcome, shard: Shard, done: int,
+                total: int, stage: str) -> None:
+        if self.tracer is not None:
+            self.tracer.record(
+                "parallel.shard", outcome.seconds, kind=shard.kind,
+                shard=shard.index, status="error" if outcome.error else "ok",
+            )
+        if self.metrics is not None:
+            for name, value in outcome.counters.items():
+                self.metrics.inc(name, value)
+            for name, summary in outcome.histograms.items():
+                self.metrics.merge_histogram(name, summary)
+        if self.progress is not None:
+            emit_progress(self.progress, stage, done, total)
+
+    def __repr__(self) -> str:
+        mode = "serial" if self.serial else f"{self.jobs} workers"
+        timeout = (
+            f", timeout={self.shard_timeout:g}s" if self.shard_timeout else ""
+        )
+        return f"ShardedExecutor({mode}{timeout})"

@@ -1,12 +1,34 @@
-"""Shared fixtures: the paper's worked example and helper factories."""
+"""Shared fixtures: the paper's worked example and helper factories.
+
+Setting ``REPRO_TEST_JOBS=N`` (N > 1) re-runs the whole suite with every
+:class:`~repro.core.depminer.DepMiner` defaulting to ``jobs=N``, so the
+tier-1 tests double as a differential check of the sharded execution
+layer (tests that pass an explicit ``jobs=`` keep their value).  CI runs
+the suite both ways.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.core.attributes import Schema
 from repro.core.relation import Relation
 from repro.datasets import paper_example_relation
+
+_TEST_JOBS = int(os.environ.get("REPRO_TEST_JOBS", "1"))
+
+if _TEST_JOBS > 1:
+    from repro.core.depminer import DepMiner as _DepMiner
+
+    _serial_init = _DepMiner.__init__
+
+    def _sharded_init(self, *args, **kwargs):
+        kwargs.setdefault("jobs", _TEST_JOBS)
+        _serial_init(self, *args, **kwargs)
+
+    _DepMiner.__init__ = _sharded_init
 
 
 @pytest.fixture

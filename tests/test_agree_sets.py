@@ -138,6 +138,49 @@ class TestOverlappingMaximalClasses:
         naive, couples, identifiers = all_three(relation)
         assert naive == couples == identifiers
 
+    def test_empty_detection_counts_distinct_couples_across_chunks(self):
+        # Regression: the couple (0, 1) lives in two overlapping maximal
+        # classes (A's {0,1,2} and B's {0,1,3}).  Counting per-chunk
+        # visits instead of distinct couples would tally 6 = C(4,2) and
+        # mask the empty agree set of the fully-disagreeing pair (2, 3).
+        schema = Schema(["A", "B", "C"])
+        relation = Relation.from_rows(
+            schema,
+            [
+                ("x", "u", "p"),
+                ("x", "u", "q"),
+                ("x", "v", "r"),
+                ("y", "u", "s"),
+            ],
+        )
+        spdb = spdb_of(relation)
+        expected = naive_agree_sets(relation)
+        assert 0 in expected
+        # One couple per chunk: every chunk boundary is exercised.
+        for max_couples in (1, 2, 3, None):
+            stats = {}
+            result = agree_sets_from_couples(
+                spdb, max_couples=max_couples, stats=stats
+            )
+            assert result == expected
+            assert stats["num_couples"] == 5
+
+    def test_distinct_couple_enumeration_is_deduplicated(self):
+        from repro.core.agree_sets import iter_distinct_couples
+
+        schema = Schema(["A", "B", "C"])
+        relation = Relation.from_rows(
+            schema,
+            [
+                ("x", "u", "p"),
+                ("x", "u", "q"),
+                ("x", "v", "r"),
+                ("y", "u", "s"),
+            ],
+        )
+        couples = list(iter_distinct_couples(spdb_of(relation)))
+        assert len(couples) == len(set(couples)) == 5
+
 
 class TestVectorized:
     def test_dispatcher_accepts_vectorized(self, paper_relation):

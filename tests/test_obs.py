@@ -283,8 +283,10 @@ class TestProgress:
         emit_progress(None, "stage", 10)
 
     def test_callback_receives_stage_and_counts(self, paper_relation):
+        # jobs=1 pinned: the serial loops emit per-couple stages; under
+        # the sharded layer the stages are *.shards (test_parallel.py).
         calls = []
-        DepMiner(progress=lambda *args: calls.append(args)).run(
+        DepMiner(jobs=1, progress=lambda *args: calls.append(args)).run(
             paper_relation
         )
         stages = {call[0] for call in calls}
@@ -298,7 +300,7 @@ class TestProgress:
             return False
 
         with pytest.raises(ProgressAborted) as info:
-            DepMiner(progress=abort).run(paper_relation)
+            DepMiner(jobs=1, progress=abort).run(paper_relation)
         assert info.value.stage == "agree_sets.couples"
 
     def test_tane_abort(self, paper_relation):

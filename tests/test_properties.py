@@ -269,3 +269,64 @@ def test_discovered_fds_hold_and_are_minimal(relation):
             assert not relation.satisfies(
                 shrunk, relation.schema.from_mask(fd.rhs_mask)
             )
+
+
+def _canonical_cover(fds):
+    return sorted((fd.lhs.mask, fd.rhs_index) for fd in fds)
+
+
+@settings(max_examples=40, deadline=None)
+@given(relations(), st.randoms(use_true_random=False))
+def test_cover_is_invariant_under_row_permutation(relation, rng):
+    """FDs are a property of the tuple *set*: reordering rows must not
+    change the mined cover (nor which agree sets exist)."""
+    rows = list(relation.rows())
+    rng.shuffle(rows)
+    shuffled = Relation.from_rows(relation.schema, rows)
+    original = DepMiner(build_armstrong="none").run(relation)
+    permuted = DepMiner(build_armstrong="none").run(shuffled)
+    assert _canonical_cover(permuted.fds) == _canonical_cover(original.fds)
+    assert permuted.agree_sets == original.agree_sets
+    assert permuted.cmax_sets == original.cmax_sets
+
+
+@settings(max_examples=40, deadline=None)
+@given(relations(), st.data())
+def test_cover_is_invariant_under_duplicate_row_insertion(relation, data):
+    """Duplicating existing tuples adds only reflexive agreements and
+    must leave the mined cover untouched."""
+    rows = list(relation.rows())
+    if not rows:
+        return
+    extra = data.draw(
+        st.lists(st.sampled_from(rows), min_size=1, max_size=4)
+    )
+    positions = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(rows)),
+            min_size=len(extra), max_size=len(extra),
+        )
+    )
+    padded = list(rows)
+    for row, position in zip(extra, positions):
+        padded.insert(position, row)
+    duplicated = Relation.from_rows(relation.schema, padded)
+    original = DepMiner(build_armstrong="none").run(relation)
+    padded_result = DepMiner(build_armstrong="none").run(duplicated)
+    assert _canonical_cover(padded_result.fds) == _canonical_cover(
+        original.fds
+    )
+    assert padded_result.cmax_sets == original.cmax_sets
+
+
+@settings(max_examples=15, deadline=None)
+@given(relations(max_width=4, max_rows=14))
+def test_sharded_execution_matches_serial_on_arbitrary_relations(relation):
+    """The ``jobs=2`` execution layer is extensionally invisible: same
+    agree sets, same cmax sets, same cover, on arbitrary relations."""
+    serial = DepMiner(jobs=1, build_armstrong="none").run(relation)
+    sharded = DepMiner(jobs=2, build_armstrong="none").run(relation)
+    assert sharded.agree_sets == serial.agree_sets
+    assert sharded.cmax_sets == serial.cmax_sets
+    assert sharded.lhs_sets == serial.lhs_sets
+    assert _canonical_cover(sharded.fds) == _canonical_cover(serial.fds)

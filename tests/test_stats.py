@@ -21,8 +21,10 @@ class TestDepMinerStats:
         assert stats["num_chunks"] == 3  # 6 couples in chunks of 2
 
     def test_identifiers_variant_counts_couples(self, paper_relation):
+        # jobs=1 pinned: the serial identifiers algorithm never chunks;
+        # the sharded path always does (and reports num_chunks).
         stats = DepMiner(
-            agree_algorithm="identifiers"
+            jobs=1, agree_algorithm="identifiers"
         ).run(paper_relation).stats
         assert stats["num_couples"] == 6
         assert "num_chunks" not in stats
