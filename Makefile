@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-parallel bench trace-smoke experiments \
-	experiments-paper examples clean
+.PHONY: install test test-parallel bench bench-cache cache-smoke \
+	trace-smoke experiments experiments-paper examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -25,6 +25,35 @@ test-parallel:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# The artifact-cache speedup guard: asserts the warm-hit and incremental
+# floors, then records the cold/warm/incremental timings.
+bench-cache:
+	$(PYTHON) -m pytest benchmarks/bench_cache.py -q
+	$(PYTHON) benchmarks/bench_cache.py BENCH_cache.json
+
+# End-to-end cache smoke: mine with --cache-dir (cold), rerun (warm full
+# hit), append rows (incremental), then assert the cache counters in the
+# three traces and schema-validate them.
+cache-smoke:
+	mkdir -p .cache-smoke
+	$(PYTHON) -m repro generate -a 6 -t 400 -c 0.5 --seed 0 \
+		-o .cache-smoke/data.csv
+	$(PYTHON) -m repro generate -a 6 -t 8 -c 0.5 --seed 1 \
+		-o .cache-smoke/extra.csv
+	$(PYTHON) -m repro discover .cache-smoke/data.csv \
+		--cache-dir .cache-smoke/store \
+		--trace .cache-smoke/cold.jsonl > /dev/null
+	$(PYTHON) -m repro discover .cache-smoke/data.csv \
+		--cache-dir .cache-smoke/store \
+		--trace .cache-smoke/warm.jsonl > /dev/null
+	$(PYTHON) -m repro discover .cache-smoke/data.csv \
+		--cache-dir .cache-smoke/store --append .cache-smoke/extra.csv \
+		--trace .cache-smoke/append.jsonl > /dev/null
+	$(PYTHON) scripts/check_cache.py .cache-smoke/cold.jsonl \
+		.cache-smoke/warm.jsonl .cache-smoke/append.jsonl
+	$(PYTHON) scripts/check_trace.py .cache-smoke/cold.jsonl \
+		.cache-smoke/warm.jsonl .cache-smoke/append.jsonl
 
 # End-to-end observability smoke: trace a discover run and a tiny bench
 # grid, then validate both JSONL files against the repro-trace schema.
@@ -59,5 +88,5 @@ examples:
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks \
-		.trace-smoke .trace-parallel
+		.trace-smoke .trace-parallel .cache-smoke
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -64,39 +64,41 @@ ALGORITHM_LABELS = {
 }
 
 
-def _run_depminer(relation: Relation, jobs: int = 1,
+def _run_depminer(relation: Relation, jobs: int = 1, cache=None,
                   **obs) -> Tuple[int, Optional[int]]:
-    result = DepMiner(agree_algorithm="couples", jobs=jobs,
+    result = DepMiner(agree_algorithm="couples", jobs=jobs, cache=cache,
                       **obs).run(relation)
     return len(result.fds), result.armstrong_size
 
-def _run_depminer2(relation: Relation, jobs: int = 1,
+def _run_depminer2(relation: Relation, jobs: int = 1, cache=None,
                    **obs) -> Tuple[int, Optional[int]]:
-    result = DepMiner(agree_algorithm="identifiers", jobs=jobs,
+    result = DepMiner(agree_algorithm="identifiers", jobs=jobs, cache=cache,
                       **obs).run(relation)
     return len(result.fds), result.armstrong_size
 
-def _run_tane(relation: Relation, jobs: int = 1,
+def _run_tane(relation: Relation, jobs: int = 1, cache=None,
               **obs) -> Tuple[int, Optional[int]]:
-    # TANE's lattice walk has no sharded path; *jobs* is accepted (the
-    # harness passes it uniformly) and ignored.
-    del jobs
+    # TANE's lattice walk has no sharded path and no cache integration;
+    # *jobs* and *cache* are accepted (the harness passes them
+    # uniformly) and ignored.
+    del jobs, cache
     result = tane_with_armstrong(relation, **obs)
     size = len(result.armstrong) if result.armstrong is not None else None
     return len(result.fds), size
 
-def _run_depminer_fast(relation: Relation, jobs: int = 1,
+def _run_depminer_fast(relation: Relation, jobs: int = 1, cache=None,
                        **obs) -> Tuple[int, Optional[int]]:
-    result = DepMiner(agree_algorithm="vectorized", jobs=jobs,
+    result = DepMiner(agree_algorithm="vectorized", jobs=jobs, cache=cache,
                       **obs).run(relation)
     return len(result.fds), result.armstrong_size
 
-def _run_fdep(relation: Relation, jobs: int = 1,
+def _run_fdep(relation: Relation, jobs: int = 1, cache=None,
               **obs) -> Tuple[int, Optional[int]]:
     # FDEP [SF93] — an extra baseline beyond the paper's comparison; it
     # produces no Armstrong relation (like TANE without the extension)
-    # and, like TANE, runs single-core regardless of *jobs*.
-    del jobs
+    # and, like TANE, runs single-core and uncached regardless of
+    # *jobs*/*cache*.
+    del jobs, cache
     from repro.fdep import Fdep
 
     result = Fdep(**obs).run(relation)
@@ -207,6 +209,7 @@ class GridResult:
 
 def run_algorithm(algorithm: str, relation: Relation,
                   jobs: int = 1,
+                  cache=None,
                   tracer: Optional[Tracer] = None,
                   metrics: Optional[MetricsRegistry] = None,
                   progress: Optional[ProgressCallback] = None) -> Tuple[float, int, Optional[int]]:
@@ -214,9 +217,13 @@ def run_algorithm(algorithm: str, relation: Relation,
 
     *jobs* selects the sharded execution layer for the Dep-Miner
     variants (TANE and FDEP accept and ignore it — they have no sharded
-    path).  *tracer*/*metrics*/*progress* are forwarded to the miner
-    under test so a benchmark run can collect the same per-phase spans
-    and counters as a direct :class:`~repro.core.depminer.DepMiner` run.
+    path); *cache* is an optional
+    :class:`~repro.cache.store.ArtifactStore` forwarded to the
+    Dep-Miner variants, so warm/cold comparisons (``make bench-cache``)
+    go through the very same measurement path as everything else.
+    *tracer*/*metrics*/*progress* are forwarded to the miner under test
+    so a benchmark run can collect the same per-phase spans and
+    counters as a direct :class:`~repro.core.depminer.DepMiner` run.
     """
     try:
         runner = _RUNNERS[algorithm]
@@ -226,7 +233,7 @@ def run_algorithm(algorithm: str, relation: Relation,
         ) from None
     start = time.perf_counter()
     num_fds, armstrong_size = runner(
-        relation, jobs=jobs, tracer=tracer, metrics=metrics,
+        relation, jobs=jobs, cache=cache, tracer=tracer, metrics=metrics,
         progress=progress,
     )
     return time.perf_counter() - start, num_fds, armstrong_size

@@ -1,0 +1,331 @@
+"""Incremental append-only re-mining (the cache's delta path).
+
+Appending rows to a relation only ever *adds* tuple couples: every new
+couple contains at least one appended row, and the agree set of an old
+couple never changes.  ``IncrementalMiner`` exploits this:
+
+- the stripped partitions are updated **in place** — per-attribute
+  value → rows group maps absorb the appended rows, and only groups a
+  new row touches change;
+- the agree-set sweep resolves **only the delta couples** (new × old
+  plus new × new pairs that share at least one equivalence class), an
+  O(new × total) enumeration instead of the O(total²)-bounded cold
+  sweep;
+- the delta masks are merged with the previous ``ag(r)`` (``∅``
+  membership is monotone under appends, and a never-visited delta pair
+  signals it exactly as in the cold algorithms);
+- only the comparatively cheap cmax/transversal tail re-derives, via
+  :meth:`repro.core.depminer.DepMiner.derive_from_agree_sets`.
+
+The output is identical to a cold ``DepMiner.run`` on the concatenated
+relation — the differential/hypothesis tests assert agree sets, cmax
+families and FD covers are equal for arbitrary append sequences.  When
+the wrapped miner carries an :class:`~repro.cache.store.ArtifactStore`,
+each append also publishes the updated artefacts under the *grown*
+relation's content keys, so a later cold run over the same data is a
+warm hit.
+
+Parallelism: with ``jobs > 1`` the delta couples are resolved in chunks
+through the same :class:`~repro.parallel.executor.ShardedExecutor`
+shard kinds (``agree.couples`` / ``agree.identifiers``) as a cold
+parallel run, against tables built from the updated partitions.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from itertools import combinations
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.agree_sets import (
+    build_class_index_tables,
+    resolve_couples_with_identifiers,
+    resolve_couples_with_tables,
+)
+from repro.core.depminer import DepMiner, DepMinerResult
+from repro.core.relation import Relation
+from repro.errors import ReproError
+from repro.obs import NULL_METRICS, MetricsRegistry, Tracer, get_logger
+from repro.partitions.database import StrippedPartitionDatabase
+from repro.partitions.partition import StrippedPartition
+
+__all__ = ["IncrementalMiner"]
+
+logger = get_logger(__name__)
+
+
+class IncrementalMiner:
+    """Append-only incremental wrapper around a :class:`DepMiner`.
+
+    >>> from repro.core.attributes import Schema
+    >>> from repro.core.relation import Relation
+    >>> relation = Relation.from_rows(
+    ...     Schema.of_width(3), [(0, 1, 2), (0, 1, 0)]
+    ... )
+    >>> inc = IncrementalMiner(relation, build_armstrong="none")
+    >>> result = inc.append([(1, 0, 2)])  # == a cold run on all 3 rows
+    >>> inc.num_rows
+    3
+
+    Parameters
+    ----------
+    relation:
+        The initial relation; it is cold-mined once at construction
+        time (through the wrapped miner, so a configured cache can
+        already short-circuit that run).
+    miner:
+        An optional pre-configured :class:`DepMiner`; every keyword
+        option is forwarded to a fresh one otherwise.
+    """
+
+    def __init__(self, relation: Relation, miner: Optional[DepMiner] = None,
+                 **miner_options: Any):
+        if miner is not None and miner_options:
+            raise ReproError(
+                "pass either a pre-built miner or DepMiner options, not both"
+            )
+        self.miner = miner if miner is not None else DepMiner(**miner_options)
+        from repro.cache.fingerprint import RelationFingerprint
+
+        self._schema = relation.schema
+        self._width = len(self._schema)
+        self._columns: List[List[Any]] = [
+            list(relation.column(i)) for i in range(self._width)
+        ]
+        self._num_rows = len(relation)
+        # The in-place partition state: one value → sorted row list per
+        # attribute.  Under SQL null semantics ``None`` never joins a
+        # class, so null rows are simply not grouped.
+        self._groups: List[Dict[Any, List[int]]] = [
+            {} for _ in range(self._width)
+        ]
+        for attribute, column in enumerate(self._columns):
+            groups = self._groups[attribute]
+            for row, value in enumerate(column):
+                if value is None and not self.miner.nulls_equal:
+                    continue
+                groups.setdefault(value, []).append(row)
+        self._fingerprint = RelationFingerprint(
+            self._schema, self.miner.nulls_equal
+        )
+        self._fingerprint.update_columns(self._columns)
+        self._result = self.miner.run(relation)
+        self._agree: Set[int] = set(self._result.agree_sets)
+        self._stats: Dict[str, int] = dict(self._result.stats)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def result(self) -> DepMinerResult:
+        """The result of the most recent mine (initial or last append)."""
+        return self._result
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def relation_key(self) -> str:
+        """The content fingerprint of the current (grown) relation."""
+        return self._fingerprint.key
+
+    def relation(self) -> Relation:
+        """The current relation (initial rows plus every appended batch)."""
+        return Relation.from_columns(self._schema, self._columns)
+
+    # -- the delta path ------------------------------------------------------
+
+    def append(self, rows: Sequence[Sequence[Any]]) -> DepMinerResult:
+        """Append *rows* and re-mine; returns the updated result.
+
+        Equivalent to ``DepMiner.run`` on the concatenated relation, but
+        only the delta couples are swept and only the derivation tail is
+        recomputed.
+        """
+        rows = [tuple(row) for row in rows]
+        for row in rows:
+            if len(row) != self._width:
+                raise ReproError(
+                    f"appended row has arity {len(row)}, "
+                    f"schema has {self._width}"
+                )
+        if not rows:
+            return self._result
+
+        miner = self.miner
+        metrics = miner.metrics if miner.metrics is not None else NULL_METRICS
+        tracer = miner.tracer if miner.tracer is not None else Tracer()
+        n_old = self._num_rows
+        n_new = len(rows)
+
+        with tracer.span("incremental.append", new_rows=n_new,
+                         total_rows=n_old + n_new):
+            touched = self._absorb(rows)
+            spdb = self._current_spdb()
+            with tracer.span("incremental.delta_sweep") as sweep_span:
+                delta_couples = self._delta_couples(touched, n_old)
+                delta_masks = self._resolve_delta(
+                    sorted(delta_couples), spdb, tracer, metrics
+                )
+            # Every possible delta pair holds >= 1 new row; one that was
+            # never visited shares no equivalence class, i.e. disagrees
+            # on every attribute (the cold algorithms' ∅ test, restricted
+            # to the delta).  ∅ membership is monotone under appends, so
+            # the merge below can only ever add it.
+            total_delta = n_new * n_old + n_new * (n_new - 1) // 2
+            if len(delta_couples) < total_delta:
+                delta_masks.add(0)
+            metrics.inc("incremental.delta_couples", len(delta_couples))
+            metrics.inc("incremental.rows_appended", n_new)
+            logger.debug(
+                "append of %d rows onto %d: %d delta couples "
+                "(of %d possible) -> %d delta masks (%.3fs)",
+                n_new, n_old, len(delta_couples), total_delta,
+                len(delta_masks), sweep_span.duration,
+            )
+
+            self._agree |= delta_masks
+            self._stats["num_couples"] = (
+                self._stats.get("num_couples", 0) + len(delta_couples)
+            )
+            self._stats["num_agree_sets"] = len(self._agree)
+            relation = self.relation()
+            relation_key = self._fingerprint.key
+            if miner.cache is not None:
+                self._publish_partitions(relation_key, spdb, metrics)
+        self._result = miner.derive_from_agree_sets(
+            self._agree, self._schema, self._num_rows,
+            relation=relation, stats=self._stats,
+            relation_key=relation_key,
+        )
+        return self._result
+
+    # -- internals -----------------------------------------------------------
+
+    def _absorb(self, rows: List[Tuple[Any, ...]]) -> List[Set[Any]]:
+        """Fold *rows* into the columns, groups and fingerprint.
+
+        Returns, per attribute, the set of group values the new rows
+        joined — the only places delta couples can come from.  Group
+        row lists stay sorted because appended indices only grow.
+        """
+        nulls_equal = self.miner.nulls_equal
+        touched: List[Set[Any]] = [set() for _ in range(self._width)]
+        base = self._num_rows
+        for offset, row in enumerate(rows):
+            row_index = base + offset
+            for attribute, value in enumerate(row):
+                self._columns[attribute].append(value)
+                if value is None and not nulls_equal:
+                    continue
+                self._groups[attribute].setdefault(value, []).append(row_index)
+                touched[attribute].add(value)
+        self._num_rows = base + len(rows)
+        self._fingerprint.update_rows(rows)
+        return touched
+
+    def _delta_couples(self, touched: List[Set[Any]],
+                       first_new: int) -> Set[Tuple[int, int]]:
+        """Candidate couples holding >= 1 new row, each exactly once.
+
+        Only groups a new row joined can produce them; within such a
+        group every (old member, new member) and (new, new) pair is
+        enumerated — O(new × group) per attribute, O(new × total)
+        overall.  Couples shared by several attributes dedupe through
+        the set, mirroring the cold stream's dedup-before-resolve
+        contract (which is what keeps the distinct count, and thus the
+        ``∅`` detection, sound).
+        """
+        couples: Set[Tuple[int, int]] = set()
+        for attribute, values in enumerate(touched):
+            groups = self._groups[attribute]
+            for value in values:
+                members = groups[value]
+                if len(members) < 2:
+                    continue
+                split = bisect_left(members, first_new)
+                old_part = members[:split]
+                new_part = members[split:]
+                for fresh in new_part:
+                    for old in old_part:
+                        couples.add((old, fresh))
+                couples.update(combinations(new_part, 2))
+        return couples
+
+    def _current_spdb(self) -> StrippedPartitionDatabase:
+        """``r̂`` of the grown relation, straight from the group maps."""
+        partitions = {
+            attribute: StrippedPartition(
+                [
+                    members for members in groups.values()
+                    if len(members) > 1
+                ],
+                self._num_rows,
+            )
+            for attribute, groups in enumerate(self._groups)
+        }
+        return StrippedPartitionDatabase(
+            self._schema, partitions, self._num_rows
+        )
+
+    def _resolve_delta(self, couples: List[Tuple[int, int]],
+                       spdb: StrippedPartitionDatabase, tracer: Tracer,
+                       metrics: MetricsRegistry) -> Set[int]:
+        """Agree-set masks of the delta couples (serial or sharded).
+
+        Reuses the exact resolution functions (and, with ``jobs > 1``,
+        the exact shard kinds) of the cold pipeline, so the delta path
+        inherits its determinism guarantees.
+        """
+        if not couples:
+            return set()
+        miner = self.miner
+        if miner.agree_algorithm == "identifiers":
+            kind = "agree.identifiers"
+            shared: Dict[str, Any] = {
+                "identifiers": spdb.equivalence_class_identifiers()
+            }
+            resolve = resolve_couples_with_identifiers
+        else:
+            # "couples" — and "vectorized", whose NumPy path has no
+            # per-couple API; the tables resolve the delta identically.
+            kind = "agree.couples"
+            shared = {"class_of": build_class_index_tables(spdb)}
+            resolve = resolve_couples_with_tables
+        executor = miner._make_executor(tracer, metrics)
+        if executor is None:
+            return resolve(couples, next(iter(shared.values())))
+
+        from repro.parallel.shards import _chunk_size
+
+        size = _chunk_size(len(couples), executor.jobs, miner.max_couples)
+        chunks = [
+            tuple(couples[offset:offset + size])
+            for offset in range(0, len(couples), size)
+        ]
+        result: Set[int] = set()
+        for partial in executor.map(kind, chunks, shared=shared,
+                                    stage="incremental.delta_shards"):
+            result |= partial
+        return result
+
+    def _publish_partitions(self, relation_key: str,
+                            spdb: StrippedPartitionDatabase,
+                            metrics: MetricsRegistry) -> None:
+        """Store the updated ``r̂`` under the grown relation's key."""
+        from repro.cache.artifacts import pack_partitions
+        from repro.cache.codec import guard_digest
+        from repro.cache.fingerprint import PipelineKeys
+
+        keys = PipelineKeys.for_miner(relation_key, self.miner)
+        self.miner.cache.put(
+            "partitions", keys.partitions,
+            guard_digest(self._schema.names, self._num_rows),
+            pack_partitions(spdb), metrics=metrics,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"IncrementalMiner(width={self._width}, rows={self._num_rows}, "
+            f"agree_sets={len(self._agree)})"
+        )

@@ -144,6 +144,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat NULL <> NULL (SQL semantics) instead of grouping "
              "nulls together",
     )
+    discover.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed artifact cache directory: re-mining an "
+             "unchanged (or row-permuted) file reuses its partitions, "
+             "agree sets and FD cover (see docs/caching.md)",
+    )
+    discover.add_argument(
+        "--append", action="append", default=None, metavar="CSV",
+        dest="append_paths",
+        help="append the rows of this CSV (same header) to the input and "
+             "re-mine incrementally — only the new tuple couples are "
+             "swept; repeatable, applied in order",
+    )
     _add_obs_arguments(discover)
 
     armstrong = subparsers.add_parser(
@@ -265,18 +278,49 @@ def build_parser() -> argparse.ArgumentParser:
 def _command_discover(args: argparse.Namespace) -> int:
     relation = relation_from_csv(args.csv)
     tracer, metrics, progress = _obs_hooks(args)
+    cache = None
+    if args.cache_dir:
+        from repro.cache import ArtifactStore
+
+        cache = ArtifactStore(cache_dir=args.cache_dir)
     miner = DepMiner(
         agree_algorithm=args.algorithm,
         max_couples=args.max_couples,
         build_armstrong="real-world" if args.armstrong else "none",
         nulls_equal=not args.sql_nulls,
         max_lhs_size=args.max_lhs,
+        cache=cache,
         jobs=args.jobs,
         tracer=tracer,
         metrics=metrics,
         progress=progress,
     )
-    result = miner.run(relation)
+    if args.append_paths:
+        from repro.cache import IncrementalMiner
+
+        incremental = IncrementalMiner(relation, miner=miner)
+        for path in args.append_paths:
+            extra = relation_from_csv(path)
+            if extra.schema.names != relation.schema.names:
+                raise ReproError(
+                    f"--append file {path} has columns "
+                    f"{list(extra.schema.names)}, the input has "
+                    f"{list(relation.schema.names)}"
+                )
+            incremental.append(list(extra.rows()))
+            print(
+                f"appended {len(extra)} rows from {path} "
+                f"({incremental.num_rows} total)", file=sys.stderr,
+            )
+        result = incremental.result
+    else:
+        result = miner.run(relation)
+    if cache is not None:
+        print(
+            f"cache: {cache.stats['cache.hit']} hit(s), "
+            f"{cache.stats['cache.miss']} miss(es) in {args.cache_dir}",
+            file=sys.stderr,
+        )
     print(fds_to_text(result.fds))
     if args.armstrong:
         print()
@@ -302,7 +346,9 @@ def _command_discover(args: argparse.Namespace) -> int:
     _finish_obs(
         args, result.trace, metrics,
         meta={"command": "discover", "input": args.csv,
-              "algorithm": args.algorithm, "jobs": args.jobs},
+              "algorithm": args.algorithm, "jobs": args.jobs,
+              "cache_dir": args.cache_dir,
+              "appended": list(args.append_paths or ())},
     )
     return 0
 

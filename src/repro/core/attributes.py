@@ -23,9 +23,14 @@ from repro.errors import SchemaError, SchemaMismatchError
 __all__ = ["Schema", "AttributeSet", "iter_bits", "popcount", "mask_of_indices"]
 
 
-def popcount(mask: int) -> int:
-    """Number of set bits in *mask* (cardinality of the attribute set)."""
-    return bin(mask).count("1")
+if hasattr(int, "bit_count"):  # Python >= 3.10
+    def popcount(mask: int) -> int:
+        """Number of set bits in *mask* (cardinality of the attribute set)."""
+        return mask.bit_count()
+else:
+    def popcount(mask: int) -> int:
+        """Number of set bits in *mask* (cardinality of the attribute set)."""
+        return bin(mask).count("1")
 
 
 def iter_bits(mask: int) -> Iterator[int]:

@@ -165,6 +165,17 @@ class DepMiner:
         Optional cap on the lhs size for very wide schemas; the output
         is then every minimal FD with at most that many lhs attributes
         (sound but incomplete).  Levelwise method only.
+    cache:
+        Optional :class:`repro.cache.ArtifactStore`.  ``run`` then
+        fingerprints the relation (column-wise, row-order-insensitive)
+        and memoizes each pipeline artefact — stripped partitions,
+        ``ag(r)``, and the full cover bundle — under content-addressed
+        stage keys, so re-mining the same relation (or any row
+        permutation of it) skips straight to the cached artefacts.  The
+        mined output is identical with or without a cache (the
+        differential tests assert it); only ``run`` consults the cache
+        (``run_on_partitions`` has no relation to fingerprint).  See
+        ``docs/caching.md``.
     jobs:
         Worker processes for the sharded execution layer
         (:mod:`repro.parallel`).  ``1`` (default) is today's serial
@@ -198,6 +209,7 @@ class DepMiner:
                  build_armstrong: str = "real-world",
                  nulls_equal: bool = True,
                  max_lhs_size: Optional[int] = None,
+                 cache=None,
                  jobs: int = 1,
                  shard_timeout: Optional[float] = None,
                  tracer: Optional[Tracer] = None,
@@ -217,6 +229,7 @@ class DepMiner:
         # search stops at that level, so the output is every minimal FD
         # with |lhs| <= max_lhs_size (sound but incomplete).
         self.max_lhs_size = max_lhs_size
+        self.cache = cache
         self.jobs = resolve_jobs(jobs)
         self.shard_timeout = shard_timeout
         self.tracer = tracer
@@ -231,14 +244,38 @@ class DepMiner:
         self.last_trace = tracer
         return tracer
 
+    def _make_executor(self, tracer: Tracer,
+                       metrics: MetricsRegistry) -> Optional[ShardedExecutor]:
+        """The run's sharded executor (``None`` on the serial path).
+
+        One executor per run, shared by the agree-set chunks and the
+        per-attribute lhs fan-out; ``jobs=1`` keeps every call serial.
+        """
+        if self.jobs <= 1:
+            return None
+        return ShardedExecutor(
+            jobs=self.jobs, shard_timeout=self.shard_timeout,
+            tracer=tracer, metrics=metrics, progress=self.progress,
+        )
+
     def run(self, relation: Relation) -> DepMinerResult:
-        """Execute the full pipeline on *relation*."""
+        """Execute the full pipeline on *relation*.
+
+        With a :attr:`cache` configured the run first fingerprints the
+        relation and reuses every cached artefact the fingerprint and
+        configuration allow (see ``docs/caching.md``); the output is
+        identical either way.
+        """
         tracer = self._begin_trace()
         metrics = self.metrics if self.metrics is not None else NULL_METRICS
         mark = tracer.mark()
 
-        with tracer.span("depminer.run", width=len(relation.schema),
-                         rows=len(relation)):
+        attrs = {"width": len(relation.schema), "rows": len(relation)}
+        if self.cache is not None:
+            attrs["cached"] = True
+        with tracer.span("depminer.run", **attrs):
+            if self.cache is not None:
+                return self._run_cached(relation, tracer, metrics, mark)
             with tracer.span("strip", phase=True) as strip_span:
                 spdb = StrippedPartitionDatabase.from_relation(
                     relation, nulls_equal=self.nulls_equal, metrics=metrics
@@ -252,6 +289,91 @@ class DepMiner:
                 spdb, relation=relation, _tracer=tracer, _mark=mark
             )
         return result
+
+    def _run_cached(self, relation: Relation, tracer: Tracer,
+                    metrics: MetricsRegistry, mark: int) -> DepMinerResult:
+        """The content-addressed path: reuse the deepest cached artefact.
+
+        Tries the cover bundle first (full hit: only the Armstrong step
+        re-runs), then ``ag(r)`` (skips stripping *and* the couple
+        sweep), then the stripped partitions (skips the relation scan);
+        whatever was recomputed is written back for the next run.
+        """
+        from repro.cache.artifacts import (
+            pack_agree,
+            pack_partitions,
+            unpack_agree,
+            unpack_cover,
+            unpack_partitions,
+        )
+        from repro.cache.codec import guard_digest
+        from repro.cache.fingerprint import PipelineKeys, fingerprint_relation
+
+        store = self.cache
+        schema = relation.schema
+        num_rows = len(relation)
+        with tracer.span("cache.fingerprint"):
+            keys = PipelineKeys.for_miner(
+                fingerprint_relation(relation, self.nulls_equal), self
+            )
+            guard = guard_digest(schema.names, num_rows)
+
+        with tracer.span("cache.lookup", stage="cover"):
+            bundle = store.get("cover", keys.cover, guard, metrics=metrics)
+        if bundle is not None:
+            agree, max_sets, cmax, lhs_sets, fds, stats = unpack_cover(
+                bundle, schema
+            )
+            metrics.inc("cache.full_hit")
+            metrics.gauge("agree.sets", len(agree))
+            metrics.gauge("fd.count", len(fds))
+            logger.debug(
+                "cover cache hit for %s: %d FDs reused", keys.cover,
+                len(fds),
+            )
+            return self._finalize(
+                agree, max_sets, cmax, lhs_sets, fds, schema, num_rows,
+                relation, stats, tracer, metrics, mark,
+            )
+
+        stats: Dict[str, int] = {}
+        with tracer.span("cache.lookup", stage="agree"):
+            entry = store.get("agree", keys.agree, guard, metrics=metrics)
+        if entry is not None:
+            agree, stats = unpack_agree(entry)
+            metrics.gauge("agree.sets", len(agree))
+            executor = self._make_executor(tracer, metrics)
+            return self._complete(
+                agree, schema, num_rows, relation, stats, tracer, metrics,
+                executor, mark, _keys=keys, _guard=guard,
+            )
+
+        with tracer.span("cache.lookup", stage="partitions"):
+            payload = store.get(
+                "partitions", keys.partitions, guard, metrics=metrics
+            )
+        if payload is not None:
+            spdb = unpack_partitions(payload)
+        else:
+            with tracer.span("strip", phase=True):
+                spdb = StrippedPartitionDatabase.from_relation(
+                    relation, nulls_equal=self.nulls_equal, metrics=metrics
+                )
+            store.put(
+                "partitions", keys.partitions, guard,
+                pack_partitions(spdb), metrics=metrics,
+            )
+        metrics.gauge("partition.stripped_classes", spdb.total_classes())
+        executor = self._make_executor(tracer, metrics)
+        agree = self._agree_phase(spdb, tracer, metrics, stats, executor)
+        store.put(
+            "agree", keys.agree, guard, pack_agree(agree, stats),
+            metrics=metrics,
+        )
+        return self._complete(
+            agree, schema, num_rows, relation, stats, tracer, metrics,
+            executor, mark, _keys=keys, _guard=guard,
+        )
 
     def run_on_partitions(self, spdb: StrippedPartitionDatabase,
                           relation: Optional[Relation] = None,
@@ -270,17 +392,58 @@ class DepMiner:
         stats: Dict[str, int] = {}
 
         metrics.gauge("partition.stripped_classes", spdb.total_classes())
+        executor = self._make_executor(tracer, metrics)
+        agree = self._agree_phase(spdb, tracer, metrics, stats, executor)
+        return self._complete(
+            agree, schema, spdb.num_rows, relation, stats, tracer, metrics,
+            executor, mark,
+        )
 
-        # The sharded execution layer (repro.parallel): one executor per
-        # run, shared by the agree-set chunks and the per-attribute lhs
-        # fan-out.  jobs=1 keeps every call on the serial code path.
-        executor: Optional[ShardedExecutor] = None
-        if self.jobs > 1:
-            executor = ShardedExecutor(
-                jobs=self.jobs, shard_timeout=self.shard_timeout,
-                tracer=tracer, metrics=metrics, progress=self.progress,
+    def derive_from_agree_sets(self, agree, schema: Schema, num_rows: int,
+                               relation: Optional[Relation] = None,
+                               stats: Optional[Dict[str, int]] = None,
+                               relation_key: Optional[str] = None) -> DepMinerResult:
+        """Steps 2–5 from a precomputed ``ag(r)`` (bitmask iterable).
+
+        The entry point of :class:`repro.cache.IncrementalMiner`, which
+        merges cached base agree sets with the delta of an append and
+        re-derives the (comparatively cheap) cmax/transversal tail.
+        When *relation_key* (the relation's content fingerprint) is
+        given and a :attr:`cache` is configured, the supplied ``ag(r)``
+        and the derived cover are stored under that relation's stage
+        keys, so a later cold ``run`` on the same data is a warm hit.
+        """
+        tracer = self._begin_trace()
+        metrics = self.metrics if self.metrics is not None else NULL_METRICS
+        mark = tracer.mark()
+        agree = set(agree)
+        stats = dict(stats) if stats else {}
+        stats["num_agree_sets"] = len(agree)
+        with tracer.span("depminer.derive", width=len(schema),
+                         rows=num_rows):
+            metrics.gauge("agree.sets", len(agree))
+            executor = self._make_executor(tracer, metrics)
+            keys = guard = None
+            if self.cache is not None and relation_key is not None:
+                from repro.cache.artifacts import pack_agree
+                from repro.cache.codec import guard_digest
+                from repro.cache.fingerprint import PipelineKeys
+
+                keys = PipelineKeys.for_miner(relation_key, self)
+                guard = guard_digest(schema.names, num_rows)
+                self.cache.put(
+                    "agree", keys.agree, guard, pack_agree(agree, stats),
+                    metrics=metrics,
+                )
+            return self._complete(
+                agree, schema, num_rows, relation, stats, tracer, metrics,
+                executor, mark, _keys=keys, _guard=guard,
             )
 
+    def _agree_phase(self, spdb: StrippedPartitionDatabase, tracer: Tracer,
+                     metrics: MetricsRegistry, stats: Dict[str, int],
+                     executor: Optional[ShardedExecutor]):
+        """Step 1: ``ag(r)`` from the stripped partitions (serial/sharded)."""
         with tracer.span("agree_sets", phase=True,
                          algorithm=self.agree_algorithm,
                          jobs=self.jobs) as agree_span:
@@ -321,7 +484,14 @@ class DepMiner:
             stats["num_maximal_classes"], self.agree_algorithm,
             agree_span.duration,
         )
+        return agree
 
+    def _complete(self, agree, schema: Schema, num_rows: int,
+                  relation: Optional[Relation], stats: Dict[str, int],
+                  tracer: Tracer, metrics: MetricsRegistry,
+                  executor: Optional[ShardedExecutor], mark: int,
+                  _keys=None, _guard: Optional[bytes] = None) -> DepMinerResult:
+        """Steps 2–4 (cmax, lhs, FD output) plus the cache write-back."""
         if executor is not None:
             # Fused parallel tail: each worker derives max(dep(r), A),
             # complements it and searches the transversals for its own
@@ -371,9 +541,29 @@ class DepMiner:
         logger.info(
             "mined %d minimal FDs over %d attributes and %d rows "
             "(%.3fs total so far)", len(fds), len(schema),
-            spdb.num_rows, sum(tracer.phase_seconds(mark).values()),
+            num_rows, sum(tracer.phase_seconds(mark).values()),
         )
 
+        if _keys is not None and self.cache is not None:
+            from repro.cache.artifacts import pack_cover
+
+            self.cache.put(
+                "cover", _keys.cover, _guard,
+                pack_cover(agree, max_sets, cmax, lhs_sets, fds, stats),
+                metrics=metrics,
+            )
+        return self._finalize(
+            agree, max_sets, cmax, lhs_sets, fds, schema, num_rows,
+            relation, stats, tracer, metrics, mark,
+        )
+
+    def _finalize(self, agree, max_sets, cmax, lhs_sets, fds,
+                  schema: Schema, num_rows: int,
+                  relation: Optional[Relation], stats: Dict[str, int],
+                  tracer: Tracer, metrics: MetricsRegistry,
+                  mark: int) -> DepMinerResult:
+        """Step 5 (Armstrong) and result assembly — runs even on a full
+        cover hit, since Armstrong tuples draw values from *relation*."""
         union = max_set_union(max_sets)
         armstrong = None
         classical = None
@@ -397,7 +587,7 @@ class DepMiner:
         stats["num_maximal_sets"] = len(union)
         return DepMinerResult(
             schema=schema,
-            num_rows=spdb.num_rows,
+            num_rows=num_rows,
             agree_sets=agree,
             max_sets=max_sets,
             cmax_sets=cmax,

@@ -46,3 +46,17 @@ class QueryError(StorageError):
 
 class BenchmarkError(ReproError):
     """A benchmark experiment was misconfigured."""
+
+
+class CacheError(ReproError):
+    """The artifact cache was misconfigured or fed an unknown artefact.
+
+    Note *corrupted* on-disk entries never raise: the store treats them
+    as misses and recomputes (see :mod:`repro.cache.store`).
+    """
+
+
+class CacheCodecError(CacheError):
+    """A serialized cache artefact failed to decode (corruption, version
+    or guard mismatch).  Internal to the cache: the store converts this
+    into a miss."""

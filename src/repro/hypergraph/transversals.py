@@ -23,7 +23,7 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.attributes import iter_bits
+from repro.core.attributes import iter_bits, popcount
 from repro.errors import ReproError
 from repro.hypergraph.hypergraph import minimize_sets
 from repro.obs.metrics import MetricsRegistry
@@ -95,6 +95,11 @@ def minimal_transversals_levelwise(edges: Sequence[int],
         raise ReproError("max_size must be a positive integer or None")
     if not edges:
         return [0]
+    # Test small edges first: `all(mask & edge ...)` short-circuits on
+    # the first edge a candidate misses, and a low-popcount edge is the
+    # likeliest miss.  Transversality is order-independent and the
+    # result is sorted below, so the output is unchanged.
+    edges = sorted(edges, key=popcount)
     support = 0
     for edge in edges:
         support |= edge
