@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test test-parallel bench bench-cache cache-smoke \
-	trace-smoke experiments experiments-paper examples clean
+	trace-smoke faults-smoke experiments experiments-paper examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -69,6 +69,25 @@ trace-smoke:
 	$(PYTHON) scripts/check_trace.py .trace-smoke/discover.jsonl \
 		.trace-smoke/bench.jsonl
 
+# End-to-end reliability smoke: mine once fault-free, then once under
+# the canned chaos plan (every pool shard attempt dies, every disk
+# publish fails) and assert (a) the covers are byte-identical and (b)
+# the degradation/quarantine counters prove the recovery paths ran.
+# Separate cache dirs keep the faulty run from dodging the disk tier
+# via a warm full hit.
+faults-smoke:
+	mkdir -p .faults-smoke
+	$(PYTHON) -m repro generate -a 6 -t 300 -c 0.4 --seed 0 \
+		-o .faults-smoke/data.csv
+	$(PYTHON) -m repro discover .faults-smoke/data.csv --jobs 2 \
+		--cache-dir .faults-smoke/store > .faults-smoke/plain.txt
+	$(PYTHON) -m repro discover .faults-smoke/data.csv --jobs 2 \
+		--cache-dir .faults-smoke/store-faulty \
+		--fault-plan scripts/fault_plans/smoke.json \
+		--trace .faults-smoke/faults.jsonl > .faults-smoke/faulty.txt
+	$(PYTHON) scripts/check_faults.py .faults-smoke/faults.jsonl \
+		.faults-smoke/plain.txt .faults-smoke/faulty.txt
+
 # The paper's tables and figures at the laptop-friendly scale.
 experiments:
 	$(PYTHON) scripts/run_experiments.py --scale small --timeout 90 --isolated
@@ -88,5 +107,5 @@ examples:
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks \
-		.trace-smoke .trace-parallel .cache-smoke
+		.trace-smoke .trace-parallel .cache-smoke .faults-smoke
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Validate the fault-smoke run (the ``make faults-smoke`` checker).
+
+Usage::
+
+    python scripts/check_faults.py TRACE.jsonl PLAIN.txt FAULTY.txt
+
+``TRACE.jsonl`` is the trace of a ``repro discover --jobs 2 --cache-dir
+... --fault-plan scripts/fault_plans/smoke.json`` run; ``PLAIN.txt`` and
+``FAULTY.txt`` hold the stdout of the fault-free and faulty runs over
+the same input.  Asserts the reliability layer actually engaged:
+
+- faults were injected at all (``reliability.injected``);
+- the executor retried shard attempts (``parallel.retry``) and then
+  degraded the poisoned pool to serial (``parallel.degraded``);
+- the artifact store counted the disk IO errors (``cache.io_error``)
+  and quarantined the disk tier exactly once (``cache.quarantined``);
+- despite all of that, the mined cover is byte-identical to the
+  fault-free run — recovery, not a different answer.
+
+Exits non-zero with one line per problem.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def counters(path: Path) -> dict:
+    values = {}
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        if record.get("type") == "metric" and record.get("kind") == "counter":
+            values[record["name"]] = record["value"]
+    return values
+
+
+def check(trace: dict, plain: str, faulty: str) -> list:
+    problems = []
+
+    def expect(name, predicate, description):
+        actual = trace.get(name, 0)
+        if not predicate(actual):
+            problems.append(
+                f"trace: counter {name}={actual}, expected {description}"
+            )
+
+    expect("reliability.injected", lambda v: v >= 1, ">= 1 injected fault")
+    expect("parallel.retry", lambda v: v >= 1, ">= 1 shard retry")
+    expect("parallel.degraded", lambda v: v == 1,
+           "exactly 1 degradation to serial")
+    expect("cache.io_error", lambda v: v >= 3,
+           ">= 3 disk IO errors (the quarantine threshold)")
+    expect("cache.quarantined", lambda v: v == 1,
+           "exactly 1 disk-tier quarantine")
+    if plain != faulty:
+        problems.append(
+            "stdout of the faulty run differs from the fault-free run — "
+            "the reliability layer changed the answer"
+        )
+    return problems
+
+
+def main(argv: list) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    trace_path, plain_path, faulty_path = (Path(arg) for arg in argv)
+    for path in (trace_path, plain_path, faulty_path):
+        if not path.is_file():
+            print(f"{path}: no such file", file=sys.stderr)
+            return 2
+    problems = check(
+        counters(trace_path),
+        plain_path.read_text(),
+        faulty_path.read_text(),
+    )
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"fault smoke OK ({trace_path.name}: covers identical, "
+              f"degradation and quarantine engaged)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -19,6 +19,17 @@ which both tiers verify before returning a payload: a fingerprint
 collision between relations of different shape is rejected instead of
 served.
 
+The disk tier is additionally *quarantine-guarded*: real IO errors
+(permission loss, a full or failing disk — anything ``OSError`` except
+the ordinary missing-entry miss) are counted as ``cache.io_error``, and
+after ``max_disk_failures`` of them the tier is disabled for the rest
+of the session (``cache.quarantined``).  The store then behaves exactly
+like a memory-only store — a sick disk degrades the cache, never the
+miner.  The fault sites ``cache.disk_read`` / ``cache.disk_write``
+(:mod:`repro.reliability.faults`) inject precisely these errors, plus
+torn reads via byte truncation, so the quarantine and the atomic-write
+crash window stay exercised by tests.
+
 The store only holds plain codec-representable payloads (ints, strings,
 containers); the pack/unpack helpers of :mod:`repro.cache.artifacts`
 translate between those and the pipeline's object types, building fresh
@@ -44,8 +55,9 @@ from typing import Any, Dict, Optional, Tuple
 from repro.cache.codec import decode_artifact, encode_artifact
 from repro.errors import CacheCodecError, CacheError
 from repro.obs import NULL_METRICS, MetricsRegistry, get_logger
+from repro.reliability.faults import fault_point, filter_bytes
 
-__all__ = ["ArtifactStore", "DEFAULT_MEMORY_ENTRIES"]
+__all__ = ["ArtifactStore", "DEFAULT_MEMORY_ENTRIES", "DEFAULT_DISK_FAILURES"]
 
 logger = get_logger(__name__)
 
@@ -53,10 +65,15 @@ logger = get_logger(__name__)
 #: entries are a handful of mask lists, small next to the relation).
 DEFAULT_MEMORY_ENTRIES = 64
 
+#: Disk-tier IO errors tolerated before the tier is quarantined for the
+#: session.  Small on purpose: one full disk produces an error per
+#: artefact write, and three strikes is enough signal.
+DEFAULT_DISK_FAILURES = 3
+
 _COUNTER_NAMES = (
     "cache.hit", "cache.miss", "cache.evict", "cache.memory_hit",
     "cache.disk_hit", "cache.disk_corrupt", "cache.guard_reject",
-    "cache.put",
+    "cache.put", "cache.io_error", "cache.quarantined",
 )
 
 
@@ -71,14 +88,24 @@ class ArtifactStore:
     max_memory_entries:
         LRU capacity of the in-memory tier; ``0`` disables it (every
         hit then decodes from disk).
+    max_disk_failures:
+        Disk IO errors (reads or writes, excluding ordinary missing-file
+        misses) tolerated before the disk tier is quarantined for the
+        rest of the session.
     """
 
     def __init__(self, cache_dir: Optional[os.PathLike] = None,
-                 max_memory_entries: int = DEFAULT_MEMORY_ENTRIES):
+                 max_memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+                 max_disk_failures: int = DEFAULT_DISK_FAILURES):
         if max_memory_entries < 0:
             raise CacheError("max_memory_entries must be non-negative")
+        if max_disk_failures < 1:
+            raise CacheError("max_disk_failures must be at least 1")
         self._dir = Path(cache_dir) if cache_dir is not None else None
         self._max_memory = max_memory_entries
+        self._max_disk_failures = max_disk_failures
+        self._io_failures = 0
+        self._quarantined = False
         self._memory: "OrderedDict[Tuple[str, str], Tuple[bytes, Any]]" = \
             OrderedDict()
         self.stats: Dict[str, int] = {name: 0 for name in _COUNTER_NAMES}
@@ -88,6 +115,25 @@ class ArtifactStore:
     def _count(self, name: str, metrics: MetricsRegistry) -> None:
         self.stats[name] += 1
         metrics.inc(name)
+
+    def _note_io_failure(self, operation: str, error: BaseException,
+                         metrics: MetricsRegistry) -> None:
+        """Count a real disk IO error; quarantine the tier at threshold."""
+        self._io_failures += 1
+        self._count("cache.io_error", metrics)
+        logger.warning(
+            "cache disk %s failed (%d/%d before quarantine): %s",
+            operation, self._io_failures, self._max_disk_failures, error,
+        )
+        if not self._quarantined and \
+                self._io_failures >= self._max_disk_failures:
+            self._quarantined = True
+            self._count("cache.quarantined", metrics)
+            logger.error(
+                "cache disk tier quarantined after %d IO errors; "
+                "continuing memory-only for this session (%s)",
+                self._io_failures, self._dir,
+            )
 
     def _path(self, kind: str, key: str) -> Path:
         # kind and key are both [a-z0-9.-]; flat layout keeps eviction
@@ -117,7 +163,7 @@ class ArtifactStore:
             self._count("cache.hit", metrics)
             return payload
 
-        if self._dir is not None:
+        if self.disk_enabled:
             payload = self._load_disk(kind, key, guard, metrics)
             if payload is not None:
                 self._remember(kind, key, guard, payload, metrics)
@@ -132,9 +178,16 @@ class ArtifactStore:
                    metrics: MetricsRegistry) -> Optional[Any]:
         path = self._path(kind, key)
         try:
+            fault_point("cache.disk_read", metrics=metrics,
+                        kind=kind, key=key)
             data = path.read_bytes()
-        except OSError:
+        except FileNotFoundError:
+            return None  # ordinary miss, not an IO failure
+        except OSError as error:
+            self._note_io_failure("read", error, metrics)
             return None
+        data = filter_bytes("cache.disk_read", data, metrics=metrics,
+                            kind=kind, key=key)
         try:
             return decode_artifact(data, kind, guard)
         except CacheCodecError as error:
@@ -159,10 +212,11 @@ class ArtifactStore:
 
         The payload must be codec-representable (the pack helpers of
         :mod:`repro.cache.artifacts` guarantee this); disk write
-        failures are logged and degrade to memory-only, never raised.
+        failures are counted (and eventually quarantine the tier), never
+        raised.
         """
         encoded: Optional[bytes] = None
-        if self._dir is not None:
+        if self.disk_enabled:
             try:
                 encoded = encode_artifact(kind, guard, payload)
             except CacheCodecError:
@@ -176,6 +230,11 @@ class ArtifactStore:
                 try:
                     with os.fdopen(fd, "wb") as handle:
                         handle.write(encoded)
+                    # Crash window: the entry exists only as a temp file
+                    # here; an injected fault proves a crash between
+                    # write and publish leaves no partial entry behind.
+                    fault_point("cache.disk_write", metrics=metrics,
+                                kind=kind, key=key)
                     os.replace(temp_name, self._path(kind, key))
                 except BaseException:
                     try:
@@ -184,10 +243,7 @@ class ArtifactStore:
                         pass
                     raise
             except OSError as error:
-                logger.warning(
-                    "cache disk tier unavailable (%s); keeping %s-%s in "
-                    "memory only", error, kind, key,
-                )
+                self._note_io_failure("write", error, metrics)
         elif self._max_memory:
             # Memory-only stores still validate representability eagerly,
             # so misconfigured payloads fail at put time, not on a later
@@ -232,12 +288,27 @@ class ArtifactStore:
     def cache_dir(self) -> Optional[Path]:
         return self._dir
 
+    @property
+    def disk_enabled(self) -> bool:
+        """Whether the disk tier is configured and not quarantined."""
+        return self._dir is not None and not self._quarantined
+
+    @property
+    def quarantined(self) -> bool:
+        """Whether the disk tier was disabled after repeated IO errors."""
+        return self._quarantined
+
     def __len__(self) -> int:
         """Entries currently held in the memory tier."""
         return len(self._memory)
 
     def __repr__(self) -> str:
-        tier = str(self._dir) if self._dir is not None else "memory-only"
+        if self._dir is None:
+            tier = "memory-only"
+        elif self._quarantined:
+            tier = f"{self._dir} [quarantined]"
+        else:
+            tier = str(self._dir)
         return (
             f"ArtifactStore({tier}, memory={len(self._memory)}/"
             f"{self._max_memory}, hits={self.stats['cache.hit']}, "

@@ -59,16 +59,56 @@ def _add_obs_arguments(subparser: argparse.ArgumentParser) -> None:
         "--progress", action="store_true",
         help="report inner-loop progress on stderr while mining",
     )
+    subparser.add_argument(
+        "--fault-plan", dest="fault_plan_path", default=None, metavar="PATH",
+        help="activate the deterministic fault-injection plan (JSON) at "
+             "PATH for this run — chaos-test the reliability layer "
+             "(see docs/reliability.md)",
+    )
 
 
 def _obs_hooks(args: argparse.Namespace):
     """(tracer, metrics, progress) per the command's observability flags."""
+    fault_plan = getattr(args, "fault_plan_path", None)
     tracer = Tracer() if args.trace_path else None
     metrics = (
-        MetricsRegistry() if (args.trace_path or args.metrics) else None
+        MetricsRegistry()
+        if (args.trace_path or args.metrics or fault_plan) else None
     )
     progress = ConsoleProgress() if args.progress else None
     return tracer, metrics, progress
+
+
+def _fault_context(args: argparse.Namespace, metrics):
+    """Context manager activating the requested fault plan (or a no-op)."""
+    import contextlib
+
+    path = getattr(args, "fault_plan_path", None)
+    if not path:
+        return contextlib.nullcontext(None)
+    from repro.reliability import fault_plan_active, load_fault_plan
+
+    plan = load_fault_plan(path)
+    print(
+        f"fault plan {plan.name!r} active: {len(plan.specs)} spec(s), "
+        f"seed {plan.seed}", file=sys.stderr,
+    )
+    return fault_plan_active(plan, metrics=metrics)
+
+
+def _report_injections(plan) -> None:
+    """Summarise what the fault plan actually injected (stderr)."""
+    if plan is None:
+        return
+    total = plan.injected_total()
+    per_site = ", ".join(
+        f"{site}={count}" for site, count in sorted(plan.injected.items())
+    )
+    print(
+        f"fault plan {plan.name!r}: {total} fault(s) injected"
+        + (f" ({per_site})" if per_site else ""),
+        file=sys.stderr,
+    )
 
 
 def _finish_obs(args: argparse.Namespace, tracer, metrics, meta) -> None:
@@ -276,8 +316,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_discover(args: argparse.Namespace) -> int:
-    relation = relation_from_csv(args.csv)
     tracer, metrics, progress = _obs_hooks(args)
+    with _fault_context(args, metrics) as fault_plan:
+        result = _run_discover(args, tracer, metrics, progress)
+    _report_injections(fault_plan)
+    return result
+
+
+def _run_discover(args: argparse.Namespace, tracer, metrics,
+                  progress) -> int:
+    relation = relation_from_csv(args.csv)
     cache = None
     if args.cache_dir:
         from repro.cache import ArtifactStore
@@ -316,9 +364,12 @@ def _command_discover(args: argparse.Namespace) -> int:
     else:
         result = miner.run(relation)
     if cache is not None:
+        quarantine_note = " [disk tier quarantined]" if cache.quarantined \
+            else ""
         print(
             f"cache: {cache.stats['cache.hit']} hit(s), "
-            f"{cache.stats['cache.miss']} miss(es) in {args.cache_dir}",
+            f"{cache.stats['cache.miss']} miss(es) in "
+            f"{args.cache_dir}{quarantine_note}",
             file=sys.stderr,
         )
     print(fds_to_text(result.fds))
@@ -412,13 +463,15 @@ def _command_bench(args: argparse.Namespace) -> int:
             "spans and metrics cannot be collected",
             file=sys.stderr,
         )
-    experiment, result = run_experiment(
-        args.experiment, scale=args.scale,
-        algorithms=args.algorithms, timeout=args.timeout,
-        isolated=args.isolated, seed=args.seed, jobs=args.jobs,
-        progress=progress,
-        tracer=tracer, metrics=metrics, miner_progress=miner_progress,
-    )
+    with _fault_context(args, metrics) as fault_plan:
+        experiment, result = run_experiment(
+            args.experiment, scale=args.scale,
+            algorithms=args.algorithms, timeout=args.timeout,
+            isolated=args.isolated, seed=args.seed, jobs=args.jobs,
+            progress=progress,
+            tracer=tracer, metrics=metrics, miner_progress=miner_progress,
+        )
+    _report_injections(fault_plan)
     print(experiment_report(experiment, result))
     _finish_obs(
         args, tracer, metrics,
@@ -458,11 +511,13 @@ def _command_report(args: argparse.Namespace) -> int:
     from repro.report import profile_relation
     from pathlib import Path
 
-    relation = relation_from_csv(args.csv)
     name = Path(args.csv).stem
     tracer, metrics, progress = _obs_hooks(args)
-    miner = DepMiner(tracer=tracer, metrics=metrics, progress=progress)
-    report = profile_relation(relation, name=name, miner=miner)
+    with _fault_context(args, metrics) as fault_plan:
+        relation = relation_from_csv(args.csv)
+        miner = DepMiner(tracer=tracer, metrics=metrics, progress=progress)
+        report = profile_relation(relation, name=name, miner=miner)
+    _report_injections(fault_plan)
     markdown = report.to_markdown()
     if args.output:
         Path(args.output).write_text(markdown)

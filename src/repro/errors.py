@@ -48,6 +48,16 @@ class BenchmarkError(ReproError):
     """A benchmark experiment was misconfigured."""
 
 
+class ReliabilityError(ReproError):
+    """A fault plan is malformed (unknown site/kind, bad trigger values).
+
+    Note *injected* faults never raise this: an injection raises the
+    exception class the :class:`~repro.reliability.FaultSpec` names
+    (``OSError``, ``RuntimeError``, …) so the code under test sees the
+    same type a real fault would produce.
+    """
+
+
 class CacheError(ReproError):
     """The artifact cache was misconfigured or fed an unknown artefact.
 

@@ -30,7 +30,21 @@ primitive both integrations share:
   (:meth:`repro.obs.Tracer.record`), merges the counters
   (:meth:`~repro.obs.MetricsRegistry.inc`) and histograms
   (:meth:`~repro.obs.MetricsRegistry.merge_histogram`) into its own
-  registry and emits one progress step per completed shard.
+  registry and emits one progress step per completed shard;
+- **retry, poisoning, degradation** — a failed shard attempt is retried
+  with exponential backoff and keyed jitter
+  (:class:`~repro.reliability.RetryPolicy`, counter ``parallel.retry``)
+  unless the failure is a typed library error; a shard that exhausts
+  its retries, a pool whose failed attempts pile past
+  ``poison_threshold`` (counter ``parallel.poisoned``), or a pool whose
+  IPC machinery dies, all **degrade to serial execution**: the pool is
+  terminated, the not-yet-completed shards run inline in the parent,
+  and the executor stays serial for the rest of its life (counter
+  ``parallel.degraded``, span ``reliability.degraded``).  Degradation
+  re-runs only shards without results, so merged work counters are
+  never double-counted.  Injected faults
+  (:mod:`repro.reliability.faults`, site ``parallel.shard``) exercise
+  exactly these paths.
 
 Determinism guarantee: results are reassembled by shard index, so
 ``map()`` returns exactly what the serial loop would — the callers
@@ -49,12 +63,15 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.obs import (
+    NULL_METRICS,
     MetricsRegistry,
     ProgressCallback,
     Tracer,
     emit_progress,
     get_logger,
 )
+from repro.reliability.faults import FaultPlan, activate_plan, current_plan, fault_point
+from repro.reliability.retry import RetryPolicy
 
 __all__ = [
     "Shard",
@@ -88,7 +105,13 @@ class Shard:
 
 @dataclass
 class ShardOutcome:
-    """What a worker sends back through the result queue for one shard."""
+    """What a worker sends back through the result queue for one shard.
+
+    ``retryable`` is decided where the exception type is still known
+    (the worker): typed library errors (:class:`~repro.errors.ReproError`)
+    are deterministic and never retried; everything else — injected
+    faults, real IO errors, crashes — is assumed transient.
+    """
 
     index: int
     value: Any = None
@@ -96,6 +119,7 @@ class ShardOutcome:
     counters: Dict[str, float] = field(default_factory=dict)
     histograms: Dict[str, Dict[str, float]] = field(default_factory=dict)
     error: Optional[str] = None
+    retryable: bool = True
 
 
 #: Registered shard functions: ``kind -> fn(shared, payload, metrics)``.
@@ -136,17 +160,45 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 _WORKER_SHARED: Any = None
 
 
-def _worker_init(shared: Any) -> None:
+def _worker_init(shared: Any, fault_plan: Optional[Dict[str, Any]] = None) -> None:
     global _WORKER_SHARED
     _WORKER_SHARED = shared
+    if fault_plan is not None:
+        # The parent's active plan travels as a plain dict; the copy
+        # starts with fresh per-site call counters (one per process).
+        activate_plan(FaultPlan.from_dict(fault_plan))
 
 
-def _run_shard(shard: Shard) -> ShardOutcome:
+def _reliability_counters(local: MetricsRegistry) -> Dict[str, float]:
+    """The injection-accounting slice of a shard-local registry.
+
+    Failed attempts relay *only* these counters: their partial work
+    counters must not merge (a retried shard would double-count), but
+    the parent still needs to see the injections that killed them.
+    """
+    return {
+        name: value for name, value in local.counters.items()
+        if name.startswith("reliability.")
+    }
+
+
+def _attempt_shard(shared: Any, shard: Shard, pool: bool) -> ShardOutcome:
+    """One attempt at one shard, with the fault site armed."""
     start = time.perf_counter()
     local = MetricsRegistry()
     try:
+        # In-process attempts skip the local registry for injection
+        # accounting: the plan's bound registry (same process) already
+        # sees them, and the local counters merge back into the parent
+        # registry — routing through both would double count.  Pool
+        # workers have no useful bound registry, so there the local
+        # counters carry the injections home via the outcome relay.
+        fault_point(
+            "parallel.shard", metrics=local if pool else NULL_METRICS,
+            kind=shard.kind, index=shard.index, pool=pool,
+        )
         function = _shard_function(shard.kind)
-        value = function(_WORKER_SHARED, shard.payload, local)
+        value = function(shared, shard.payload, local)
         return ShardOutcome(
             index=shard.index, value=value,
             seconds=time.perf_counter() - start,
@@ -156,11 +208,17 @@ def _run_shard(shard: Shard) -> ShardOutcome:
                 for name, histogram in local.histograms.items()
             },
         )
-    except Exception:
+    except Exception as exc:
         return ShardOutcome(
             index=shard.index, seconds=time.perf_counter() - start,
             error=traceback.format_exc(),
+            counters=_reliability_counters(local),
+            retryable=not isinstance(exc, ReproError),
         )
+
+
+def _run_shard(shard: Shard) -> ShardOutcome:
+    return _attempt_shard(_WORKER_SHARED, shard, pool=True)
 
 
 def _shard_function(kind: str):
@@ -200,6 +258,22 @@ class ShardedExecutor:
     max_pending:
         Bound on in-flight shards (the result-queue budget); default
         ``2 × jobs``.
+    retries / retry_backoff:
+        Re-attempts per shard after a retryable failure (typed
+        :class:`~repro.errors.ReproError` failures are never retried)
+        and the backoff base in seconds — exponential with keyed jitter
+        per :class:`~repro.reliability.RetryPolicy`.  ``retries=0``
+        disables retry.
+    poison_threshold:
+        Total failed attempts across one ``map`` after which the pool
+        is declared poisoned (a sick worker keeps eating shards) and
+        execution degrades to serial immediately.
+    degrade:
+        Whether a pool that keeps failing falls back to running the
+        remaining shards inline (``True``, the default) or raises
+        :class:`ShardError` like the pre-reliability executor.  Once an
+        executor degrades it stays serial for its remaining ``map``
+        calls.
     tracer / metrics / progress:
         The usual observability hooks (:mod:`repro.obs`).  Each
         completed shard is re-recorded as a synthetic ``parallel.shard``
@@ -212,6 +286,10 @@ class ShardedExecutor:
                  shard_timeout: Optional[float] = None,
                  mp_context: Optional[str] = None,
                  max_pending: Optional[int] = None,
+                 retries: int = 2,
+                 retry_backoff: float = 0.05,
+                 poison_threshold: int = 8,
+                 degrade: bool = True,
                  tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  progress: Optional[ProgressCallback] = None):
@@ -223,13 +301,24 @@ class ShardedExecutor:
         if max_pending is not None and max_pending < 1:
             raise ReproError("max_pending must be a positive integer or None")
         self.max_pending = max_pending
+        self.retry_policy = RetryPolicy(retries=retries, base=retry_backoff)
+        if poison_threshold < 1:
+            raise ReproError("poison_threshold must be a positive integer")
+        self.poison_threshold = poison_threshold
+        self.degrade = degrade
         self.tracer = tracer
         self.metrics = metrics
         self.progress = progress
+        self._degraded = False
 
     @property
     def serial(self) -> bool:
         return self.jobs <= 1
+
+    @property
+    def degraded(self) -> bool:
+        """Has this executor fallen back to serial execution for good?"""
+        return self._degraded
 
     def map(self, kind: str, payloads: Sequence[Any],
             shared: Any = None,
@@ -248,33 +337,59 @@ class ShardedExecutor:
         ]
         if not shards:
             return []
-        if self.serial or len(shards) == 1:
+        if self.serial or self._degraded or len(shards) == 1:
             return self._map_serial(shards, shared, stage)
         return self._map_pool(shards, shared, stage)
 
     # -- serial fallback ----------------------------------------------------
 
-    def _map_serial(self, shards: List[Shard], shared: Any,
-                    stage: str) -> List[Any]:
-        function = _shard_function(shards[0].kind)
-        results: List[Any] = []
-        for done, shard in enumerate(shards, start=1):
+    def _serial_attempts(self, shard: Shard, shared: Any) -> ShardOutcome:
+        """Run one shard inline with the retry policy.
+
+        Mirrors the pool path's retry semantics — retryable failures
+        back off and re-attempt, typed library errors re-raise at once —
+        but the *final* failure re-raises the original exception
+        unwrapped, preserving the serial path's historical contract.
+        """
+        function = _shard_function(shard.kind)
+        for attempt in range(1, self.retry_policy.attempts + 1):
             local = MetricsRegistry()
             start = time.perf_counter()
-            value = function(shared, shard.payload, local)
-            self._absorb(
-                ShardOutcome(
-                    index=shard.index, value=value,
-                    seconds=time.perf_counter() - start,
-                    counters=dict(local.counters),
-                    histograms={
-                        name: histogram.to_dict()
-                        for name, histogram in local.histograms.items()
-                    },
-                ),
-                shard, done, len(shards), stage,
+            try:
+                # In-process injection accounting goes through the
+                # plan's bound registry alone; counting into `local`
+                # too would double count once it merges back.
+                fault_point(
+                    "parallel.shard", metrics=NULL_METRICS,
+                    kind=shard.kind, index=shard.index, pool=False,
+                )
+                value = function(shared, shard.payload, local)
+            except Exception as exc:
+                self._merge_counters(_reliability_counters(local))
+                if (isinstance(exc, ReproError)
+                        or attempt >= self.retry_policy.attempts):
+                    raise
+                self._note_retry(shard, attempt,
+                                 f"{type(exc).__name__}: {exc}")
+                continue
+            return ShardOutcome(
+                index=shard.index, value=value,
+                seconds=time.perf_counter() - start,
+                counters=dict(local.counters),
+                histograms={
+                    name: histogram.to_dict()
+                    for name, histogram in local.histograms.items()
+                },
             )
-            results.append(value)
+        raise AssertionError("unreachable: attempts loop always returns")
+
+    def _map_serial(self, shards: List[Shard], shared: Any,
+                    stage: str) -> List[Any]:
+        results: List[Any] = []
+        for done, shard in enumerate(shards, start=1):
+            outcome = self._serial_attempts(shard, shared)
+            self._absorb(outcome, shard, done, len(shards), stage)
+            results.append(outcome.value)
         return results
 
     # -- pool path ----------------------------------------------------------
@@ -295,17 +410,28 @@ class ShardedExecutor:
         context = self._pool_context()
         processes = min(self.jobs, len(shards))
         window = self.max_pending or 2 * self.jobs
-        results: List[Any] = [None] * len(shards)
+        total = len(shards)
+        results: List[Any] = [None] * total
+        completed = [False] * total
+        attempts: Dict[int, int] = {}
+        failures = 0  # failed attempts across the whole map (poison detector)
+        done = 0
+        degrade_reason: Optional[str] = None
+        plan = current_plan()
         pool = context.Pool(
             processes=processes, initializer=_worker_init,
-            initargs=(shared,),
+            initargs=(shared, plan.to_dict() if plan is not None else None),
         )
+
+        def submit(shard: Shard) -> None:
+            attempts[shard.index] = attempts.get(shard.index, 0) + 1
+            pending.append((shard, pool.apply_async(_run_shard, (shard,))))
+
         try:
             pending: deque = deque()
             queue = iter(shards[window:])
             for shard in shards[:window]:
-                pending.append((shard, pool.apply_async(_run_shard, (shard,))))
-            done = 0
+                submit(shard)
             while pending:
                 shard, handle = pending.popleft()
                 try:
@@ -315,33 +441,130 @@ class ShardedExecutor:
                         f"shard {shard.index} ({shard.kind}) exceeded the "
                         f"{self.shard_timeout:g}s per-shard timeout"
                     ) from None
-                done += 1
-                self._absorb(outcome, shard, done, len(shards), stage)
+                except (OSError, EOFError) as error:
+                    # The pool's IPC machinery died (worker crash, broken
+                    # pipe): the pool is unusable, degrade or raise.
+                    if not self.degrade:
+                        raise ShardError(
+                            f"worker pool failed while running shard "
+                            f"{shard.index} ({shard.kind}): {error}"
+                        ) from error
+                    degrade_reason = f"worker pool failure: {error}"
+                    break
                 if outcome.error is not None:
+                    failures += 1
+                    self._absorb(outcome, shard, done, total, stage,
+                                 progress_step=False)
+                    if failures >= self.poison_threshold:
+                        self._count("parallel.poisoned")
+                        logger.warning(
+                            "worker pool poisoned: %d failed attempts in "
+                            "one map (threshold %d)", failures,
+                            self.poison_threshold,
+                        )
+                        if not self.degrade:
+                            raise ShardError(
+                                f"worker pool poisoned after {failures} "
+                                f"failed attempts; last failure in shard "
+                                f"{shard.index} ({shard.kind}):\n"
+                                f"{outcome.error}"
+                            )
+                        degrade_reason = (
+                            f"pool poisoned ({failures} failed attempts)"
+                        )
+                        break
+                    if (outcome.retryable
+                            and attempts[shard.index]
+                            <= self.retry_policy.retries):
+                        self._note_retry(shard, attempts[shard.index],
+                                         outcome.error.strip()
+                                         .splitlines()[-1])
+                        submit(shard)
+                        continue
+                    if outcome.retryable and self.degrade:
+                        degrade_reason = (
+                            f"shard {shard.index} ({shard.kind}) failed "
+                            f"{attempts[shard.index]} attempt(s)"
+                        )
+                        break
                     raise ShardError(
                         f"shard {shard.index} ({shard.kind}) failed in a "
                         f"worker:\n{outcome.error}"
                     )
+                done += 1
+                completed[outcome.index] = True
+                self._absorb(outcome, shard, done, total, stage)
                 results[outcome.index] = outcome.value
                 for next_shard in queue:
-                    pending.append(
-                        (next_shard, pool.apply_async(_run_shard, (next_shard,)))
-                    )
+                    submit(next_shard)
                     break
-            pool.close()
-            pool.join()
+            if degrade_reason is None:
+                pool.close()
+                pool.join()
         except BaseException:
             # Timeout, worker failure or cancellation (ProgressAborted):
             # kill the remaining workers, don't leak the pool.
             pool.terminate()
             pool.join()
             raise
+        if degrade_reason is not None:
+            pool.terminate()
+            pool.join()
+            return self._degrade_to_serial(
+                shards, shared, stage, results, completed, done,
+                degrade_reason,
+            )
+        return results
+
+    def _degrade_to_serial(self, shards: List[Shard], shared: Any,
+                           stage: str, results: List[Any],
+                           completed: List[bool], done: int,
+                           reason: str) -> List[Any]:
+        """Finish a broken pool map inline; stay serial from here on.
+
+        Only shards without a result re-run, so work counters merged
+        from completed shards are never double-counted.  A shard that
+        *still* fails inline raises :class:`ShardError` (typed), and the
+        original exception text rides along in the message.
+        """
+        self._degraded = True
+        self._count("parallel.degraded")
+        logger.warning(
+            "degrading to serial execution (%s); %d/%d shard(s) to re-run "
+            "inline", reason, len(shards) - sum(completed), len(shards),
+        )
+        if self.tracer is not None:
+            self.tracer.record("reliability.degraded", 0.0, reason=reason)
+        total = len(shards)
+        for shard in shards:
+            if completed[shard.index]:
+                continue
+            try:
+                outcome = self._serial_attempts(shard, shared)
+            except ReproError:
+                raise
+            except Exception as exc:
+                raise ShardError(
+                    f"shard {shard.index} ({shard.kind}) failed after "
+                    f"degrading to serial execution:\n"
+                    f"{traceback.format_exc()}"
+                ) from exc
+            done += 1
+            completed[shard.index] = True
+            self._absorb(outcome, shard, done, total, stage)
+            results[shard.index] = outcome.value
         return results
 
     # -- observability relay ------------------------------------------------
 
     def _absorb(self, outcome: ShardOutcome, shard: Shard, done: int,
-                total: int, stage: str) -> None:
+                total: int, stage: str, progress_step: bool = True) -> None:
+        """Relay one shard outcome into the tracer/metrics/progress hooks.
+
+        Failed attempts pass ``progress_step=False``: their span (status
+        ``error``) and reliability counters are recorded, but the
+        done-count only advances on completion.
+        """
         if self.tracer is not None:
             self.tracer.record(
                 "parallel.shard", outcome.seconds, kind=shard.kind,
@@ -352,11 +575,40 @@ class ShardedExecutor:
                 self.metrics.inc(name, value)
             for name, summary in outcome.histograms.items():
                 self.metrics.merge_histogram(name, summary)
-        if self.progress is not None:
+        if self.progress is not None and progress_step:
             emit_progress(self.progress, stage, done, total)
 
+    def _count(self, name: str, value: float = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, value)
+
+    def _merge_counters(self, counters: Dict[str, float]) -> None:
+        if self.metrics is not None:
+            for name, value in counters.items():
+                self.metrics.inc(name, value)
+
+    def _note_retry(self, shard: Shard, attempt: int, cause: str) -> None:
+        """Count, trace and back off before re-attempt *attempt*."""
+        backoff = self.retry_policy.backoff(attempt, token=shard.index)
+        self._count("parallel.retry")
+        if self.tracer is not None:
+            self.tracer.record(
+                "reliability.retry", backoff, kind=shard.kind,
+                shard=shard.index, attempt=attempt, cause=cause,
+            )
+        logger.info(
+            "retrying shard %d (%s) after attempt %d (%s); backing off "
+            "%.3fs", shard.index, shard.kind, attempt, cause, backoff,
+        )
+        time.sleep(backoff)
+
     def __repr__(self) -> str:
-        mode = "serial" if self.serial else f"{self.jobs} workers"
+        if self.serial:
+            mode = "serial"
+        elif self._degraded:
+            mode = f"{self.jobs} workers, degraded to serial"
+        else:
+            mode = f"{self.jobs} workers"
         timeout = (
             f", timeout={self.shard_timeout:g}s" if self.shard_timeout else ""
         )

@@ -8,8 +8,9 @@ file is read row by row, per-column ``value → row ids`` maps are
 accumulated, singleton groups are dropped, and the values themselves
 are discarded — the relation is never materialised.
 
-Values are compared as *verbatim text* (after null-token mapping),
-which is the exact-match semantics large-scale profilers use; load
+Values are compared as *verbatim text* (after null-token mapping and
+the backslash unescape of :mod:`repro.storage.csv_io`), which is the
+exact-match semantics large-scale profilers use; load
 through :mod:`repro.storage.csv_io` instead when typed comparison
 ("1" = "01" as integers) is wanted.
 
@@ -29,7 +30,8 @@ from repro.core.attributes import Schema
 from repro.errors import StorageError
 from repro.partitions.database import StrippedPartitionDatabase
 from repro.partitions.partition import StrippedPartition
-from repro.storage.csv_io import DEFAULT_NULL_TOKENS
+from repro.reliability.faults import fault_point, wrap_text_stream
+from repro.storage.csv_io import DEFAULT_NULL_TOKENS, _check_header, _unescape
 
 __all__ = ["stream_partition_database", "mine_csv"]
 
@@ -49,27 +51,36 @@ def stream_partition_database(
     groups: Optional[List[Dict[Optional[str], List[int]]]] = None
     header: Optional[List[str]] = None
     row_count = 0
-    with path.open(newline="") as handle:
-        reader = csv.reader(handle, delimiter=delimiter)
-        for line_number, row in enumerate(reader, start=1):
-            if not row:
-                continue  # blank line
-            if header is None:
-                if has_header:
-                    header = list(row)
+    try:
+        fault_point("partitions.stream", path=str(path))
+        with path.open(newline="") as raw:
+            handle = wrap_text_stream(
+                "partitions.stream", raw, path=str(path)
+            )
+            reader = csv.reader(handle, delimiter=delimiter)
+            for line_number, row in enumerate(reader, start=1):
+                if not row:
+                    continue  # blank line
+                if header is None:
+                    if has_header:
+                        header = list(row)
+                    else:
+                        header = [f"col{i + 1}" for i in range(len(row))]
+                    _check_header(header, path)
                     groups = [{} for _ in header]
-                    continue
-                header = [f"col{i + 1}" for i in range(len(row))]
-                groups = [{} for _ in header]
-            if len(row) != len(header):
-                raise StorageError(
-                    f"{path}:{line_number}: expected {len(header)} "
-                    f"fields, got {len(row)}"
-                )
-            for bucket, token in zip(groups, row):
-                value = None if token in null_set else token
-                bucket.setdefault(value, []).append(row_count)
-            row_count += 1
+                    if has_header:
+                        continue
+                if len(row) != len(header):
+                    raise StorageError(
+                        f"{path}:{line_number}: expected {len(header)} "
+                        f"fields, got {len(row)}"
+                    )
+                for bucket, token in zip(groups, row):
+                    value = None if token in null_set else _unescape(token)
+                    bucket.setdefault(value, []).append(row_count)
+                row_count += 1
+    except OSError as error:
+        raise StorageError(f"cannot read {path}: {error}") from error
     if header is None:
         raise StorageError(f"CSV file {path} is empty")
     schema = Schema(header)

@@ -1,0 +1,62 @@
+"""``repro.reliability`` — fault injection, retry and graceful degradation.
+
+The paper treats resource exhaustion as a first-class design input (the
+couple-memory threshold of Algorithm 2; TANE's stripped partitions);
+this package does the same for process and IO faults in the subsystems
+that grew around the algorithms:
+
+- :mod:`repro.reliability.faults` — a deterministic fault-injection
+  registry: a :class:`FaultPlan` (loadable from JSON, e.g. the CLI's
+  ``--fault-plan plan.json``) names instrumented sites and trigger
+  predicates (nth call, seeded probability, context match, bounded
+  ``times``), and the instrumented layers consult it through
+  :func:`fault_point` / :func:`filter_bytes` / :func:`wrap_text_stream`;
+- :mod:`repro.reliability.retry` — :class:`RetryPolicy`, exponential
+  backoff with *keyed* (reproducible) jitter, used by the sharded
+  executor's per-shard retry.
+
+The consumers live where the faults live: ``parallel.ShardedExecutor``
+(retry + poisoned-pool detection + degradation to serial,
+``parallel.degraded``), ``cache.ArtifactStore`` (disk-tier quarantine,
+``cache.quarantined``), and the CSV readers (typed ``StorageError`` on
+injected/real IO errors).  The contract, enforced by the differential
+suite in ``tests/test_reliability.py``: with any fault plan active a
+mining run either returns the exact cover of a fault-free run or raises
+a typed :class:`~repro.errors.ReproError` — never a wrong answer.  See
+``docs/reliability.md``.
+"""
+
+from __future__ import annotations
+
+from repro.reliability.faults import (
+    KNOWN_SITES,
+    FaultPlan,
+    FaultSpec,
+    activate_plan,
+    current_plan,
+    deactivate_plan,
+    fault_plan_active,
+    fault_point,
+    filter_bytes,
+    filter_text,
+    load_fault_plan,
+    wrap_text_stream,
+)
+from repro.reliability.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "KNOWN_SITES",
+    "load_fault_plan",
+    "activate_plan",
+    "deactivate_plan",
+    "fault_plan_active",
+    "current_plan",
+    "fault_point",
+    "filter_bytes",
+    "filter_text",
+    "wrap_text_stream",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+]

@@ -1,0 +1,479 @@
+"""Deterministic fault injection for the IO- and process-touching layers.
+
+PRs 1–3 gave the pipeline subsystems that talk to the filesystem and to
+worker processes (``repro.parallel``, ``repro.cache``, the streaming CSV
+readers).  Those layers can fail in ways the paper's algorithms never
+had to consider — a worker dying mid-shard, a cache directory on a full
+disk, a truncated input file — and the recovery code for them is
+unreachable from ordinary tests.  This module makes such faults
+*schedulable*: a :class:`FaultPlan` names instrumented **sites** and the
+**triggers** under which each should misbehave, and the instrumented
+code consults the plan through three tiny hooks:
+
+- :func:`fault_point` — raise an injected exception (or sleep an
+  injected delay) when a spec fires; a no-op when no plan is active;
+- :func:`filter_bytes` / :func:`filter_text` — truncate a payload that
+  was just read, simulating torn writes and short reads;
+- :func:`wrap_text_stream` — the streaming variant: replace a text
+  handle with a truncated one before anything is parsed.
+
+Determinism is the design constraint that matters: a chaos run must be
+reproducible in a bug report.  Probabilistic triggers therefore draw
+from a keyed hash of ``(plan seed, site, call number, spec index)`` —
+never from global PRNG state — so the same plan over the same call
+sequence injects the same faults on every machine.  Within one process
+the per-site call counters are global to the active plan; worker
+processes receive a pickled copy of the plan with *fresh* counters, so
+``calls``-triggered specs count per process (see ``docs/reliability.md``).
+
+Every injection is counted as ``reliability.injected`` (plus the
+per-site ``reliability.injected.<site>``) into both the registry bound
+at activation time and the registry passed at the call site, which is
+how injections inside worker processes surface in the parent's metrics
+through the shard-outcome relay.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, TextIO, Union
+
+from repro.errors import ReliabilityError
+from repro.obs import NULL_METRICS, MetricsRegistry, get_logger
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "KNOWN_SITES",
+    "load_fault_plan",
+    "activate_plan",
+    "deactivate_plan",
+    "fault_plan_active",
+    "current_plan",
+    "fault_point",
+    "filter_bytes",
+    "filter_text",
+    "wrap_text_stream",
+]
+
+logger = get_logger(__name__)
+
+#: The sites instrumented across the codebase.  A plan may name other
+#: sites (forward compatibility), but a typo'd site never fires, so
+#: loading warns about unknown ones.
+KNOWN_SITES = (
+    "parallel.shard",     # one shard attempt (context: kind, index, pool)
+    "cache.disk_read",    # artifact store disk lookup (context: kind, key)
+    "cache.disk_write",   # artifact store disk publish (context: kind, key)
+    "storage.read",       # csv_io.read_csv (context: path)
+    "storage.write",      # csv_io.write_csv (context: path)
+    "partitions.stream",  # streaming partition build (context: path)
+)
+
+_FAULT_KINDS = ("error", "delay", "truncate")
+
+#: Exception classes a spec may raise — the same types real faults
+#: produce.  Library errors (ReproError subclasses) are deliberately
+#: absent: injected faults must exercise the *recovery* paths, not
+#: imitate typed library failures.
+_ERROR_TYPES = {
+    "OSError": OSError,
+    "IOError": OSError,
+    "ConnectionError": ConnectionError,
+    "TimeoutError": TimeoutError,
+    "MemoryError": MemoryError,
+    "RuntimeError": RuntimeError,
+    "ValueError": ValueError,
+}
+
+_SPEC_FIELDS = (
+    "site", "kind", "error", "message", "delay", "truncate",
+    "calls", "probability", "match", "times",
+)
+
+
+def _fraction(*parts: Any) -> float:
+    """A deterministic draw in [0, 1) keyed by *parts* (hash-seed free)."""
+    text = ":".join(str(part) for part in parts)
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2 ** 64
+
+
+class FaultSpec:
+    """One schedulable fault: a site, a kind, and trigger predicates.
+
+    Parameters
+    ----------
+    site:
+        The instrumented site name (see :data:`KNOWN_SITES`).
+    kind:
+        ``"error"`` raises :attr:`error`, ``"delay"`` sleeps
+        :attr:`delay` seconds, ``"truncate"`` keeps only
+        :attr:`truncate` bytes/characters of a read payload.
+    error / message:
+        Exception class name (from a small whitelist of builtin types)
+        and optional message for ``"error"`` faults.
+    calls:
+        1-based call numbers of the site at which to fire (``None`` =
+        any call).  Counted per process — see the module docstring.
+    probability:
+        Fire with this probability, drawn deterministically from the
+        plan seed (``None`` = always, subject to the other triggers).
+    match:
+        Context predicates: each key must equal the value the call site
+        passed (a list value means membership, e.g.
+        ``{"index": [0, 1]}``).
+    times:
+        Stop firing after this many injections (``None`` = unlimited) —
+        the knob that turns a fault *transient* so retry paths can be
+        shown to recover.
+    """
+
+    __slots__ = ("site", "kind", "error", "message", "delay", "truncate",
+                 "calls", "probability", "match", "times")
+
+    def __init__(self, site: str, kind: str = "error",
+                 error: str = "OSError", message: Optional[str] = None,
+                 delay: float = 0.01, truncate: int = 0,
+                 calls: Optional[Sequence[int]] = None,
+                 probability: Optional[float] = None,
+                 match: Optional[Mapping[str, Any]] = None,
+                 times: Optional[int] = None):
+        if not site or not isinstance(site, str):
+            raise ReliabilityError("a fault spec needs a non-empty site name")
+        if kind not in _FAULT_KINDS:
+            raise ReliabilityError(
+                f"unknown fault kind {kind!r}; choose from {_FAULT_KINDS}"
+            )
+        if kind == "error" and error not in _ERROR_TYPES:
+            raise ReliabilityError(
+                f"unknown error type {error!r}; choose from "
+                f"{sorted(_ERROR_TYPES)}"
+            )
+        if kind == "delay" and delay <= 0:
+            raise ReliabilityError("delay faults need a positive delay")
+        if kind == "truncate" and truncate < 0:
+            raise ReliabilityError("truncate must be a non-negative length")
+        if probability is not None and not 0.0 <= probability <= 1.0:
+            raise ReliabilityError(
+                f"probability must be in [0, 1]; got {probability!r}"
+            )
+        if times is not None and times < 1:
+            raise ReliabilityError("times must be a positive integer or None")
+        if calls is not None:
+            calls = tuple(int(c) for c in calls)
+            if any(c < 1 for c in calls):
+                raise ReliabilityError("calls are 1-based call numbers")
+        self.site = site
+        self.kind = kind
+        self.error = error
+        self.message = message
+        self.delay = float(delay)
+        self.truncate = int(truncate)
+        self.calls = calls
+        self.probability = probability
+        self.match = dict(match) if match is not None else None
+        self.times = times
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        unknown = sorted(set(data) - set(_SPEC_FIELDS))
+        if unknown:
+            raise ReliabilityError(
+                f"unknown fault spec field(s): {', '.join(unknown)}"
+            )
+        if "site" not in data:
+            raise ReliabilityError("a fault spec needs a 'site'")
+        return cls(**dict(data))
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"site": self.site, "kind": self.kind}
+        if self.kind == "error":
+            out["error"] = self.error
+            if self.message:
+                out["message"] = self.message
+        if self.kind == "delay":
+            out["delay"] = self.delay
+        if self.kind == "truncate":
+            out["truncate"] = self.truncate
+        if self.calls is not None:
+            out["calls"] = list(self.calls)
+        if self.probability is not None:
+            out["probability"] = self.probability
+        if self.match is not None:
+            out["match"] = dict(self.match)
+        if self.times is not None:
+            out["times"] = self.times
+        return out
+
+    def matches_context(self, context: Mapping[str, Any]) -> bool:
+        if self.match is None:
+            return True
+        for key, wanted in self.match.items():
+            actual = context.get(key)
+            if isinstance(wanted, (list, tuple)):
+                if actual not in wanted:
+                    return False
+            elif actual != wanted:
+                return False
+        return True
+
+    def build_error(self, call_number: int) -> Exception:
+        message = self.message or (
+            f"injected {self.error} at {self.site} (call {call_number})"
+        )
+        return _ERROR_TYPES[self.error](message)
+
+    def __repr__(self) -> str:
+        return f"FaultSpec({self.site!r}, kind={self.kind!r})"
+
+
+class FaultPlan:
+    """An ordered set of :class:`FaultSpec`\\ s plus trigger state.
+
+    The plan is the unit the CLI loads (``--fault-plan plan.json``), the
+    executor ships to worker processes, and tests activate around a
+    block of code.  Trigger state (per-site call counters, per-spec
+    injection counts) lives in the plan object; :meth:`to_dict` /
+    :meth:`from_dict` serialize only the specs and seed, so a shipped
+    copy starts counting from zero.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec], seed: int = 0,
+                 name: str = "fault-plan"):
+        self.specs = list(specs)
+        self.seed = int(seed)
+        self.name = name
+        self._lock = threading.Lock()
+        self._calls: Dict[str, int] = {}
+        self._fired: List[int] = [0] * len(self.specs)
+        self.injected: Dict[str, int] = {}
+        for spec in self.specs:
+            if spec.site not in KNOWN_SITES:
+                logger.warning(
+                    "fault plan %s names unknown site %r (known: %s) — "
+                    "it will never fire", name, spec.site,
+                    ", ".join(KNOWN_SITES),
+                )
+
+    # -- (de)serialization ---------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        if not isinstance(data, Mapping):
+            raise ReliabilityError("a fault plan must be a JSON object")
+        unknown = sorted(set(data) - {"name", "seed", "faults"})
+        if unknown:
+            raise ReliabilityError(
+                f"unknown fault plan field(s): {', '.join(unknown)}"
+            )
+        faults = data.get("faults", [])
+        if not isinstance(faults, Sequence) or isinstance(faults, str):
+            raise ReliabilityError("'faults' must be a list of fault specs")
+        specs = [FaultSpec.from_dict(spec) for spec in faults]
+        return cls(specs, seed=data.get("seed", 0),
+                   name=data.get("name", "fault-plan"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ReliabilityError(f"fault plan is not valid JSON: {error}")
+        return cls.from_dict(data)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "faults": [spec.to_dict() for spec in self.specs],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    # -- trigger evaluation --------------------------------------------------
+
+    def select(self, site: str, context: Mapping[str, Any],
+               kinds: Sequence[str]):
+        """The first spec firing at *site* (or ``None``) and the call no.
+
+        Increments the site's call counter; evaluation order is spec
+        order, so plans can layer a specific ``match`` spec over a
+        broad probabilistic one.
+        """
+        with self._lock:
+            call_number = self._calls.get(site, 0) + 1
+            self._calls[site] = call_number
+            for index, spec in enumerate(self.specs):
+                if spec.site != site or spec.kind not in kinds:
+                    continue
+                if spec.times is not None and self._fired[index] >= spec.times:
+                    continue
+                if spec.calls is not None and call_number not in spec.calls:
+                    continue
+                if not spec.matches_context(context):
+                    continue
+                if spec.probability is not None and _fraction(
+                    self.seed, site, call_number, index
+                ) >= spec.probability:
+                    continue
+                self._fired[index] += 1
+                self.injected[site] = self.injected.get(site, 0) + 1
+                return spec, call_number
+        return None, call_number
+
+    def injected_total(self) -> int:
+        """Injections fired from this plan object (this process only)."""
+        return sum(self.injected.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan({self.name!r}, {len(self.specs)} spec(s), "
+            f"{self.injected_total()} injected)"
+        )
+
+
+def load_fault_plan(path: Union[str, Path]) -> FaultPlan:
+    """Read a :class:`FaultPlan` from a JSON file (the CLI entry point)."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise ReliabilityError(f"cannot read fault plan {path}: {error}")
+    plan = FaultPlan.from_json(text)
+    if plan.name == "fault-plan":
+        plan.name = path.stem
+    return plan
+
+
+# -- the active plan ---------------------------------------------------------
+
+_active_plan: Optional[FaultPlan] = None
+_bound_metrics: MetricsRegistry = NULL_METRICS
+
+
+def activate_plan(plan: FaultPlan,
+                  metrics: Optional[MetricsRegistry] = None) -> None:
+    """Make *plan* the process-wide active plan (one at a time).
+
+    *metrics* (optional) receives the ``reliability.injected`` counters
+    for every injection, in addition to any registry the call sites
+    pass themselves.
+    """
+    global _active_plan, _bound_metrics
+    _active_plan = plan
+    _bound_metrics = metrics if metrics is not None else NULL_METRICS
+
+
+def deactivate_plan() -> None:
+    global _active_plan, _bound_metrics
+    _active_plan = None
+    _bound_metrics = NULL_METRICS
+
+
+@contextmanager
+def fault_plan_active(plan: FaultPlan,
+                      metrics: Optional[MetricsRegistry] = None):
+    """Scoped activation: ``with fault_plan_active(plan): ...``."""
+    previous_plan, previous_metrics = _active_plan, _bound_metrics
+    activate_plan(plan, metrics)
+    try:
+        yield plan
+    finally:
+        if previous_plan is not None:
+            activate_plan(previous_plan, previous_metrics)
+        else:
+            deactivate_plan()
+
+
+def current_plan() -> Optional[FaultPlan]:
+    return _active_plan
+
+
+def _count_injection(site: str, spec: FaultSpec,
+                     metrics: MetricsRegistry) -> None:
+    registries = [metrics]
+    if _bound_metrics is not metrics:  # avoid double counting one registry
+        registries.append(_bound_metrics)
+    for registry in registries:
+        registry.inc("reliability.injected")
+        registry.inc(f"reliability.injected.{site}")
+    logger.info("injected %s fault at %s", spec.kind, site)
+
+
+# -- the hooks instrumented code calls ---------------------------------------
+
+def fault_point(site: str, metrics: MetricsRegistry = NULL_METRICS,
+                **context: Any) -> None:
+    """Raise/sleep if the active plan schedules a fault here; else no-op.
+
+    The fast path — no plan active — is one global read and a return,
+    cheap enough to leave in production code paths unconditionally.
+    """
+    plan = _active_plan
+    if plan is None:
+        return
+    spec, call_number = plan.select(site, context, kinds=("error", "delay"))
+    if spec is None:
+        return
+    _count_injection(site, spec, metrics)
+    if spec.kind == "delay":
+        time.sleep(spec.delay)
+        return
+    raise spec.build_error(call_number)
+
+
+def filter_bytes(site: str, data: bytes,
+                 metrics: MetricsRegistry = NULL_METRICS,
+                 **context: Any) -> bytes:
+    """Truncate *data* if a ``truncate`` fault fires at *site*."""
+    plan = _active_plan
+    if plan is None:
+        return data
+    spec, _ = plan.select(site, context, kinds=("truncate",))
+    if spec is None:
+        return data
+    _count_injection(site, spec, metrics)
+    return data[:spec.truncate]
+
+
+def filter_text(site: str, text: str,
+                metrics: MetricsRegistry = NULL_METRICS,
+                **context: Any) -> str:
+    """Character-level twin of :func:`filter_bytes` for text payloads."""
+    plan = _active_plan
+    if plan is None:
+        return text
+    spec, _ = plan.select(site, context, kinds=("truncate",))
+    if spec is None:
+        return text
+    _count_injection(site, spec, metrics)
+    return text[:spec.truncate]
+
+
+def wrap_text_stream(site: str, handle: TextIO,
+                     metrics: MetricsRegistry = NULL_METRICS,
+                     **context: Any) -> TextIO:
+    """Replace *handle* with a truncated stream if a fault fires.
+
+    Only consulted (and only buffering the file) when the active plan
+    actually holds ``truncate`` specs for *site* — the common case
+    returns the original handle untouched, preserving streaming reads.
+    """
+    plan = _active_plan
+    if plan is None or not any(
+        spec.site == site and spec.kind == "truncate" for spec in plan.specs
+    ):
+        return handle
+    spec, _ = plan.select(site, context, kinds=("truncate",))
+    if spec is None:
+        return handle
+    _count_injection(site, spec, metrics)
+    return io.StringIO(handle.read()[:spec.truncate])

@@ -5,28 +5,72 @@ The paper's test datasets live in DBMS tables; ours live in CSV files.
 column, with configurable null tokens) so FD semantics do not depend on
 textual quirks like ``"01"`` vs ``"1"`` being the same integer — callers
 who want raw text columns can pass ``infer_types=False``.
+
+Two correctness rules shape the inference:
+
+- Casters accept only *canonical* numeric text (optional sign, digits,
+  one optional point/exponent).  Python's own ``int``/``float`` accept
+  far more — ``"1_000"``, ``" 7 "``, ``"nan"``, ``"inf"`` — and each of
+  those corrupts equality-based partition grouping: ``float("nan") !=
+  float("nan")`` silently splits agree sets, ``1_000 == 1000`` silently
+  merges distinct source strings, and ``float("1e999")`` collapses every
+  overflowing literal onto ``inf``.  Non-canonical tokens keep the
+  column textual instead.
+- Null tokens and data that *looks like* a null token are kept apart by
+  a backslash escape: :func:`write_csv` prefixes ``\\`` to any string
+  value that would otherwise read back as null (or that itself starts
+  with ``\\``), and :func:`read_csv` strips one leading ``\\`` after
+  null mapping.  A table therefore round-trips exactly, including a
+  real ``None`` next to the literal string ``"NULL"``.
 """
 
 from __future__ import annotations
 
 import csv
+import math
+import re
 from pathlib import Path
-from typing import Any, Iterable, List, Optional, Sequence, Union
+from typing import Any, List, Optional, Sequence, Union
 
 from repro.core.relation import Relation
 from repro.errors import StorageError
+from repro.reliability.faults import fault_point, wrap_text_stream
 from repro.storage.table import Table
 
 __all__ = ["read_csv", "write_csv", "relation_from_csv", "relation_to_csv"]
 
 DEFAULT_NULL_TOKENS = ("", "NULL", "null", "NA", "N/A")
 
+# Canonical numeric text only: Python's int()/float() additionally accept
+# underscores, surrounding whitespace and the nan/inf family, none of
+# which may silently become numbers in a dependency miner (see module
+# docstring).
+_CANONICAL_INT = re.compile(r"[+-]?[0-9]+\Z")
+_CANONICAL_FLOAT = re.compile(
+    r"[+-]?(?:[0-9]+\.[0-9]*|\.[0-9]+|[0-9]+)(?:[eE][+-]?[0-9]+)?\Z"
+)
+
+
+def _cast_int(token: str) -> int:
+    if _CANONICAL_INT.match(token) is None:
+        raise ValueError(f"not a canonical integer: {token!r}")
+    return int(token)
+
+
+def _cast_float(token: str) -> float:
+    if _CANONICAL_FLOAT.match(token) is None:
+        raise ValueError(f"not a canonical float: {token!r}")
+    value = float(token)
+    if not math.isfinite(value):  # e.g. "1e999" overflowing to inf
+        raise ValueError(f"float overflows to non-finite: {token!r}")
+    return value
+
 
 def _parse_column(tokens: Sequence[Optional[str]]) -> List[Any]:
     """Best-effort typed parse of one column: all-int, else all-float,
     else the original strings.  Nulls (None) are preserved untouched."""
     non_null = [token for token in tokens if token is not None]
-    for caster in (int, float):
+    for caster in (_cast_int, _cast_float):
         try:
             parsed = {token: caster(token) for token in set(non_null)}
         except (TypeError, ValueError):
@@ -37,6 +81,36 @@ def _parse_column(tokens: Sequence[Optional[str]]) -> List[Any]:
     return list(tokens)
 
 
+def _duplicate_names(header: Sequence[str]) -> List[str]:
+    seen = set()
+    duplicates = set()
+    for column in header:
+        if column in seen:
+            duplicates.add(column)
+        seen.add(column)
+    return sorted(duplicates)
+
+
+def _check_header(header: Sequence[str], path: Path) -> None:
+    duplicates = _duplicate_names(header)
+    if duplicates:
+        raise StorageError(
+            f"{path}: duplicate column name(s): {', '.join(duplicates)}"
+        )
+
+
+def _unescape(token: str) -> str:
+    """Drop the one leading backslash :func:`write_csv` may have added."""
+    return token[1:] if token.startswith("\\") else token
+
+
+def _escape(value: str, null_set: frozenset) -> str:
+    """Protect a string value from reading back as null (or unescaping)."""
+    if value in null_set or value.startswith("\\"):
+        return "\\" + value
+    return value
+
+
 def read_csv(path: Union[str, Path], name: Optional[str] = None,
              delimiter: str = ",", has_header: bool = True,
              infer_types: bool = True,
@@ -44,15 +118,22 @@ def read_csv(path: Union[str, Path], name: Optional[str] = None,
     """Load a CSV file into a :class:`~repro.storage.table.Table`.
 
     Without a header row, columns are named ``col1..colN``.  Ragged rows
-    raise :class:`StorageError` with the offending line number.
+    and duplicate header names raise :class:`StorageError` with the
+    offending line number / column names; real IO errors are wrapped in
+    :class:`StorageError` as well (fault site ``storage.read``).
     """
     path = Path(path)
     if not path.exists():
         raise StorageError(f"CSV file not found: {path}")
     null_set = set(null_tokens)
-    with path.open(newline="") as handle:
-        reader = csv.reader(handle, delimiter=delimiter)
-        rows = list(reader)
+    try:
+        fault_point("storage.read", path=str(path))
+        with path.open(newline="") as raw:
+            handle = wrap_text_stream("storage.read", raw, path=str(path))
+            reader = csv.reader(handle, delimiter=delimiter)
+            rows = list(reader)
+    except OSError as error:
+        raise StorageError(f"cannot read {path}: {error}") from error
     rows = [row for row in rows if row]  # skip completely blank lines
     if not rows:
         raise StorageError(f"CSV file {path} is empty")
@@ -61,6 +142,7 @@ def read_csv(path: Union[str, Path], name: Optional[str] = None,
     else:
         header = [f"col{i + 1}" for i in range(len(rows[0]))]
         data = rows
+    _check_header(header, path)
     width = len(header)
     columns: List[List[Optional[str]]] = [[] for _ in range(width)]
     for line_number, row in enumerate(data, start=2 if has_header else 1):
@@ -70,7 +152,9 @@ def read_csv(path: Union[str, Path], name: Optional[str] = None,
                 f"got {len(row)}"
             )
         for bucket, token in zip(columns, row):
-            bucket.append(None if token in null_set else token)
+            bucket.append(
+                None if token in null_set else _unescape(token)
+            )
     if infer_types:
         columns = [_parse_column(bucket) for bucket in columns]
     table_name = name if name is not None else path.stem
@@ -78,16 +162,32 @@ def read_csv(path: Union[str, Path], name: Optional[str] = None,
 
 
 def write_csv(table: Table, path: Union[str, Path],
-              delimiter: str = ",") -> None:
-    """Write a table to CSV (header + rows; ``None`` becomes empty)."""
+              delimiter: str = ",",
+              null_tokens: Sequence[str] = DEFAULT_NULL_TOKENS) -> None:
+    """Write a table to CSV (header + rows; ``None`` becomes empty).
+
+    String values that would read back as null under *null_tokens* (or
+    that start with a backslash) are escaped with one leading ``\\`` so
+    :func:`read_csv` with the same tokens restores the table exactly.
+    Real IO errors are wrapped in :class:`StorageError` (fault site
+    ``storage.write``).
+    """
     path = Path(path)
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle, delimiter=delimiter)
-        writer.writerow(table.column_names)
-        for row in table.rows():
-            writer.writerow(
-                ["" if value is None else value for value in row]
-            )
+    null_set = frozenset(null_tokens)
+    try:
+        fault_point("storage.write", path=str(path))
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle, delimiter=delimiter)
+            writer.writerow(table.column_names)
+            for row in table.rows():
+                writer.writerow([
+                    "" if value is None
+                    else _escape(value, null_set) if isinstance(value, str)
+                    else value
+                    for value in row
+                ])
+    except OSError as error:
+        raise StorageError(f"cannot write {path}: {error}") from error
 
 
 def relation_from_csv(path: Union[str, Path], **options) -> Relation:

@@ -178,3 +178,82 @@ class TestRealWorldConstruction:
         assert result.armstrong is not None
         assert bruteforce_minimal_fds(result.armstrong) == \
             bruteforce_minimal_fds(relation)
+
+
+class TestEdgeCases:
+    """Zero-FD relations, single-attribute schemas, duplicate rows."""
+
+    @staticmethod
+    def zero_fd_relation() -> Relation:
+        # pairwise agree sets {A}, {B}, ∅: no non-trivial FD holds
+        return Relation.from_rows(
+            Schema(["A", "B"]), [(1, 1), (1, 2), (2, 1)]
+        )
+
+    def test_zero_fd_relation_mines_empty_cover(self):
+        relation = self.zero_fd_relation()
+        assert bruteforce_minimal_fds(relation) == []
+        result = DepMiner(build_armstrong="classical").run(relation)
+        assert result.fds == []
+        assert sorted(result.max_union) == [1, 2]  # MAX = {{A}, {B}}
+
+    def test_zero_fd_relation_still_has_an_armstrong_relation(self):
+        from repro.core.armstrong import is_armstrong_for
+
+        relation = self.zero_fd_relation()
+        result = DepMiner(build_armstrong="classical").run(relation)
+        assert is_armstrong_for(result.classical_armstrong,
+                                result.max_union)
+        # witnessing zero FDs exactly: the sample also mines to nothing
+        assert bruteforce_minimal_fds(result.classical_armstrong) == []
+        # the input happens to be its own Armstrong relation here
+        assert is_armstrong_for(relation, result.max_union)
+
+    def test_single_attribute_schema(self):
+        from repro.core.armstrong import is_armstrong_for
+
+        relation = Relation.from_rows(Schema(["A"]), [(1,), (2,)])
+        result = DepMiner(build_armstrong="classical").run(relation)
+        assert result.fds == []
+        assert result.max_union == [0]  # MAX(dep(r), A) = {∅}
+        assert list(result.classical_armstrong.rows()) == [(0,), (1,)]
+        assert is_armstrong_for(result.classical_armstrong,
+                                result.max_union)
+
+    def test_single_constant_attribute(self):
+        """A constant column yields the degenerate FD ∅ → A and an
+        empty MAX union: the one-row classical construction."""
+        relation = Relation.from_rows(Schema(["A"]), [(5,), (5,), (5,)])
+        result = DepMiner(build_armstrong="classical").run(relation)
+        assert [str(fd) for fd in result.fds] == ["∅ -> A"]
+        assert result.max_union == []
+        assert list(result.classical_armstrong.rows()) == [(0,)]
+
+    def test_duplicate_rows_do_not_break_the_armstrong_check(self):
+        """`is_armstrong_for` discards the universe agree set produced
+        by duplicate rows (two equal tuples agree on R, and R is always
+        closed) — a duplicated witness row must not flip the verdict."""
+        from repro.core.armstrong import is_armstrong_for
+        from repro.datasets import paper_example_relation
+
+        relation = paper_example_relation()
+        result = DepMiner().run(relation)
+        rows = list(relation.rows())
+        duplicated = Relation.from_rows(relation.schema, rows + [rows[0]])
+        assert is_armstrong_for(duplicated, result.max_union)
+
+    def test_duplicate_rows_alone_witness_nothing(self):
+        """The universe-discard path must not *manufacture* generators:
+        a candidate made of one row repeated has no non-trivial agree
+        sets and cannot be Armstrong for a non-empty MAX."""
+        from repro.core.armstrong import is_armstrong_for
+        from repro.datasets import paper_example_relation
+
+        relation = paper_example_relation()
+        result = DepMiner().run(relation)
+        row = next(iter(relation.rows()))
+        all_dupes = Relation.from_rows(relation.schema, [row, row])
+        assert result.max_union  # the paper example has generators
+        assert not is_armstrong_for(all_dupes, result.max_union)
+        # ... but it is (vacuously) Armstrong for an empty MAX
+        assert is_armstrong_for(all_dupes, [])
