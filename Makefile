@@ -2,8 +2,9 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-parallel bench bench-cache cache-smoke \
-	trace-smoke faults-smoke experiments experiments-paper examples clean
+.PHONY: install test test-parallel bench bench-cache bench-transversal \
+	cache-smoke trace-smoke transversal-smoke faults-smoke experiments \
+	experiments-paper examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -31,6 +32,25 @@ bench:
 bench-cache:
 	$(PYTHON) -m pytest benchmarks/bench_cache.py -q
 	$(PYTHON) benchmarks/bench_cache.py BENCH_cache.json
+
+# The transversal-kernel speedup guard: asserts the >= 3x kernel and
+# vectorized floors on the wide-schema workload (with identical
+# transversal families and FD covers), then records the timings.
+bench-transversal:
+	$(PYTHON) -m pytest benchmarks/bench_transversal_kernel.py -q
+	$(PYTHON) benchmarks/bench_transversal_kernel.py BENCH_transversal.json
+
+# End-to-end kernel smoke: mine the reduction fixture (duplicated
+# columns + a near-duplicate row pair) with --transversal kernel and
+# assert the reduce spans and reduction counters in the trace.
+transversal-smoke:
+	mkdir -p .transversal-smoke
+	$(PYTHON) -m repro discover scripts/fixtures/transversal_smoke.csv \
+		--transversal kernel \
+		--trace .transversal-smoke/discover.jsonl > /dev/null
+	$(PYTHON) scripts/check_transversal.py \
+		.transversal-smoke/discover.jsonl
+	$(PYTHON) scripts/check_trace.py .transversal-smoke/discover.jsonl
 
 # End-to-end cache smoke: mine with --cache-dir (cold), rerun (warm full
 # hit), append rows (incremental), then assert the cache counters in the
@@ -107,5 +127,6 @@ examples:
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks \
-		.trace-smoke .trace-parallel .cache-smoke .faults-smoke
+		.trace-smoke .trace-parallel .cache-smoke .faults-smoke \
+		.transversal-smoke
 	find . -name __pycache__ -type d -exec rm -rf {} +

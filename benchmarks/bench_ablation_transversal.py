@@ -1,7 +1,17 @@
-"""Ablation: levelwise minimal transversals (Algorithm 5) vs Berge.
+"""Ablation: transversal search strategies on real cmax hypergraphs.
 
-The paper's levelwise algorithm prunes supersets of found transversals
-via Apriori-gen; Berge's sequential method is the classical alternative.
+The paper's levelwise algorithm (Algorithm 5) prunes supersets of found
+transversals via Apriori-gen; Berge's sequential method and the
+FastFDs-style DFS are the classical alternatives; the layered kernel
+(:mod:`repro.hypergraph.kernel`) adds a reduction pass and incremental
+edge-coverage masks on top of the levelwise shape.  The extra arms
+isolate the kernel's layers:
+
+- ``kernel`` — the full pipeline (reductions + incremental coverage);
+- ``kernel_no_reductions`` — incremental coverage only (``reductions=
+  False``), i.e. the value of the coverage masks alone;
+- ``kernel_vectorized`` — the NumPy lane-packed batch backend.
+
 Benchmarked on the actual cmax hypergraphs produced by mining a
 correlated synthetic relation (not on synthetic hypergraphs), so the
 edge-size distribution is the one Dep-Miner really sees.
@@ -13,6 +23,7 @@ import pytest
 
 from benchmarks.conftest import cached_relation
 from repro.core.depminer import DepMiner
+from repro.hypergraph.kernel import minimal_transversals_kernel
 from repro.hypergraph.transversals import (
     minimal_transversals_berge,
     minimal_transversals_levelwise,
@@ -50,3 +61,25 @@ def test_transversal_dfs(benchmark, cmax_families):
     from repro.hypergraph.dfs import minimal_transversals_dfs
 
     benchmark(run_all, cmax_families, minimal_transversals_dfs)
+
+
+@pytest.mark.benchmark(group="ablation-transversal")
+def test_transversal_kernel(benchmark, cmax_families):
+    benchmark(run_all, cmax_families, minimal_transversals_kernel)
+
+
+@pytest.mark.benchmark(group="ablation-transversal")
+def test_transversal_kernel_no_reductions(benchmark, cmax_families):
+    def search(edges, width):
+        return minimal_transversals_kernel(edges, width, reductions=False)
+
+    benchmark(run_all, cmax_families, search)
+
+
+@pytest.mark.benchmark(group="ablation-transversal")
+def test_transversal_kernel_vectorized(benchmark, cmax_families):
+    def search(edges, width):
+        return minimal_transversals_kernel(edges, width,
+                                           backend="vectorized")
+
+    benchmark(run_all, cmax_families, search)

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Validate the transversal-kernel smoke trace (``make transversal-smoke``).
+
+Usage::
+
+    python scripts/check_transversal.py TRACE.jsonl
+
+Reads the trace JSONL of a ``repro discover --transversal kernel`` run
+over ``scripts/fixtures/transversal_smoke.csv`` — a fixture built so
+every layer of the kernel's reduction pass has work to do (duplicated
+``b``/``c`` columns merge vertices; a row pair identical up to ``id``
+commits an essential vertex; the rest splits into components) — and
+asserts the observability that proves the pass actually ran:
+
+- at least one ``transversal.reduce`` span, whose attributes account for
+  an essential commitment and a vertex merge somewhere in the run;
+- the reduction counters (``transversal.essential_committed``,
+  ``transversal.vertices_merged``, ``transversal.components``) and the
+  levelwise series (``lhs.candidates_generated``) all fired.
+
+Exits non-zero with one line per problem.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: Path):
+    counters = {}
+    reduce_spans = []
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        if record.get("type") == "metric" and record.get("kind") == "counter":
+            counters[record["name"]] = record["value"]
+        elif record.get("type") == "span" and \
+                record.get("name") == "transversal.reduce":
+            reduce_spans.append(record)
+    return counters, reduce_spans
+
+
+def check(counters: dict, reduce_spans: list) -> list:
+    problems = []
+
+    def expect_counter(name, minimum):
+        actual = counters.get(name, 0)
+        if actual < minimum:
+            problems.append(
+                f"counter {name}={actual}, expected >= {minimum}"
+            )
+
+    expect_counter("transversal.essential_committed", 1)
+    expect_counter("transversal.vertices_merged", 1)
+    expect_counter("transversal.components", 1)
+    expect_counter("lhs.candidates_generated", 1)
+
+    if not reduce_spans:
+        problems.append(
+            "no transversal.reduce span — the reduction pass never ran "
+            "(was the run made with --transversal kernel?)"
+        )
+    else:
+        attrs = [span.get("attrs", {}) for span in reduce_spans]
+        if not any(a.get("essential", 0) >= 1 for a in attrs):
+            problems.append(
+                "no transversal.reduce span recorded an essential commit"
+            )
+        if not any(a.get("merged", 0) >= 1 for a in attrs):
+            problems.append(
+                "no transversal.reduce span recorded a vertex merge"
+            )
+    return problems
+
+
+def main(argv) -> int:
+    if len(argv) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = Path(argv[0])
+    if not path.is_file():
+        print(f"{path}: no such file", file=sys.stderr)
+        return 2
+    problems = check(*load(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"transversal smoke OK ({path.name})")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -157,6 +157,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="memory threshold for the couples algorithm",
     )
     discover.add_argument(
+        "--transversal",
+        choices=("kernel", "vectorized", "levelwise", "berge", "dfs"),
+        default="kernel",
+        help="transversal algorithm for the LEFT_HAND_SIDE phase "
+             "(kernel = reductions + incremental coverage, the default; "
+             "vectorized = kernel with the NumPy batch backend; "
+             "levelwise = the paper's Algorithm 5; berge/dfs = oracles)",
+    )
+    discover.add_argument(
         "--jobs", "-j", type=int, default=1, metavar="N",
         help="worker processes for the sharded execution layer "
              "(1 = serial, 0 = all cores; output is identical at any N)",
@@ -334,6 +343,7 @@ def _run_discover(args: argparse.Namespace, tracer, metrics,
     miner = DepMiner(
         agree_algorithm=args.algorithm,
         max_couples=args.max_couples,
+        transversal_algorithm=args.transversal,
         build_armstrong="real-world" if args.armstrong else "none",
         nulls_equal=not args.sql_nulls,
         max_lhs_size=args.max_lhs,
@@ -397,7 +407,8 @@ def _run_discover(args: argparse.Namespace, tracer, metrics,
     _finish_obs(
         args, result.trace, metrics,
         meta={"command": "discover", "input": args.csv,
-              "algorithm": args.algorithm, "jobs": args.jobs,
+              "algorithm": args.algorithm, "transversal": args.transversal,
+              "jobs": args.jobs,
               "cache_dir": args.cache_dir,
               "appended": list(args.append_paths or ())},
     )

@@ -330,7 +330,15 @@ def agree_sets(spdb: StrippedPartitionDatabase, algorithm: str = "couples",
             raise ReproError(
                 "max_couples only applies to the 'couples' algorithm"
             )
-        from repro.core.agree_fast import agree_sets_vectorized
+        try:
+            from repro.core.agree_fast import agree_sets_vectorized
+        except ImportError as error:
+            raise ReproError(
+                "agree_algorithm='vectorized' needs NumPy, which is not "
+                "installed; run `pip install 'repro[fast]'` (or plain "
+                "`pip install numpy`), or choose the pure-Python "
+                "'couples'/'identifiers' algorithms"
+            ) from error
 
         return agree_sets_vectorized(
             spdb, mc=mc, stats=stats, metrics=metrics, progress=progress

@@ -148,9 +148,18 @@ class DepMiner:
     max_couples:
         Memory threshold for the couples algorithm (chunked processing);
         ``None`` keeps every couple in memory.
-    transversal_method:
-        ``"levelwise"`` (Algorithm 5, the default), ``"berge"``
-        (sequential baseline) or ``"dfs"`` (FastFDs-style search).
+    transversal_algorithm:
+        ``"kernel"`` (the default: the reduction + incremental-coverage
+        kernel of :mod:`repro.hypergraph.kernel`), ``"vectorized"`` (the
+        same kernel with the NumPy lane-packed batch backend, falling
+        back to the pure kernel when NumPy is missing — install the
+        ``repro[fast]`` extra), ``"levelwise"`` (the paper's Algorithm 5
+        verbatim — pick this to reproduce the paper's exact search),
+        ``"berge"`` (sequential baseline) or ``"dfs"`` (FastFDs-style
+        search).  Every algorithm produces bit-for-bit the same FD
+        cover; they differ only in speed.  ``transversal_method`` is the
+        pre-kernel name of the same option, kept as an alias (passing
+        both with different values is an error).
     build_armstrong:
         Whether step 5 runs.  ``"real-world"`` (default) builds the
         value-preserving relation when Proposition 1 allows it and falls
@@ -164,7 +173,8 @@ class DepMiner:
     max_lhs_size:
         Optional cap on the lhs size for very wide schemas; the output
         is then every minimal FD with at most that many lhs attributes
-        (sound but incomplete).  Levelwise method only.
+        (sound but incomplete).  Kernel, vectorized and levelwise
+        methods only.
     cache:
         Optional :class:`repro.cache.ArtifactStore`.  ``run`` then
         fingerprints the relation (column-wise, row-order-insensitive)
@@ -203,9 +213,14 @@ class DepMiner:
         with :class:`repro.obs.ProgressAborted`.
     """
 
+    #: The default transversal algorithm (the layered kernel; see
+    #: :mod:`repro.hypergraph.kernel` and ``docs/algorithms.md``).
+    DEFAULT_TRANSVERSAL = "kernel"
+
     def __init__(self, agree_algorithm: str = "couples",
                  max_couples: Optional[int] = None,
-                 transversal_method: str = "levelwise",
+                 transversal_method: Optional[str] = None,
+                 transversal_algorithm: Optional[str] = None,
                  build_armstrong: str = "real-world",
                  nulls_equal: bool = True,
                  max_lhs_size: Optional[int] = None,
@@ -220,9 +235,23 @@ class DepMiner:
                 f"build_armstrong must be 'real-world', 'classical', "
                 f"'none' or 'strict'; got {build_armstrong!r}"
             )
+        if (transversal_method is not None
+                and transversal_algorithm is not None
+                and transversal_method != transversal_algorithm):
+            raise ReproError(
+                f"transversal_method={transversal_method!r} and "
+                f"transversal_algorithm={transversal_algorithm!r} conflict; "
+                f"pass only one (they are aliases)"
+            )
         self.agree_algorithm = agree_algorithm
         self.max_couples = max_couples
-        self.transversal_method = transversal_method
+        # `transversal_method` is the historical name of the option and
+        # doubles as the attribute the cache fingerprint reads.
+        self.transversal_method = (
+            transversal_algorithm if transversal_algorithm is not None
+            else transversal_method if transversal_method is not None
+            else self.DEFAULT_TRANSVERSAL
+        )
         self.build_armstrong = build_armstrong
         self.nulls_equal = nulls_equal
         # Optional lhs-size cap for very wide schemas: the transversal
@@ -238,6 +267,11 @@ class DepMiner:
         #: The tracer of the most recent ``run``/``run_on_partitions``
         #: call.  Holds the partial span tree when a phase raised.
         self.last_trace: Optional[Tracer] = None
+
+    @property
+    def transversal_algorithm(self) -> str:
+        """The configured transversal algorithm (alias of the ctor option)."""
+        return self.transversal_method
 
     def _begin_trace(self) -> Tracer:
         tracer = self.tracer if self.tracer is not None else Tracer()
@@ -529,6 +563,7 @@ class DepMiner:
                     cmax, schema, method=self.transversal_method,
                     max_size=self.max_lhs_size,
                     metrics=metrics, progress=self.progress,
+                    tracer=tracer,
                 )
         logger.debug(
             "lhs families computed via %s (%.3fs)",

@@ -26,35 +26,47 @@ from repro.hypergraph.transversals import minimal_transversals
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.progress import ProgressCallback, emit_progress
 
-__all__ = ["left_hand_sides", "fd_output"]
+__all__ = ["left_hand_sides", "fd_output", "SIZE_BOUNDED_METHODS"]
+
+#: The transversal algorithms that honour ``max_size`` (levelwise
+#: truncation); Berge and the DFS enumerate complete families only.
+SIZE_BOUNDED_METHODS = ("levelwise", "kernel", "vectorized")
 
 
 def left_hand_sides(cmax: Dict[int, List[int]], schema: Schema,
                     method: str = "levelwise",
                     max_size: int = None,
                     metrics: Optional[MetricsRegistry] = None,
-                    progress: Optional[ProgressCallback] = None) -> Dict[int, List[int]]:
+                    progress: Optional[ProgressCallback] = None,
+                    tracer=None) -> Dict[int, List[int]]:
     """``lhs(dep(r), A)`` for every attribute, as bitmask lists.
 
     *cmax* maps each attribute index to the edges of ``cmax(dep(r), A)``;
-    *method* selects the transversal algorithm (``"levelwise"`` is the
+    *method* selects the transversal algorithm (``"kernel"`` is the
+    reduction + incremental-coverage kernel DepMiner defaults to,
+    ``"vectorized"`` its NumPy batch backend, ``"levelwise"`` the
     paper's Algorithm 5, ``"berge"`` the sequential baseline, ``"dfs"``
     the FastFDs-style search).  *max_size* bounds the lhs size and is
-    only supported by the levelwise method: the result is then every
-    minimal lhs of at most that many attributes (sound but incomplete —
-    the usual wide-schema trade-off).
+    only supported by the size-bounded methods
+    (:data:`SIZE_BOUNDED_METHODS`): the result is then every minimal lhs
+    of at most that many attributes (sound but incomplete — the usual
+    wide-schema trade-off).
 
     *metrics* receives ``transversal.level_size`` /
-    ``lhs.candidates_generated`` from the levelwise search; *progress*
+    ``lhs.candidates_generated`` from the levelwise searches (plus the
+    ``transversal.*`` reduction counters from the kernel); *progress*
     reports one ``"lhs.attributes"`` step per attribute (any method) and
-    per-level steps inside the levelwise search.
+    per-level steps inside the levelwise searches.  *tracer* optionally
+    wraps each attribute's kernel reduction in a ``transversal.reduce``
+    span (kernel/vectorized methods only).
     """
     width = len(schema)
-    if max_size is not None and method != "levelwise":
+    if max_size is not None and method not in SIZE_BOUNDED_METHODS:
         from repro.errors import ReproError
 
         raise ReproError(
-            "max_size is only supported by the levelwise method"
+            "max_size is only supported by the levelwise, kernel and "
+            "vectorized methods"
         )
     result: Dict[int, List[int]] = {}
     for done, (attribute, edges) in enumerate(cmax.items()):
@@ -69,6 +81,11 @@ def left_hand_sides(cmax: Dict[int, List[int]], schema: Schema,
                 edges, width, max_size=max_size,
                 metrics=metrics, progress=progress,
             )
+        elif method in ("kernel", "vectorized"):
+            result[attribute] = _kernel_lhs(
+                edges, width, attribute, method, max_size,
+                metrics, progress, tracer,
+            )
         else:
             result[attribute] = minimal_transversals(
                 edges, width, method=method
@@ -76,6 +93,18 @@ def left_hand_sides(cmax: Dict[int, List[int]], schema: Schema,
     if progress is not None and cmax:
         emit_progress(progress, "lhs.attributes", len(cmax), len(cmax))
     return result
+
+
+def _kernel_lhs(edges: List[int], width: int, attribute: int, method: str,
+                max_size, metrics, progress, tracer) -> List[int]:
+    """One attribute's transversal search through the layered kernel."""
+    from repro.hypergraph.kernel import minimal_transversals_kernel
+
+    backend = "vectorized" if method == "vectorized" else "python"
+    return minimal_transversals_kernel(
+        edges, width, max_size=max_size, metrics=metrics,
+        progress=progress, backend=backend, tracer=tracer,
+    )
 
 
 def fd_output(lhs_sets: Dict[int, List[int]], schema: Schema) -> List[FD]:

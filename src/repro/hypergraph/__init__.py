@@ -6,6 +6,11 @@ from repro.hypergraph.hypergraph import (
     minimize_sets,
 )
 from repro.hypergraph.dfs import minimal_transversals_dfs
+from repro.hypergraph.kernel import (
+    HypergraphReduction,
+    minimal_transversals_kernel,
+    reduce_hypergraph,
+)
 from repro.hypergraph.transversals import (
     apriori_gen,
     minimal_transversals,
@@ -21,5 +26,8 @@ __all__ = [
     "minimal_transversals_levelwise",
     "minimal_transversals_berge",
     "minimal_transversals_dfs",
+    "minimal_transversals_kernel",
+    "reduce_hypergraph",
+    "HypergraphReduction",
     "apriori_gen",
 ]

@@ -1,6 +1,8 @@
 """Minimal transversals of simple hypergraphs.
 
-Two algorithms:
+The legacy algorithms (kept as differential oracles and ablation
+baselines for the layered kernel in :mod:`repro.hypergraph.kernel`,
+which is the production default of :class:`~repro.core.depminer.DepMiner`):
 
 - :func:`minimal_transversals_levelwise` — the paper's Algorithm 5
   (``LEFT_HAND_SIDE``), a levelwise search that adapts the Apriori-gen
@@ -106,6 +108,12 @@ def minimal_transversals_levelwise(edges: Sequence[int],
     level: List[Tuple[int, ...]] = [
         (vertex,) for vertex in iter_bits(support)
     ]
+    # Vertex masks are carried alongside the sorted index tuples: a
+    # child's mask is its join parent's mask OR the new vertex's bit,
+    # never rebuilt with a per-vertex shift loop inside the level scan.
+    masks: Dict[Tuple[int, ...], int] = {
+        candidate: 1 << candidate[0] for candidate in level
+    }
     found: List[int] = []
     size = 1
     candidates_seen = 0
@@ -118,9 +126,7 @@ def minimal_transversals_levelwise(edges: Sequence[int],
             emit_progress(progress, "transversal.candidates", candidates_seen)
         survivors: List[Tuple[int, ...]] = []
         for candidate in level:
-            mask = 0
-            for vertex in candidate:
-                mask |= 1 << vertex
+            mask = masks[candidate]
             if all(mask & edge for edge in edges):
                 found.append(mask)
             else:
@@ -128,6 +134,12 @@ def minimal_transversals_levelwise(edges: Sequence[int],
         if max_size is not None and size >= max_size:
             break
         level = apriori_gen(survivors)
+        # Apriori-gen's subset prune guarantees candidate[:-1] survived
+        # the previous level, so its mask is present to extend.
+        masks = {
+            candidate: masks[candidate[:-1]] | (1 << candidate[-1])
+            for candidate in level
+        }
         size += 1
     return sorted(found)
 
@@ -162,10 +174,25 @@ def _dfs(edges: Sequence[int], num_vertices: int) -> List[int]:
     return minimal_transversals_dfs(edges, num_vertices)
 
 
+def _kernel(edges: Sequence[int], num_vertices: int) -> List[int]:
+    from repro.hypergraph.kernel import minimal_transversals_kernel
+
+    return minimal_transversals_kernel(edges, num_vertices)
+
+
+def _kernel_vectorized(edges: Sequence[int], num_vertices: int) -> List[int]:
+    from repro.hypergraph.kernel import minimal_transversals_kernel
+
+    return minimal_transversals_kernel(edges, num_vertices,
+                                       backend="vectorized")
+
+
 _METHODS = {
     "levelwise": minimal_transversals_levelwise,
     "berge": minimal_transversals_berge,
     "dfs": _dfs,
+    "kernel": _kernel,
+    "vectorized": _kernel_vectorized,
 }
 
 
@@ -174,8 +201,12 @@ def minimal_transversals(edges: Sequence[int], num_vertices: int,
     """Dispatch to a minimal-transversal algorithm by name.
 
     *method* is ``"levelwise"`` (the paper's Algorithm 5, the default),
-    ``"berge"`` (sequential baseline) or ``"dfs"`` (the FastFDs-style
-    ordered depth-first search — the paper's follow-up work).
+    ``"berge"`` (sequential baseline), ``"dfs"`` (the FastFDs-style
+    ordered depth-first search — the paper's follow-up work),
+    ``"kernel"`` (the reduction + incremental-coverage kernel of
+    :mod:`repro.hypergraph.kernel`) or ``"vectorized"`` (the same kernel
+    with the NumPy lane-packed batch backend; falls back to the pure
+    kernel when NumPy is missing).
     """
     try:
         algorithm = _METHODS[method]

@@ -81,6 +81,7 @@ def _lhs_attribute_shard(shared, payload, metrics):
     search, so its candidate counters and ``transversal.level_size``
     histogram flow back to the parent exactly as in a serial run.
     """
+    from repro.hypergraph.kernel import minimal_transversals_kernel
     from repro.hypergraph.transversals import (
         minimal_transversals,
         minimal_transversals_levelwise,
@@ -90,14 +91,22 @@ def _lhs_attribute_shard(shared, payload, metrics):
     agree: List[int] = shared["agree"]
     universe: int = shared["universe"]
     width: int = shared["width"]
+    method: str = shared["method"]
     max_masks = maximal_sets_for_attribute(agree, attribute)
     cmax = sorted(universe & ~mask for mask in max_masks)
-    if shared["method"] == "levelwise":
+    if method == "levelwise":
         lhs = minimal_transversals_levelwise(
             cmax, width, max_size=shared["max_size"], metrics=metrics
         )
+    elif method in ("kernel", "vectorized"):
+        # The kernel's reduction counters flow back to the parent via
+        # the shard-local registry, exactly like the levelwise series.
+        lhs = minimal_transversals_kernel(
+            cmax, width, max_size=shared["max_size"], metrics=metrics,
+            backend="vectorized" if method == "vectorized" else "python",
+        )
     else:
-        lhs = minimal_transversals(cmax, width, method=shared["method"])
+        lhs = minimal_transversals(cmax, width, method=method)
     return attribute, max_masks, cmax, lhs
 
 
@@ -180,8 +189,13 @@ def parallel_cmax_lhs(agree, schema: Schema,
     phases, reassembled in schema order regardless of which worker
     finished first.
     """
-    if max_size is not None and method != "levelwise":
-        raise ReproError("max_size is only supported by the levelwise method")
+    if max_size is not None and method not in (
+        "levelwise", "kernel", "vectorized"
+    ):
+        raise ReproError(
+            "max_size is only supported by the levelwise, kernel and "
+            "vectorized methods"
+        )
     shared = {
         "agree": sorted(agree),
         "width": len(schema),
