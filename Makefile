@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test test-parallel bench bench-cache bench-transversal \
-	cache-smoke trace-smoke transversal-smoke faults-smoke experiments \
-	experiments-paper examples clean
+	bench-regress cache-smoke trace-smoke transversal-smoke faults-smoke \
+	telemetry-smoke experiments experiments-paper examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -75,6 +75,38 @@ cache-smoke:
 	$(PYTHON) scripts/check_trace.py .cache-smoke/cold.jsonl \
 		.cache-smoke/warm.jsonl .cache-smoke/append.jsonl
 
+# The noise-aware perf-regression gate: re-runs the obs / cache /
+# transversal bench suites against the committed BENCH_*.json baselines
+# (speedup ratios, overhead budgets, per-phase fractions) and drops one
+# RunManifest per suite into results/telemetry/.  Fails with REGRESSED
+# lines naming the phase or ratio that moved.
+bench-regress:
+	$(PYTHON) scripts/check_regression.py
+
+# End-to-end telemetry smoke: one --telemetry discover run (manifest +
+# trace), then exercise every `repro trace` subcommand on the outputs
+# and validate both artifacts.
+telemetry-smoke:
+	mkdir -p .telemetry-smoke results/telemetry
+	$(PYTHON) -m repro generate -a 6 -t 300 -c 0.4 --seed 0 \
+		-o .telemetry-smoke/data.csv
+	$(PYTHON) -m repro discover .telemetry-smoke/data.csv \
+		--telemetry results/telemetry/smoke.json \
+		--trace .telemetry-smoke/discover.jsonl --metrics > /dev/null
+	$(PYTHON) -m repro trace summary results/telemetry/smoke.json
+	$(PYTHON) -m repro trace critical-path .telemetry-smoke/discover.jsonl
+	$(PYTHON) -m repro trace diff .telemetry-smoke/discover.jsonl \
+		results/telemetry/smoke.json > /dev/null
+	$(PYTHON) -m repro trace export-chrome results/telemetry/smoke.json \
+		-o .telemetry-smoke/chrome-trace.json
+	$(PYTHON) scripts/check_trace.py .telemetry-smoke/discover.jsonl
+	$(PYTHON) -c "import json, sys; \
+		sys.path.insert(0, 'src'); \
+		from repro.obs import validate_manifest; \
+		problems = validate_manifest(json.load(open( \
+			'results/telemetry/smoke.json'))); \
+		sys.exit('\n'.join(problems) if problems else 0)"
+
 # End-to-end observability smoke: trace a discover run and a tiny bench
 # grid, then validate both JSONL files against the repro-trace schema.
 trace-smoke:
@@ -128,5 +160,5 @@ examples:
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks \
 		.trace-smoke .trace-parallel .cache-smoke .faults-smoke \
-		.transversal-smoke
+		.transversal-smoke .telemetry-smoke
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -56,8 +56,10 @@ MIN_VECTORIZED_SPEEDUP = 3.0
 
 #: The end-to-end cover-equivalence sweep (smaller: it runs the full
 #: pipeline once per algorithm per jobs value).
-COVER_ATTRS = 12
-COVER_ROWS = 400
+COVER_ATTRS = int(os.environ.get("REPRO_BENCH_TRANSVERSAL_COVER_ATTRS",
+                                 "12"))
+COVER_ROWS = int(os.environ.get("REPRO_BENCH_TRANSVERSAL_COVER_ROWS",
+                                "400"))
 COVER_ALGORITHMS = ("kernel", "vectorized", "levelwise", "berge", "dfs")
 
 

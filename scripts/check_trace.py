@@ -6,10 +6,14 @@ Usage::
     python scripts/check_trace.py TRACE.jsonl [TRACE2.jsonl ...]
 
 Checks each file against the ``repro-trace`` schema
-(:func:`repro.obs.validate_records`) plus a few whole-file sanity
-conditions the per-record validator cannot see: at least one span, a
-meta header carrying the producing command, and parents exported before
-their children (tree order).  Exits non-zero with one line per problem.
+(:func:`repro.obs.validate_records`) plus the whole-file span-tree
+invariants the per-record validator cannot see: at least one span, a
+meta header carrying the producing command, parents exported before
+their children (tree order), no orphaned parent references, every span
+closed (error spans included), child depth one below its parent, and
+child intervals contained in their parent's within a small tolerance
+(back-dated worker spans relayed via ``Tracer.record`` may overhang by
+scheduling jitter).  Exits non-zero with one line per problem.
 """
 
 from __future__ import annotations
@@ -43,6 +47,7 @@ def check_file(path: Path) -> list:
     if not spans:
         problems.append("trace contains no spans")
     seen = set()
+    by_id = {}
     for span in spans:
         parent = span.get("parent_id")
         if parent is not None and parent not in seen:
@@ -51,6 +56,59 @@ def check_file(path: Path) -> list:
                 f"before its parent {parent}"
             )
         seen.add(span.get("id"))
+        by_id[span.get("id")] = span
+    problems.extend(check_span_tree(spans, by_id))
+    return problems
+
+
+#: Child spans relayed from worker processes (``Tracer.record``) are
+#: back-dated onto the parent clock; allow this much overhang.
+CONTAINMENT_EPS = 5e-3
+
+
+def check_span_tree(spans: list, by_id: dict) -> list:
+    """Structural invariants of the whole span tree.
+
+    - every span is *closed* (``end`` present, ``end >= start``) — an
+      error span that never popped would surface here;
+    - a child's ``depth`` is exactly one below its parent's;
+    - a child's ``[start, end]`` interval lies inside its parent's,
+      within :data:`CONTAINMENT_EPS`.
+    """
+    problems = []
+    for span in spans:
+        label = f"span {span.get('id')} ({span.get('name')!r})"
+        start, end = span.get("start"), span.get("end")
+        if start is None or end is None:
+            problems.append(f"{label} was never closed "
+                            f"(status {span.get('status')!r})")
+            continue
+        if end < start:
+            problems.append(
+                f"{label} ends before it starts ({end} < {start})"
+            )
+        parent = by_id.get(span.get("parent_id"))
+        if parent is None:
+            if span.get("parent_id") is None and span.get("depth") != 0:
+                problems.append(
+                    f"{label} is a root at depth {span.get('depth')}"
+                )
+            continue
+        if span.get("depth") != parent.get("depth", 0) + 1:
+            problems.append(
+                f"{label} has depth {span.get('depth')} under parent "
+                f"{parent.get('id')} at depth {parent.get('depth')}"
+            )
+        if parent.get("start") is not None and \
+                start < parent["start"] - CONTAINMENT_EPS:
+            problems.append(
+                f"{label} starts before its parent {parent.get('id')}"
+            )
+        if parent.get("end") is not None and \
+                end > parent["end"] + CONTAINMENT_EPS:
+            problems.append(
+                f"{label} ends after its parent {parent.get('id')}"
+            )
     return problems
 
 

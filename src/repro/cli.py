@@ -9,6 +9,8 @@ Commands
 ``sample``     Exact FD discovery via guided sampling (large files).
 ``generate``   Emit a synthetic benchmark relation as CSV.
 ``bench``      Run one of the paper's experiments (table3..fig7).
+``trace``      Analyse traces/manifests: summary, diff, critical-path,
+               export-chrome.
 ``example``    Run the paper's worked example end-to-end.
 
 Every command prints to stdout and exits non-zero on library errors with
@@ -65,18 +67,40 @@ def _add_obs_arguments(subparser: argparse.ArgumentParser) -> None:
              "PATH for this run — chaos-test the reliability layer "
              "(see docs/reliability.md)",
     )
+    subparser.add_argument(
+        "--telemetry", dest="telemetry_path", nargs="?",
+        const="results/telemetry", default=None, metavar="DIR|FILE.json",
+        help="write a versioned run manifest — span tree, metrics with "
+             "p50/p95/p99, phase timings, environment, relation "
+             "fingerprint, RSS/memory peaks — to this directory (default "
+             "results/telemetry) or exact .json file; implies tracing and "
+             "metrics collection plus a background resource sampler "
+             "(see docs/observability.md)",
+    )
 
 
 def _obs_hooks(args: argparse.Namespace):
-    """(tracer, metrics, progress) per the command's observability flags."""
+    """(tracer, metrics, progress, sampler) per the observability flags.
+
+    ``--telemetry`` implies tracing and metrics and starts the
+    background resource sampler right away; ``_finish_obs`` stops it
+    and writes the manifest.
+    """
     fault_plan = getattr(args, "fault_plan_path", None)
-    tracer = Tracer() if args.trace_path else None
+    telemetry = getattr(args, "telemetry_path", None)
+    tracer = Tracer() if (args.trace_path or telemetry) else None
     metrics = (
         MetricsRegistry()
-        if (args.trace_path or args.metrics or fault_plan) else None
+        if (args.trace_path or args.metrics or fault_plan or telemetry)
+        else None
     )
     progress = ConsoleProgress() if args.progress else None
-    return tracer, metrics, progress
+    sampler = None
+    if telemetry:
+        from repro.obs import ResourceSampler
+
+        sampler = ResourceSampler(tracer=tracer).start()
+    return tracer, metrics, progress, sampler
 
 
 def _fault_context(args: argparse.Namespace, metrics):
@@ -111,8 +135,25 @@ def _report_injections(plan) -> None:
     )
 
 
-def _finish_obs(args: argparse.Namespace, tracer, metrics, meta) -> None:
-    """Export the trace and/or print the metrics table, as requested."""
+def _telemetry_destination(target: str, command: str):
+    """Resolve ``--telemetry`` (a dir or an exact .json path) to a file."""
+    import time
+    from pathlib import Path
+
+    path = Path(target)
+    if path.suffix.lower() == ".json":
+        return path
+    stamp = time.strftime("%Y%m%dT%H%M%S")
+    import os
+
+    return path / f"{command}-{stamp}-{os.getpid()}.json"
+
+
+def _finish_obs(args: argparse.Namespace, tracer, metrics, meta,
+                sampler=None, relation_info=None) -> None:
+    """Export trace/manifest and/or print the metrics table, as requested."""
+    if sampler is not None:
+        sampler.stop()
     if args.trace_path:
         try:
             export_jsonl(args.trace_path, tracer=tracer, metrics=metrics,
@@ -122,6 +163,23 @@ def _finish_obs(args: argparse.Namespace, tracer, metrics, meta) -> None:
                 f"cannot write trace to {args.trace_path}: {error}"
             ) from error
         print(f"wrote trace to {args.trace_path}", file=sys.stderr)
+    telemetry = getattr(args, "telemetry_path", None)
+    if telemetry:
+        from repro.obs import RunManifest
+
+        manifest = RunManifest.build(
+            command=meta.get("command", args.command),
+            tracer=tracer, metrics=metrics, resources=sampler,
+            relation=relation_info, meta=meta,
+        )
+        destination = _telemetry_destination(telemetry, manifest.command)
+        try:
+            manifest.write(destination)
+        except OSError as error:
+            raise ReproError(
+                f"cannot write run manifest to {destination}: {error}"
+            ) from error
+        print(f"wrote run manifest to {destination}", file=sys.stderr)
     if args.metrics and metrics is not None:
         print()
         print(metrics.to_markdown())
@@ -318,6 +376,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="only print INDs whose rhs is unique (FK candidates)",
     )
 
+    trace = subparsers.add_parser(
+        "trace", help="analyse trace JSONL files and run manifests "
+                      "(summary, diff, critical-path, export-chrome)",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_summary = trace_sub.add_parser(
+        "summary", help="phase breakdown, hot spans and critical path "
+                        "of one trace or manifest",
+    )
+    trace_summary.add_argument("path", help="trace .jsonl or manifest .json")
+    trace_summary.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the summary as JSON instead of text",
+    )
+
+    trace_diff = trace_sub.add_parser(
+        "diff", help="compare phase timings of two traces/manifests "
+                     "(old vs new)",
+    )
+    trace_diff.add_argument("old", help="old trace .jsonl or manifest .json")
+    trace_diff.add_argument("new", help="new trace .jsonl or manifest .json")
+    trace_diff.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the diff as JSON instead of a table",
+    )
+
+    trace_critical = trace_sub.add_parser(
+        "critical-path", help="the heaviest root-to-leaf span chain, "
+                              "with per-hop self time",
+    )
+    trace_critical.add_argument(
+        "path", help="trace .jsonl or manifest .json"
+    )
+    trace_critical.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the path as JSON instead of text",
+    )
+
+    trace_chrome = trace_sub.add_parser(
+        "export-chrome", help="convert a trace/manifest to Chrome "
+                              "trace-event JSON (Perfetto-loadable)",
+    )
+    trace_chrome.add_argument("path", help="trace .jsonl or manifest .json")
+    trace_chrome.add_argument(
+        "--output", "-o", required=True, metavar="OUT.json",
+        help="where to write the Chrome trace-event file",
+    )
+
     subparsers.add_parser(
         "example", help="run the paper's worked example (section 2-4)"
     )
@@ -325,15 +432,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_discover(args: argparse.Namespace) -> int:
-    tracer, metrics, progress = _obs_hooks(args)
+    tracer, metrics, progress, sampler = _obs_hooks(args)
     with _fault_context(args, metrics) as fault_plan:
-        result = _run_discover(args, tracer, metrics, progress)
+        result = _run_discover(args, tracer, metrics, progress, sampler)
     _report_injections(fault_plan)
     return result
 
 
 def _run_discover(args: argparse.Namespace, tracer, metrics,
-                  progress) -> int:
+                  progress, sampler=None) -> int:
     relation = relation_from_csv(args.csv)
     cache = None
     if args.cache_dir:
@@ -404,6 +511,13 @@ def _run_discover(args: argparse.Namespace, tracer, metrics,
 
         Path(args.json_path).write_text(fds_to_json(result.fds))
         print(f"wrote JSON cover to {args.json_path}", file=sys.stderr)
+    relation_info = None
+    if getattr(args, "telemetry_path", None):
+        from repro.obs import relation_summary
+
+        relation_info = relation_summary(
+            relation, nulls_equal=not args.sql_nulls, source=args.csv
+        )
     _finish_obs(
         args, result.trace, metrics,
         meta={"command": "discover", "input": args.csv,
@@ -411,6 +525,7 @@ def _run_discover(args: argparse.Namespace, tracer, metrics,
               "jobs": args.jobs,
               "cache_dir": args.cache_dir,
               "appended": list(args.append_paths or ())},
+        sampler=sampler, relation_info=relation_info,
     )
     return 0
 
@@ -467,7 +582,7 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 def _command_bench(args: argparse.Namespace) -> int:
     progress = None if args.quiet else lambda line: print(line, file=sys.stderr)
-    tracer, metrics, miner_progress = _obs_hooks(args)
+    tracer, metrics, miner_progress, sampler = _obs_hooks(args)
     if args.isolated and (tracer or metrics or miner_progress):
         print(
             "note: --isolated cells run in forked subprocesses; their "
@@ -488,8 +603,69 @@ def _command_bench(args: argparse.Namespace) -> int:
         args, tracer, metrics,
         meta={"command": "bench", "experiment": args.experiment,
               "scale": args.scale, "algorithms": list(args.algorithms)},
+        sampler=sampler,
     )
     return 0
+
+
+def _load_trace_file(path_text: str):
+    from repro.obs import load_trace
+
+    try:
+        return load_trace(path_text)
+    except OSError as error:
+        raise ReproError(f"cannot read trace {path_text}: {error}") from error
+    except ValueError as error:
+        raise ReproError(
+            f"{path_text} is not a valid trace/manifest: {error}"
+        ) from error
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        critical_path,
+        diff_traces,
+        export_chrome_trace,
+        render_diff,
+        render_summary,
+        summarize_trace,
+    )
+    from repro.obs.analyze import render_critical_path
+
+    if args.trace_command == "summary":
+        loaded = _load_trace_file(args.path)
+        summary = summarize_trace(loaded["spans"], loaded.get("phases"))
+        if args.as_json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(render_summary(summary, loaded.get("meta")))
+        return 0
+    if args.trace_command == "critical-path":
+        loaded = _load_trace_file(args.path)
+        path = critical_path(loaded["spans"])
+        if args.as_json:
+            print(json.dumps(path, indent=2, sort_keys=True))
+        else:
+            print(render_critical_path(path))
+        return 0
+    if args.trace_command == "diff":
+        old = _load_trace_file(args.old)
+        new = _load_trace_file(args.new)
+        diff = diff_traces(old, new)
+        if args.as_json:
+            print(json.dumps(diff, indent=2, sort_keys=True))
+        else:
+            print(render_diff(diff))
+        return 0
+    if args.trace_command == "export-chrome":
+        loaded = _load_trace_file(args.path)
+        export_chrome_trace(args.output, loaded["spans"],
+                            meta=loaded.get("meta"))
+        print(f"wrote Chrome trace to {args.output}", file=sys.stderr)
+        return 0
+    raise ReproError(f"unknown trace subcommand {args.trace_command!r}")
 
 
 def _command_example(_args: argparse.Namespace) -> int:
@@ -523,7 +699,7 @@ def _command_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     name = Path(args.csv).stem
-    tracer, metrics, progress = _obs_hooks(args)
+    tracer, metrics, progress, sampler = _obs_hooks(args)
     with _fault_context(args, metrics) as fault_plan:
         relation = relation_from_csv(args.csv)
         miner = DepMiner(tracer=tracer, metrics=metrics, progress=progress)
@@ -539,6 +715,7 @@ def _command_report(args: argparse.Namespace) -> int:
     _finish_obs(
         args, miner.last_trace, metrics,
         meta={"command": "report", "input": args.csv},
+        sampler=sampler,
     )
     return 0
 
@@ -606,6 +783,7 @@ _COMMANDS = {
     "diff": _command_diff,
     "keys": _command_keys,
     "inds": _command_inds,
+    "trace": _command_trace,
     "example": _command_example,
 }
 

@@ -15,6 +15,14 @@ harness share:
 - :mod:`repro.obs.exporters` — JSONL trace dump, flame-style text and
   markdown renderers, plus the schema validator behind
   ``make trace-smoke``;
+- :mod:`repro.obs.manifest` — the versioned :class:`RunManifest`
+  unifying span tree, metrics, phase timings, environment capture,
+  relation fingerprint and resource summary into one JSON artifact;
+- :mod:`repro.obs.resources` — the background-thread
+  :class:`ResourceSampler` (RSS + ``tracemalloc``, per-phase peaks);
+- :mod:`repro.obs.analyze` — trace summaries, critical-path
+  extraction, cross-run aggregation, trace diffing and the Chrome
+  trace-event (Perfetto) exporter behind ``repro trace ...``;
 - :mod:`repro.obs.logsetup` — the ``repro.<component>`` logger
   hierarchy (:func:`get_logger`) and the CLI's ``-v``-driven
   :func:`configure_logging`.
@@ -39,7 +47,27 @@ from repro.obs.exporters import (
     trace_records,
     validate_records,
 )
+from repro.obs.analyze import (
+    aggregate_phases,
+    chrome_trace_events,
+    critical_path,
+    diff_traces,
+    export_chrome_trace,
+    load_trace,
+    render_diff,
+    render_summary,
+    summarize_trace,
+)
 from repro.obs.logsetup import configure_logging, get_logger, verbosity_to_level
+from repro.obs.manifest import (
+    MANIFEST_FORMAT,
+    MANIFEST_VERSION,
+    RunManifest,
+    capture_environment,
+    group_metrics,
+    relation_summary,
+    validate_manifest,
+)
 from repro.obs.metrics import NULL_METRICS, HistogramSummary, MetricsRegistry
 from repro.obs.progress import (
     ConsoleProgress,
@@ -47,6 +75,7 @@ from repro.obs.progress import (
     ProgressCallback,
     emit_progress,
 )
+from repro.obs.resources import ResourceSampler, rss_bytes
 from repro.obs.tracer import NULL_TRACER, Span, Tracer
 
 __all__ = [
@@ -73,6 +102,27 @@ __all__ = [
     "validate_records",
     "flame_text",
     "spans_markdown",
+    # manifest
+    "MANIFEST_FORMAT",
+    "MANIFEST_VERSION",
+    "RunManifest",
+    "capture_environment",
+    "group_metrics",
+    "relation_summary",
+    "validate_manifest",
+    # resources
+    "ResourceSampler",
+    "rss_bytes",
+    # analysis
+    "load_trace",
+    "summarize_trace",
+    "render_summary",
+    "critical_path",
+    "aggregate_phases",
+    "diff_traces",
+    "render_diff",
+    "chrome_trace_events",
+    "export_chrome_trace",
     # logging
     "get_logger",
     "configure_logging",

@@ -13,12 +13,15 @@ Three instrument kinds:
 - **counter** — monotonically increasing total (:meth:`MetricsRegistry.inc`);
 - **gauge** — last-written value (:meth:`MetricsRegistry.gauge`);
 - **histogram** — running count/sum/min/max of observed values
-  (:meth:`MetricsRegistry.observe`), enough for the level-size style
-  distributions the paper's figures discuss without storing samples.
+  (:meth:`MetricsRegistry.observe`) plus a fixed-size log-scale bucket
+  sketch from which streaming **p50/p95/p99** estimates are derived —
+  enough for the level-size style distributions the paper's figures
+  discuss without ever storing raw samples.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Any, Dict, List, Optional, Union
 
@@ -26,36 +29,114 @@ __all__ = ["HistogramSummary", "MetricsRegistry", "NULL_METRICS"]
 
 Number = Union[int, float]
 
+#: Geometric growth factor of the quantile-sketch buckets.  Bucket ``i``
+#: covers ``[BASE**i, BASE**(i+1))``; reporting a bucket's geometric
+#: midpoint bounds the relative quantile error at ``sqrt(BASE) - 1``
+#: (~7%), with memory proportional to the observed dynamic range only.
+_QUANTILE_BASE = 1.15
+_LOG_BASE = math.log(_QUANTILE_BASE)
+#: The quantiles every export surfaces.
+QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _bucket_index(value: Number) -> int:
+    return int(math.floor(math.log(value) / _LOG_BASE))
+
 
 class HistogramSummary:
-    """Running summary of observed values (no stored samples)."""
+    """Running summary of observed values (no stored samples).
 
-    __slots__ = ("count", "total", "min", "max")
+    Alongside count/sum/min/max, a log-scale bucket sketch supports
+    :meth:`quantile` estimates (p50/p95/p99 in every export) in O(log
+    dynamic-range) memory.  Values ``<= 0`` (rare for the cardinality
+    metrics this registry holds) are tracked in a dedicated underflow
+    bucket and attributed to the recorded minimum.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets", "nonpositive")
 
     def __init__(self):
         self.count = 0
         self.total: Number = 0
         self.min: Optional[Number] = None
         self.max: Optional[Number] = None
+        self.buckets: Dict[int, int] = {}
+        self.nonpositive = 0
 
     def observe(self, value: Number) -> None:
         self.count += 1
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        if value > 0:
+            index = _bucket_index(value)
+            self.buckets[index] = self.buckets.get(index, 0) + 1
+        else:
+            self.nonpositive += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def to_dict(self) -> Dict[str, Number]:
-        return {
+    def quantile(self, q: float) -> Optional[Number]:
+        """Streaming estimate of the *q*-quantile (``0 < q <= 1``).
+
+        Exact when every observation landed in one bucket (or all were
+        equal); otherwise the geometric midpoint of the bucket holding
+        the target rank, clamped to the true ``[min, max]``.
+        """
+        if not self.count:
+            return None
+        if self.min == self.max:
+            return self.min
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = self.nonpositive
+        if rank <= cumulative:
+            return self.min
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if rank <= cumulative:
+                estimate = _QUANTILE_BASE ** (index + 0.5)
+                return min(max(estimate, self.min), self.max)
+        return self.max
+
+    def merge(self, summary: Dict[str, Any]) -> None:
+        """Fold a serialised :meth:`to_dict` into this summary."""
+        if not summary.get("count"):
+            return
+        self.count += summary["count"]
+        self.total += summary["sum"]
+        self.min = (
+            summary["min"] if self.min is None
+            else min(self.min, summary["min"])
+        )
+        self.max = (
+            summary["max"] if self.max is None
+            else max(self.max, summary["max"])
+        )
+        self.nonpositive += summary.get("nonpositive", 0)
+        for key, count in (summary.get("buckets") or {}).items():
+            index = int(key)
+            self.buckets[index] = self.buckets.get(index, 0) + count
+
+    def to_dict(self) -> Dict[str, Any]:
+        quantiles = {
+            f"p{int(q * 100)}": self.quantile(q) for q in QUANTILES
+        }
+        out: Dict[str, Any] = {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
         }
+        out.update(quantiles)
+        # JSON object keys must be strings; merge() accepts either.
+        out["buckets"] = {
+            str(index): self.buckets[index] for index in sorted(self.buckets)
+        }
+        out["nonpositive"] = self.nonpositive
+        return out
 
     def __repr__(self) -> str:
         return (
@@ -101,26 +182,20 @@ class MetricsRegistry:
             histogram.observe(value)
 
     def merge_histogram(self, name: str,
-                        summary: Dict[str, Number]) -> None:
+                        summary: Dict[str, Any]) -> None:
         """Fold a serialised summary (:meth:`HistogramSummary.to_dict`)
         into histogram *name* — how worker-process observations reach
-        the parent registry (see :mod:`repro.parallel`)."""
+        the parent registry (see :mod:`repro.parallel`).  Quantile
+        sketch buckets merge losslessly; summaries from older producers
+        without a ``buckets`` section still merge (their quantiles then
+        lean on min/max clamping alone)."""
         if not self.enabled or not summary.get("count"):
             return
         with self._lock:
             histogram = self.histograms.get(name)
             if histogram is None:
                 histogram = self.histograms[name] = HistogramSummary()
-            histogram.count += summary["count"]
-            histogram.total += summary["sum"]
-            histogram.min = (
-                summary["min"] if histogram.min is None
-                else min(histogram.min, summary["min"])
-            )
-            histogram.max = (
-                summary["max"] if histogram.max is None
-                else max(histogram.max, summary["max"])
-            )
+            histogram.merge(summary)
 
     # -- queries ------------------------------------------------------------
 
@@ -173,7 +248,9 @@ class MetricsRegistry:
                 value = (
                     f"count={value['count']}, sum={value['sum']}, "
                     f"min={value['min']}, max={value['max']}, "
-                    f"mean={value['mean']:.2f}"
+                    f"mean={value['mean']:.2f}, "
+                    f"p50={value['p50']:.2f}, p95={value['p95']:.2f}, "
+                    f"p99={value['p99']:.2f}"
                 )
             lines.append(f"| {record['name']} | {record['kind']} | {value} |")
         return "\n".join(lines)

@@ -153,6 +153,10 @@ class Tracer:
         self._local = threading.local()
         self._next_id = 0
         self._started_tracemalloc = False
+        # Innermost currently-open spans flagged phase=True, across all
+        # threads (phases are sequential in practice).  Read by the
+        # resource sampler thread for per-phase attribution.
+        self._phase_stack: List[str] = []
         if enabled and trace_memory:
             import tracemalloc
 
@@ -234,6 +238,9 @@ class Tracer:
         span.start = time.perf_counter()
         stack = self._stack()
         stack.append(span)
+        if span.attrs.get("phase"):
+            with self._lock:
+                self._phase_stack.append(span.name)
 
     def _pop(self, span: Span, exc: Optional[BaseException]) -> None:
         span.end = time.perf_counter()
@@ -253,6 +260,11 @@ class Tracer:
         elif span in stack:  # exotic unwinding: drop it wherever it is
             stack.remove(span)
         with self._lock:
+            if span.attrs.get("phase"):
+                for index in range(len(self._phase_stack) - 1, -1, -1):
+                    if self._phase_stack[index] == span.name:
+                        del self._phase_stack[index]
+                        break
             self.spans.append(span)
 
     def _stack(self) -> List[Span]:
@@ -268,6 +280,15 @@ class Tracer:
     def current_span(self) -> Optional[Span]:
         stack = self._stack()
         return stack[-1] if stack else None
+
+    @property
+    def active_phase(self) -> Optional[str]:
+        """Name of the innermost open ``phase=True`` span, from any
+        thread (``None`` outside phases).  This is what the resource
+        sampler (:mod:`repro.obs.resources`) reads to attribute memory
+        samples to pipeline phases."""
+        with self._lock:
+            return self._phase_stack[-1] if self._phase_stack else None
 
     def mark(self) -> int:
         """Index into the finished-span list; slice later with [mark:]."""

@@ -1,0 +1,216 @@
+"""Unit tests for :mod:`repro.obs.manifest` — the run-manifest layer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.relation import Relation, Schema
+from repro.obs import (
+    MANIFEST_FORMAT,
+    MANIFEST_VERSION,
+    NULL_TRACER,
+    MetricsRegistry,
+    RunManifest,
+    Tracer,
+    capture_environment,
+    group_metrics,
+    relation_summary,
+    validate_manifest,
+)
+
+
+def traced_pipeline() -> Tracer:
+    """A small span tree shaped like a miner run (3 phases, 1 child)."""
+    tracer = Tracer()
+    with tracer.span("run"):
+        with tracer.span("strip", phase=True):
+            pass
+        with tracer.span("agree_sets", phase=True):
+            with tracer.span("chunk"):
+                pass
+        with tracer.span("lhs", phase=True):
+            pass
+    return tracer
+
+
+class TestBuild:
+    def test_empty_trace(self):
+        manifest = RunManifest.build("discover", tracer=Tracer())
+        assert manifest.spans == []
+        assert manifest.phases == {}
+        assert manifest.status == "ok"
+        assert manifest.total_seconds == 0.0
+        assert validate_manifest(manifest.to_dict()) == []
+
+    def test_no_tracer_at_all(self):
+        manifest = RunManifest.build("bench")
+        assert manifest.spans == []
+        assert validate_manifest(manifest.to_dict()) == []
+
+    def test_disabled_tracer_yields_empty_sections(self):
+        manifest = RunManifest.build("discover", tracer=NULL_TRACER)
+        assert manifest.spans == []
+        assert manifest.phases == {}
+
+    def test_phases_derived_from_phase_spans(self):
+        manifest = RunManifest.build("discover", tracer=traced_pipeline())
+        assert sorted(manifest.phases) == ["agree_sets", "lhs", "strip"]
+        # the non-phase spans are still in the tree
+        assert len(manifest.spans) == 5
+        fractions = manifest.phase_fractions()
+        assert fractions
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+
+    def test_nested_error_spans_mark_the_run(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("run"):
+                with tracer.span("lhs", phase=True):
+                    with tracer.span("attribute"):
+                        raise ValueError("boom")
+        manifest = RunManifest.build("discover", tracer=tracer)
+        assert manifest.status == "error"
+        errors = [s for s in manifest.spans if s["status"] == "error"]
+        # the error propagated through every enclosing span
+        assert len(errors) == 3
+        assert all(s["end"] is not None for s in errors)
+        assert validate_manifest(manifest.to_dict()) == []
+
+    def test_metrics_and_subsystem_grouping(self):
+        metrics = MetricsRegistry()
+        metrics.inc("cache.hit", 3)
+        metrics.inc("transversal.candidates_pruned", 7)
+        metrics.gauge("cache.entries", 12)
+        metrics.observe("transversal.level_size", 5)
+        manifest = RunManifest.build("discover", metrics=metrics)
+        assert manifest.counter("cache.hit") == 3
+        assert set(manifest.subsystems) == {"cache", "transversal"}
+        assert manifest.subsystems["cache"]["gauges"]["cache.entries"] == 12
+        histogram = (
+            manifest.subsystems["transversal"]["histograms"]
+            ["transversal.level_size"]
+        )
+        assert histogram["count"] == 1
+
+    def test_resources_summary_is_embedded(self):
+        class FakeSampler:
+            def summary(self):
+                return {"rss_peak_bytes": 123}
+
+        manifest = RunManifest.build("discover", resources=FakeSampler())
+        assert manifest.resources == {"rss_peak_bytes": 123}
+
+    def test_environment_capture(self):
+        env = capture_environment()
+        assert env["python"]
+        assert env["cpu_count"] >= 1
+        manifest = RunManifest.build("discover")
+        assert manifest.environment["python"] == env["python"]
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_byte_stable(self):
+        metrics = MetricsRegistry()
+        metrics.observe("transversal.level_size", 5)
+        metrics.observe("transversal.level_size", 50)
+        manifest = RunManifest.build(
+            "discover", tracer=traced_pipeline(), metrics=metrics,
+            meta={"argv": ["discover", "x.csv"]},
+        )
+        text = manifest.to_json()
+        assert RunManifest.from_json(text).to_json() == text
+
+    def test_write_and_load(self, tmp_path):
+        manifest = RunManifest.build("discover", tracer=traced_pipeline())
+        path = tmp_path / "deep" / "nested" / "manifest.json"
+        manifest.write(path)
+        loaded = RunManifest.load(path)
+        assert loaded.command == "discover"
+        assert loaded.phases == manifest.phases
+
+    def test_from_dict_rejects_invalid(self):
+        with pytest.raises(ValueError, match="invalid run manifest"):
+            RunManifest.from_dict({"format": "nope"})
+
+
+class TestValidate:
+    def good(self) -> dict:
+        return RunManifest.build("discover",
+                                 tracer=traced_pipeline()).to_dict()
+
+    def test_good_manifest_is_clean(self):
+        assert validate_manifest(self.good()) == []
+
+    def test_format_and_version(self):
+        document = self.good()
+        document["format"] = "other"
+        document["version"] = MANIFEST_VERSION + 1
+        problems = validate_manifest(document)
+        assert any("format" in p for p in problems)
+        assert any("version" in p for p in problems)
+
+    def test_missing_command_and_bad_status(self):
+        document = self.good()
+        document["command"] = ""
+        document["status"] = "meh"
+        problems = validate_manifest(document)
+        assert any("command" in p for p in problems)
+        assert any("status" in p for p in problems)
+
+    def test_negative_phase_duration(self):
+        document = self.good()
+        document["phases"]["strip"] = -1.0
+        assert any("strip" in p for p in validate_manifest(document))
+
+    def test_child_before_parent(self):
+        document = self.good()
+        document["spans"].reverse()
+        assert any("before its parent" in p
+                   for p in validate_manifest(document))
+
+    def test_not_a_dict(self):
+        assert validate_manifest([]) == ["manifest must be a JSON object"]
+
+    def test_metrics_sections_required(self):
+        document = self.good()
+        document["metrics"] = {"counters": {}}
+        assert any("metrics" in p for p in validate_manifest(document))
+
+
+class TestRelationSummary:
+    def test_fingerprint_is_row_order_invariant(self):
+        rows = [("1", "a"), ("2", "b"), ("3", "a")]
+        first = Relation.from_rows(Schema(["x", "y"]), rows)
+        second = Relation.from_rows(Schema(["x", "y"]),
+                                    list(reversed(rows)))
+        one = relation_summary(first, source="one.csv")
+        two = relation_summary(second, source="two.csv")
+        assert one["fingerprint"] == two["fingerprint"]
+        assert one["rows"] == 3
+        assert one["attributes"] == 2
+        assert one["source"] == "one.csv"
+
+
+class TestGroupMetrics:
+    def test_prefixless_names_group_under_themselves(self):
+        grouped = group_metrics(
+            {"counters": {"fds": 4, "cache.hit": 1}, "gauges": {},
+             "histograms": {}}
+        )
+        assert grouped["fds"]["counters"]["fds"] == 4
+        assert grouped["cache"]["counters"]["cache.hit"] == 1
+
+
+def test_manifest_format_constants():
+    manifest = RunManifest.build("x")
+    document = manifest.to_dict()
+    assert document["format"] == MANIFEST_FORMAT
+    assert document["version"] == MANIFEST_VERSION
+    # to_json is valid, sorted JSON ending in a newline
+    text = manifest.to_json()
+    assert text.endswith("\n")
+    assert json.loads(text) == json.loads(
+        json.dumps(document, sort_keys=True, default=str)
+    )

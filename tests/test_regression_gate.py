@@ -1,0 +1,114 @@
+"""Hermetic end-to-end test of ``scripts/check_regression.py``.
+
+Runs the gate in subprocesses against a deliberately tiny
+``REPRO_BENCH_TRANSVERSAL_*`` workload and a private baseline
+directory, exercising the full loop the Makefile target promises:
+``--update-baselines`` creates a workload-matched baseline, a clean run
+passes, and ``--inject slow-kernel`` fails with per-phase / per-ratio
+attribution.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GATE = REPO_ROOT / "scripts" / "check_regression.py"
+
+TINY_ENV = {
+    "REPRO_BENCH_TRANSVERSAL_ATTRS": "10",
+    "REPRO_BENCH_TRANSVERSAL_ROWS": "120",
+    "REPRO_BENCH_TRANSVERSAL_CORRELATION": "0.6",
+    "REPRO_BENCH_TRANSVERSAL_REPEATS": "1",
+    "REPRO_BENCH_TRANSVERSAL_COVER_ATTRS": "6",
+    "REPRO_BENCH_TRANSVERSAL_COVER_ROWS": "60",
+}
+
+
+def run_gate(tmp_path: Path, *extra: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ, **TINY_ENV)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT),
+         env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    return subprocess.run(
+        [sys.executable, str(GATE), "--suite", "transversal",
+         "--baseline-dir", str(tmp_path / "baselines"),
+         "--telemetry-dir", str(tmp_path / "telemetry"), *extra],
+        capture_output=True, text=True, timeout=600, env=env,
+        cwd=str(REPO_ROOT),
+    )
+
+
+@pytest.fixture(scope="module")
+def baselined(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("gate")
+    proc = run_gate(tmp_path, "--update-baselines")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    return tmp_path
+
+
+class TestUpdateBaselines:
+    def test_writes_baseline_with_phases(self, baselined):
+        document = json.loads(
+            (baselined / "baselines" / "BENCH_transversal.json").read_text()
+        )
+        assert document["workload"]["attrs"] == 10
+        assert "phases" in document
+        assert "lhs" in document["phases"]
+        assert abs(sum(document["phases"].values()) - 1.0) < 0.01
+        # floors were relaxed to what the tiny workload actually meets
+        for name, floor in document["floors"].items():
+            assert document["speedup"][name] >= floor
+
+    def test_emits_a_valid_telemetry_manifest(self, baselined):
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        try:
+            from repro.obs import validate_manifest
+        finally:
+            sys.path.remove(str(REPO_ROOT / "src"))
+        manifest = json.loads(
+            (baselined / "telemetry" / "regress_transversal.json")
+            .read_text()
+        )
+        assert validate_manifest(manifest) == []
+        assert manifest["command"] == "check-regression:transversal"
+        assert manifest["meta"]["suite"] == "transversal"
+        assert manifest["resources"]["samples"] >= 2
+        assert manifest["phases"]
+
+
+class TestCleanRun:
+    def test_passes_against_its_own_baseline(self, baselined):
+        proc = run_gate(baselined)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "bench-regress: OK" in proc.stdout
+        assert "REGRESSED" not in proc.stdout
+
+    def test_mismatched_workload_is_called_out(self, baselined, tmp_path):
+        proc = run_gate(tmp_path / "elsewhere")
+        assert proc.returncode != 0
+        assert "missing baseline" in proc.stdout
+
+
+class TestInjectedSlowdown:
+    def test_fails_with_attribution(self, baselined):
+        proc = run_gate(baselined, "--inject", "slow-kernel")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "bench-regress: FAILED" in proc.stdout
+        assert "REGRESSED speedup.kernel_vs_legacy" in proc.stdout
+        # the injected fallback lands in the lhs phase of the probe;
+        # the manifest records the injection for post-mortems
+        manifest = json.loads(
+            (baselined / "telemetry" / "regress_transversal.json")
+            .read_text()
+        )
+        assert manifest["meta"]["injected"] == "slow-kernel"
+        failed = [c for c in manifest["meta"]["checks"] if not c["ok"]]
+        assert any(c["name"].startswith("speedup.") for c in failed)

@@ -1,0 +1,102 @@
+"""Unit tests for :mod:`repro.obs.resources` — the RSS/tracemalloc sampler."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import ResourceSampler, Tracer, rss_bytes
+
+
+class TestRssBytes:
+    def test_returns_positive_or_none(self):
+        value = rss_bytes()
+        assert value is None or value > 0
+
+    def test_is_stable_between_calls(self):
+        first, second = rss_bytes(), rss_bytes()
+        if first is not None:
+            # two immediate reads agree within an order of magnitude
+            assert second is not None
+            assert 0.1 < second / first < 10
+
+
+class TestSampler:
+    def test_guarantees_two_samples_on_a_sub_10ms_run(self):
+        sampler = ResourceSampler(interval=60.0)
+        sampler.start()
+        summary = sampler.stop()
+        assert summary["samples"] >= 2
+        assert summary["duration_seconds"] < 1.0
+        if summary["rss_supported"]:
+            assert summary["rss_peak_bytes"] > 0
+            assert summary["rss_start_bytes"] > 0
+
+    def test_background_thread_samples_while_running(self):
+        sampler = ResourceSampler(interval=0.002)
+        sampler.start()
+        time.sleep(0.05)
+        summary = sampler.stop()
+        assert summary["samples"] >= 5
+
+    def test_restart_raises_and_stop_is_idempotent(self):
+        sampler = ResourceSampler(interval=60.0)
+        sampler.start()
+        with pytest.raises(RuntimeError):
+            sampler.start()
+        first = sampler.stop()
+        second = sampler.stop()
+        assert second["samples"] == first["samples"]
+
+    def test_context_manager(self):
+        with ResourceSampler(interval=60.0) as sampler:
+            pass
+        assert sampler.summary()["samples"] >= 2
+
+    def test_per_phase_attribution_follows_the_tracer(self):
+        tracer = Tracer()
+        sampler = ResourceSampler(interval=0.001, tracer=tracer)
+        sampler.start()
+        with tracer.span("run"):
+            with tracer.span("agree_sets", phase=True):
+                time.sleep(0.03)
+            with tracer.span("lhs", phase=True):
+                time.sleep(0.03)
+        summary = sampler.stop()
+        per_phase = summary["per_phase"]
+        assert "agree_sets" in per_phase
+        assert "lhs" in per_phase
+        assert per_phase["agree_sets"]["samples"] >= 1
+        if summary["rss_supported"]:
+            assert per_phase["lhs"]["rss_peak_bytes"] > 0
+
+    def test_attach_writes_span_attrs(self):
+        tracer = Tracer()
+        sampler = ResourceSampler(interval=60.0)
+        sampler.start()
+        with tracer.span("strip", phase=True) as span:
+            with sampler.attach(span):
+                pass
+        sampler.stop()
+        if sampler.summary()["rss_supported"]:
+            assert span.attrs["rss_peak_bytes"] > 0
+
+    def test_tracemalloc_peak_captured_when_requested(self):
+        with ResourceSampler(interval=0.002,
+                             trace_allocations=True) as sampler:
+            blob = [list(range(1000)) for _ in range(100)]
+            del blob
+        summary = sampler.summary()
+        assert summary["tracemalloc_peak_bytes"] is not None
+        assert summary["tracemalloc_peak_bytes"] > 0
+
+    def test_summary_shape_matches_manifest_expectations(self):
+        with ResourceSampler(interval=60.0) as sampler:
+            pass
+        summary = sampler.summary()
+        for key in ("samples", "interval_seconds", "duration_seconds",
+                    "rss_supported", "rss_start_bytes", "rss_peak_bytes",
+                    "rss_delta_bytes", "tracemalloc_peak_bytes",
+                    "per_phase"):
+            assert key in summary
