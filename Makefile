@@ -3,8 +3,9 @@
 PYTHON ?= python
 
 .PHONY: install test test-parallel bench bench-cache bench-transversal \
-	bench-regress cache-smoke trace-smoke transversal-smoke faults-smoke \
-	telemetry-smoke experiments experiments-paper examples clean
+	bench-columnar bench-regress cache-smoke trace-smoke \
+	transversal-smoke faults-smoke telemetry-smoke experiments \
+	experiments-paper examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -39,6 +40,13 @@ bench-cache:
 bench-transversal:
 	$(PYTHON) -m pytest benchmarks/bench_transversal_kernel.py -q
 	$(PYTHON) benchmarks/bench_transversal_kernel.py BENCH_transversal.json
+
+# The columnar-backend speedup guard: asserts the >= 5x whole-pipeline
+# floor over the pure-Python path (with bit-identical FD covers across
+# the backend x jobs conformance grid), then records the timings.
+bench-columnar:
+	$(PYTHON) -m pytest benchmarks/bench_columnar.py -q
+	$(PYTHON) benchmarks/bench_columnar.py BENCH_columnar.json
 
 # End-to-end kernel smoke: mine the reduction fixture (duplicated
 # columns + a near-duplicate row pair) with --transversal kernel and
@@ -160,5 +168,5 @@ examples:
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks \
 		.trace-smoke .trace-parallel .cache-smoke .faults-smoke \
-		.transversal-smoke .telemetry-smoke
+		.transversal-smoke .telemetry-smoke .trace-columnar
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,191 @@
+"""Whole-pipeline speedup guard for the columnar backend.
+
+Times the complete Dep-Miner pipeline (strip → agree sets → cmax →
+transversals → FD output, Armstrong skipped) on a wide correlated
+relation, once per backend:
+
+- **python** — ``DepMiner(backend="python")`` with its defaults: the
+  couples algorithm (Algorithm 2) and the pure-Python transversal
+  kernel;
+- **columnar** — ``DepMiner(backend="columnar")``: integer-coded NumPy
+  columns, lexsort grouping, batch agree-set intersection, lane-packed
+  cmax and the vectorized transversal kernel (:mod:`repro.columnar`).
+
+The workload is row-heavy on purpose: the couple population grows
+quadratically with rows while the cover (and so the shared
+``fd_output`` cost) stays roughly fixed, which is exactly the regime
+the columnar rewrite targets.  The tests assert the acceptance floor of
+the tentpole work — whole-pipeline ≥ 5× over the pure-Python path —
+and that both backends produce bit-for-bit identical covers, also
+across ``jobs`` ∈ {1, 2} on a smaller conformance workload.  Timings
+are min-of-repeats over the same pre-generated relation.
+
+The workload is environment-parameterised::
+
+    REPRO_BENCH_COLUMNAR_ATTRS=30 REPRO_BENCH_COLUMNAR_ROWS=16000 \
+        PYTHONPATH=src python benchmarks/bench_columnar.py \
+        [BENCH_columnar.json]
+
+Run as a script to (re)generate the committed ``BENCH_columnar.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+from repro.core.depminer import DepMiner
+from repro.datagen.synthetic import generate_relation
+
+ATTRS = int(os.environ.get("REPRO_BENCH_COLUMNAR_ATTRS", "30"))
+ROWS = int(os.environ.get("REPRO_BENCH_COLUMNAR_ROWS", "16000"))
+CORRELATION = float(
+    os.environ.get("REPRO_BENCH_COLUMNAR_CORRELATION", "0.2")
+)
+REPEATS = int(os.environ.get("REPRO_BENCH_COLUMNAR_REPEATS", "2"))
+
+MIN_COLUMNAR_SPEEDUP = 5.0
+
+#: The cover-conformance sweep (runs the full pipeline once per
+#: backend × jobs cell — kept small).
+COVER_ATTRS = int(os.environ.get("REPRO_BENCH_COLUMNAR_COVER_ATTRS", "12"))
+COVER_ROWS = int(os.environ.get("REPRO_BENCH_COLUMNAR_COVER_ROWS", "400"))
+
+BACKENDS = ("python", "columnar")
+
+_MEASURED: Dict[int, Dict[str, object]] = {}
+
+
+def _canonical_cover(result) -> List[tuple]:
+    return sorted((fd.lhs.mask, fd.rhs_index) for fd in result.fds)
+
+
+def measure(repeats: int = REPEATS) -> Dict[str, object]:
+    """Min-of-*repeats* whole-pipeline seconds per backend (memoized)."""
+    cached = _MEASURED.get(repeats)
+    if cached is not None:
+        return cached
+    relation = generate_relation(ATTRS, ROWS, correlation=CORRELATION,
+                                 seed=0)
+    best = {name: float("inf") for name in BACKENDS}
+    covers: Dict[str, List[tuple]] = {}
+    phases: Dict[str, Dict[str, float]] = {}
+    stats: Dict[str, Dict[str, int]] = {}
+    for _ in range(repeats):
+        for backend in BACKENDS:
+            miner = DepMiner(backend=backend, build_armstrong="none")
+            start = time.perf_counter()
+            result = miner.run(relation)
+            seconds = time.perf_counter() - start
+            if seconds < best[backend]:
+                best[backend] = seconds
+                phases[backend] = dict(result.phase_seconds)
+            covers[backend] = _canonical_cover(result)
+            stats[backend] = dict(result.stats)
+    outcome = {
+        "seconds": best,
+        "covers": covers,
+        "phases": phases,
+        "num_fds": len(covers["python"]),
+        "num_couples": stats["python"].get("num_couples", 0),
+    }
+    _MEASURED[repeats] = outcome
+    return outcome
+
+
+def conformance_covers() -> Dict[str, List[tuple]]:
+    """FD covers per (backend, jobs) cell on the smaller workload."""
+    relation = generate_relation(COVER_ATTRS, COVER_ROWS,
+                                 correlation=CORRELATION, seed=1)
+    covers = {}
+    for backend in BACKENDS:
+        for jobs in (1, 2):
+            result = DepMiner(backend=backend, jobs=jobs,
+                              build_armstrong="none").run(relation)
+            covers[f"{backend}-jobs{jobs}"] = _canonical_cover(result)
+    return covers
+
+
+def report(measured: Dict[str, object]) -> Dict[str, object]:
+    seconds: Dict[str, float] = measured["seconds"]
+    covers = conformance_covers()
+    reference = covers["python-jobs1"]
+    return {
+        "workload": {
+            "attrs": ATTRS,
+            "rows": ROWS,
+            "correlation": CORRELATION,
+            "repeats": REPEATS,
+            "num_fds": measured["num_fds"],
+            "num_couples": measured["num_couples"],
+        },
+        "seconds": {name: round(value, 6)
+                    for name, value in seconds.items()},
+        "phase_seconds": {
+            backend: {phase: round(value, 6)
+                      for phase, value in phases.items()}
+            for backend, phases in measured["phases"].items()
+        },
+        "speedup": {
+            "columnar_vs_python": round(
+                seconds["python"] / seconds["columnar"], 2
+            ),
+        },
+        "floors": {
+            "columnar_vs_python": MIN_COLUMNAR_SPEEDUP,
+        },
+        "covers_identical": (
+            measured["covers"]["python"] == measured["covers"]["columnar"]
+        ),
+        "covers_identical_across_backends_and_jobs": all(
+            cover == reference for cover in covers.values()
+        ),
+        "cover_workload": {
+            "attrs": COVER_ATTRS,
+            "rows": COVER_ROWS,
+            "num_fds": len(reference),
+            "cells": sorted(covers),
+        },
+    }
+
+
+def test_backends_compute_the_same_cover():
+    measured = measure(repeats=1)
+    assert measured["covers"]["python"], "non-trivial workload expected"
+    assert measured["covers"]["python"] == measured["covers"]["columnar"]
+
+
+def test_covers_identical_across_backends_and_jobs():
+    covers = conformance_covers()
+    reference = covers["python-jobs1"]
+    assert reference  # a non-trivial workload
+    for cell, cover in covers.items():
+        assert cover == reference, f"{cell} diverged from python-jobs1"
+
+
+def test_columnar_speedup_floor():
+    seconds = measure()["seconds"]
+    speedup = seconds["python"] / seconds["columnar"]
+    assert speedup >= MIN_COLUMNAR_SPEEDUP, (
+        f"columnar backend only {speedup:.1f}x faster than the "
+        f"pure-Python pipeline (python {seconds['python']:.3f}s, "
+        f"columnar {seconds['columnar']:.3f}s; floor "
+        f"{MIN_COLUMNAR_SPEEDUP}x)"
+    )
+
+
+def main(argv: List[str]) -> int:
+    path = argv[0] if argv else "BENCH_columnar.json"
+    document = report(measure())
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(document, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -11,7 +11,10 @@ relative to the checked-in baseline documents:
   speedups against their committed values and hard floors;
 - **transversal** (``BENCH_transversal.json``) — kernel and vectorized
   transversal speedups over the legacy levelwise search, plus
-  bit-identical transversal families.
+  bit-identical transversal families;
+- **columnar** (``BENCH_columnar.json``) — the columnar backend's
+  whole-pipeline speedup over the pure-Python path, plus bit-identical
+  FD covers across backend × jobs cells.
 
 Every suite additionally runs an instrumented **probe**: a full
 ``DepMiner`` pipeline under a :class:`~repro.obs.Tracer` and
@@ -64,11 +67,12 @@ from repro.obs import (  # noqa: E402
     Tracer,
 )
 
-SUITES = ("obs", "cache", "transversal")
+SUITES = ("obs", "cache", "transversal", "columnar")
 BASELINE_FILES = {
     "obs": "BENCH_obs.json",
     "cache": "BENCH_cache.json",
     "transversal": "BENCH_transversal.json",
+    "columnar": "BENCH_columnar.json",
 }
 
 #: A measured speedup may sag to this fraction of its committed value
@@ -125,6 +129,7 @@ def run_probe(suite: str, workload: Dict[str, Any],
         workload["attrs"], workload["rows"],
         correlation=workload["correlation"], seed=0,
     )
+    backend = workload.get("backend", "python")
     best: Optional[RunManifest] = None
     for _ in range(PROBE_RUNS):
         tracer = Tracer()
@@ -132,8 +137,8 @@ def run_probe(suite: str, workload: Dict[str, Any],
         sampler = ResourceSampler(tracer=tracer)
         sampler.start()
         try:
-            DepMiner(build_armstrong="none", tracer=tracer,
-                     metrics=metrics).run(relation)
+            DepMiner(build_armstrong="none", backend=backend,
+                     tracer=tracer, metrics=metrics).run(relation)
         finally:
             sampler.stop()
         manifest = RunManifest.build(
@@ -152,11 +157,16 @@ def probe_workload(suite: str, bench) -> Dict[str, Any]:
     if suite == "obs":
         attrs, rows = max(bench.CELLS)
         return {"attrs": attrs, "rows": rows, "correlation": None}
-    return {
+    workload = {
         "attrs": bench.ATTRS,
         "rows": bench.ROWS,
         "correlation": bench.CORRELATION,
     }
+    if suite == "columnar":
+        # Probe the columnar pipeline itself, so the committed phase
+        # fractions pin the columnar stage profile, not the python one.
+        workload["backend"] = "columnar"
+    return workload
 
 
 # -- checks ------------------------------------------------------------------
@@ -295,10 +305,37 @@ def run_transversal(gate: Gate, baseline: Dict[str, Any]) -> Dict[str, Any]:
     return report
 
 
+def run_columnar(gate: Gate, baseline: Dict[str, Any]) -> Dict[str, Any]:
+    from benchmarks import bench_columnar as bench
+
+    measured = bench.measure()
+    report = bench.report(measured)
+    gate.check(
+        "covers.backends_identical", report["covers_identical"],
+        "python and columnar backends emit identical FD covers",
+    )
+    gate.check(
+        "covers.backend_jobs_grid_identical",
+        report["covers_identical_across_backends_and_jobs"],
+        "covers identical across the backend x jobs conformance grid",
+    )
+    if check_workload(gate, baseline, report):
+        floors = baseline.get("floors", {})
+        committed = baseline.get("speedup", {})
+        check_ratio(
+            gate, "columnar_vs_python",
+            report["speedup"]["columnar_vs_python"],
+            committed.get("columnar_vs_python", 0.0),
+            floors.get("columnar_vs_python", 0.0),
+        )
+    return report
+
+
 SUITE_RUNNERS = {
     "obs": run_obs,
     "cache": run_cache,
     "transversal": run_transversal,
+    "columnar": run_columnar,
 }
 
 
@@ -309,6 +346,7 @@ def bench_module(suite: str):
         "obs": "benchmarks.bench_obs_overhead",
         "cache": "benchmarks.bench_cache",
         "transversal": "benchmarks.bench_transversal_kernel",
+        "columnar": "benchmarks.bench_columnar",
     }[suite])
 
 

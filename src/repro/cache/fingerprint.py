@@ -244,17 +244,19 @@ class PipelineKeys:
     """The per-stage cache keys of one ``DepMiner`` configuration.
 
     Keys deliberately over-approximate the invalidation rules — e.g.
-    ``jobs`` and the agree algorithm are folded into the agree-set key
-    even though every algorithm and any job count produce identical
-    ``ag(r)`` — so a cached artefact is only ever reused under the exact
-    configuration that produced it (see ``docs/caching.md``).
+    ``jobs``, the agree algorithm and the mining ``backend`` are folded
+    into the agree-set key even though every algorithm, backend and job
+    count produce identical ``ag(r)`` — so a cached artefact is only
+    ever reused under the exact configuration that produced it (see
+    ``docs/caching.md``).
     """
 
     __slots__ = ("relation", "partitions", "agree", "cover")
 
     def __init__(self, relation_key: str, *, nulls_equal: bool,
                  agree_algorithm: str, max_couples, jobs: int,
-                 transversal_method: str, max_lhs_size):
+                 transversal_method: str, max_lhs_size,
+                 backend: str = "python"):
         self.relation = relation_key
         self.partitions = stage_key(
             relation_key, "partitions", nulls_equal=nulls_equal
@@ -262,11 +264,13 @@ class PipelineKeys:
         self.agree = stage_key(
             relation_key, "agree", nulls_equal=nulls_equal,
             algorithm=agree_algorithm, max_couples=max_couples, jobs=jobs,
+            backend=backend,
         )
         self.cover = stage_key(
             relation_key, "cover", nulls_equal=nulls_equal,
             algorithm=agree_algorithm, max_couples=max_couples, jobs=jobs,
             method=transversal_method, max_lhs_size=max_lhs_size,
+            backend=backend,
         )
 
     @classmethod
@@ -280,6 +284,7 @@ class PipelineKeys:
             jobs=miner.jobs,
             transversal_method=miner.transversal_method,
             max_lhs_size=miner.max_lhs_size,
+            backend=getattr(miner, "backend", "python"),
         )
 
     def __repr__(self) -> str:

@@ -215,6 +215,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="memory threshold for the couples algorithm",
     )
     discover.add_argument(
+        "--backend",
+        choices=("python", "columnar"),
+        default="python",
+        help="mining backend (python = the classic row-at-a-time "
+             "pipeline; columnar = integer-coded NumPy columns with "
+             "batch agree-set intersection — identical output, see "
+             "docs/columnar.md; falls back to python when NumPy is "
+             "missing)",
+    )
+    discover.add_argument(
         "--transversal",
         choices=("kernel", "vectorized", "levelwise", "berge", "dfs"),
         default="kernel",
@@ -304,7 +314,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--algorithms", nargs="+",
-        choices=tuple(ALGORITHM_NAMES) + ("fdep", "depminer-fast"),
+        choices=tuple(ALGORITHM_NAMES) + ("fdep", "depminer-fast",
+                                          "depminer-columnar"),
         default=list(ALGORITHM_NAMES),
     )
     bench.add_argument(
@@ -450,6 +461,7 @@ def _run_discover(args: argparse.Namespace, tracer, metrics,
     miner = DepMiner(
         agree_algorithm=args.algorithm,
         max_couples=args.max_couples,
+        backend=args.backend,
         transversal_algorithm=args.transversal,
         build_armstrong="real-world" if args.armstrong else "none",
         nulls_equal=not args.sql_nulls,
@@ -521,7 +533,8 @@ def _run_discover(args: argparse.Namespace, tracer, metrics,
     _finish_obs(
         args, result.trace, metrics,
         meta={"command": "discover", "input": args.csv,
-              "algorithm": args.algorithm, "transversal": args.transversal,
+              "algorithm": args.algorithm, "backend": args.backend,
+              "transversal": args.transversal,
               "jobs": args.jobs,
               "cache_dir": args.cache_dir,
               "appended": list(args.append_paths or ())},

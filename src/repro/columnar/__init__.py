@@ -1,0 +1,100 @@
+"""``repro.columnar`` — the integer-coded NumPy mining backend.
+
+The pure-Python pipeline walks tuples one at a time; this package runs
+the same Dep-Miner stages column-at-a-time on integer-coded arrays:
+
+- :mod:`repro.columnar.encode` — factorize every column once at ingest
+  into dense ``int64`` codes (``encode_column``/``encode_relation``);
+- :mod:`repro.columnar.grouping` — stripped partitions as
+  group-index/first-occurrence arrays via stable lexsort grouping; the
+  paper's ``ec(t)`` tables become one tuples×attributes class-id matrix;
+- :mod:`repro.columnar.agree` — candidate couples batched per class
+  size, deduplicated with one ``np.unique``, and resolved by vectorized
+  batch intersection of the per-tuple class-identifier arrays;
+- :mod:`repro.columnar.cmax` — ``max``/``cmax`` derivation on
+  lane-packed ``uint64`` bitmasks, feeding the lane-packed transversal
+  kernel of :mod:`repro.hypergraph.kernel`;
+- :mod:`repro.columnar.pipeline` — the end-to-end run behind
+  ``DepMiner(backend="columnar")`` (cache- and executor-aware).
+
+The backend is extensionally identical to the pure-Python path — the
+oracle-conformance suite (``tests/oracle.py``) holds the covers equal
+bit for bit.  Without NumPy, :class:`ColumnarUnavailableError` is the
+typed failure mode; ``DepMiner`` catches the condition up front and
+falls back to ``backend="python"`` with a logged warning (see
+``docs/columnar.md``).
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.errors import ReproError
+
+__all__ = [
+    "ColumnarUnavailableError",
+    "numpy_available",
+    "require_numpy",
+    "encode_column",
+    "encode_relation",
+    "grouped_runs",
+    "class_ids",
+    "class_matrix",
+    "num_stripped_classes",
+    "to_stripped_partition",
+    "candidate_couples",
+    "resolve_couples",
+    "columnar_agree_sets",
+    "maximal_sets_packed",
+    "run_columnar",
+]
+
+
+class ColumnarUnavailableError(ReproError):
+    """The columnar backend was requested but NumPy is not installed."""
+
+
+try:
+    import numpy as _np  # noqa: F401  (availability probe only)
+except ImportError:  # pragma: no cover - exercised by the NumPy-free CI lane
+    _np = None
+
+
+def numpy_available() -> bool:
+    """True when NumPy is importable (the backend's only dependency)."""
+    return _np is not None
+
+
+def require_numpy() -> None:
+    """Raise the typed error unless NumPy is importable."""
+    if not numpy_available():
+        raise ColumnarUnavailableError(
+            "the columnar backend needs NumPy; install the repro[fast] "
+            "extra or use DepMiner(backend='python')"
+        )
+
+
+#: Lazy re-exports: the submodules import NumPy at module level, so they
+#: are only loaded on first attribute access (after `require_numpy`).
+_LAZY = {
+    "encode_column": "repro.columnar.encode",
+    "encode_relation": "repro.columnar.encode",
+    "grouped_runs": "repro.columnar.grouping",
+    "class_ids": "repro.columnar.grouping",
+    "class_matrix": "repro.columnar.grouping",
+    "num_stripped_classes": "repro.columnar.grouping",
+    "to_stripped_partition": "repro.columnar.grouping",
+    "candidate_couples": "repro.columnar.agree",
+    "resolve_couples": "repro.columnar.agree",
+    "columnar_agree_sets": "repro.columnar.agree",
+    "maximal_sets_packed": "repro.columnar.cmax",
+    "run_columnar": "repro.columnar.pipeline",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro.columnar' has no attribute {name!r}")
+    require_numpy()
+    return getattr(importlib.import_module(module), name)

@@ -1,0 +1,106 @@
+"""``max``/``cmax`` derivation on lane-packed bitmask arrays.
+
+Lemma 3: ``max(dep(r), A) = Max⊆ { X ∈ ag(r) : A ∉ X }``.  The
+pure-Python :func:`repro.core.maximal_sets.maximal_sets` re-runs a
+quadratic subset scan per attribute; here the quadratic part happens
+once, vectorized, and every attribute then reads the answer in
+linear time:
+
+1. pack the distinct agree-set masks into a ``(m, lanes)`` ``uint64``
+   matrix (63 usable bits per lane — the layout shared with
+   :mod:`repro.columnar.agree` and the transversal kernel);
+2. one chunked, vectorized sweep computes the *strict-superset bitset*:
+   row ``i`` of a ``(m, ⌈m/8⌉)`` ``uint8`` matrix marks every ``j``
+   with ``mask_i ⊂ mask_j`` (``np.packbits`` keeps it 8 candidates per
+   byte);
+3. per attribute ``A``: the candidates are the masks without bit ``A``
+   (one lane test); a candidate is maximal iff its superset bitset hits
+   no *candidate* — a single masked ``any`` over the packed matrix.
+
+The per-attribute output lists are identical (same masks, same sorted
+order) to ``maximal_sets`` + ``complement_maximal_sets``, and the cmax
+edges feed straight into ``minimal_transversals_kernel``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.core.attributes import Schema
+
+__all__ = ["pack_masks", "maximal_sets_packed"]
+
+_BITS_PER_LANE = 63
+_LANE_MASK = (1 << _BITS_PER_LANE) - 1
+
+#: Budget (array elements) per chunk of the superset sweep — bounds the
+#: ``(chunk, m, lanes)`` temporary regardless of how many agree sets
+#: the relation produced.
+_CHUNK_ELEMENTS = 1 << 22
+
+
+def pack_masks(masks: Iterable[int], width: int) -> np.ndarray:
+    """Python-int masks as a ``(m, lanes)`` ``uint64`` matrix."""
+    masks = list(masks)
+    num_lanes = max((width + _BITS_PER_LANE - 1) // _BITS_PER_LANE, 1)
+    lanes = np.zeros((len(masks), num_lanes), dtype=np.uint64)
+    for index, mask in enumerate(masks):
+        for lane in range(num_lanes):
+            lanes[index, lane] = (mask >> (lane * _BITS_PER_LANE)) & _LANE_MASK
+    return lanes
+
+
+def _strict_superset_bitsets(lanes: np.ndarray) -> np.ndarray:
+    """Packed dominance matrix: bit ``j`` of row ``i`` ⇔ ``mask_i ⊂ mask_j``.
+
+    Masks are distinct, so subset plus ``i ≠ j`` is already strict; the
+    diagonal (every mask is a subset of itself) is cleared explicitly.
+    """
+    m = lanes.shape[0]
+    chunk = max(1, _CHUNK_ELEMENTS // max(m * lanes.shape[1], 1))
+    packed = np.empty((m, (m + 7) // 8), dtype=np.uint8)
+    not_lanes = ~lanes
+    for start in range(0, m, chunk):
+        stop = min(start + chunk, m)
+        subset = (
+            (lanes[start:stop, None, :] & not_lanes[None, :, :]) == 0
+        ).all(axis=2)
+        subset[np.arange(stop - start), np.arange(start, stop)] = False
+        packed[start:stop] = np.packbits(subset, axis=1)
+    return packed
+
+
+def maximal_sets_packed(agree: Iterable[int],
+                        schema: Schema) -> Tuple[Dict[int, List[int]],
+                                                 Dict[int, List[int]]]:
+    """``(max_sets, cmax_sets)`` per attribute, from ``ag(r)`` bitmasks.
+
+    Same two dicts as
+    :func:`repro.core.maximal_sets.maximal_sets` followed by
+    :func:`repro.core.maximal_sets.complement_maximal_sets` (the
+    differential tests hold them equal); an attribute mapped to an
+    empty list is constant in the relation.
+    """
+    width = len(schema)
+    universe = schema.universe_mask
+    ordered = sorted(set(agree))
+    m = len(ordered)
+    if m == 0:
+        empty: Dict[int, List[int]] = {a: [] for a in range(width)}
+        return empty, {a: [] for a in range(width)}
+    lanes = pack_masks(ordered, width)
+    dominated_by = _strict_superset_bitsets(lanes)
+    max_sets: Dict[int, List[int]] = {}
+    cmax_sets: Dict[int, List[int]] = {}
+    for attribute in range(width):
+        lane, bit = divmod(attribute, _BITS_PER_LANE)
+        candidates = (lanes[:, lane] & np.uint64(1 << bit)) == 0
+        candidate_bits = np.packbits(candidates)
+        dominated = (dominated_by & candidate_bits).any(axis=1)
+        maximal = candidates & ~dominated
+        masks = [ordered[i] for i in np.flatnonzero(maximal)]
+        max_sets[attribute] = masks
+        cmax_sets[attribute] = sorted(universe & ~mask for mask in masks)
+    return max_sets, cmax_sets

@@ -1,0 +1,71 @@
+"""Integer coding of relations (the columnar ingest step).
+
+Every column is *factorized* exactly once: distinct values get dense
+``int64`` codes in first-occurrence order, so all later stages operate
+on arrays of small integers and never touch the original Python values
+again.  Two rows agree on an attribute iff their codes are equal —
+value identity is fully captured by the coding, which is what makes the
+grouping and agree-set stages pure array computations.
+
+Null semantics are resolved here, not downstream: with
+``nulls_equal=False`` (SQL's ``NULL <> NULL``) every ``None`` cell
+receives a *fresh* code, so it can never share a code with another row
+and the grouping stage strips it as a singleton — exactly the semantics
+of :func:`repro.partitions.partition.stripped_partition_of_column`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.relation import Relation
+
+__all__ = ["encode_column", "encode_relation"]
+
+
+def encode_column(values: Sequence[Any],
+                  nulls_equal: bool = True) -> Tuple[np.ndarray, List[Any]]:
+    """Factorize one column into ``(codes, uniques)``.
+
+    ``codes`` is an ``int64`` array with ``uniques[codes[row]] ==
+    values[row]`` for every row (the round-trip property the tests pin
+    down); codes are dense and assigned in first-occurrence order.  With
+    ``nulls_equal=False`` each ``None`` cell gets its own code (and its
+    own ``uniques`` slot, keeping the round trip exact).
+
+    >>> codes, uniques = encode_column(["x", "y", "x"])
+    >>> codes.tolist(), uniques
+    ([0, 1, 0], ['x', 'y'])
+    """
+    codes = np.empty(len(values), dtype=np.int64)
+    uniques: List[Any] = []
+    table: dict = {}
+    for row, value in enumerate(values):
+        if value is None and not nulls_equal:
+            code = len(uniques)
+            uniques.append(None)
+        else:
+            code = table.get(value)
+            if code is None:
+                code = table[value] = len(uniques)
+                uniques.append(value)
+        codes[row] = code
+    return codes, uniques
+
+
+def encode_relation(relation: Relation,
+                    nulls_equal: bool = True) -> np.ndarray:
+    """The whole relation as a ``(width, num_rows)`` code matrix.
+
+    Row ``a`` of the result is the factorized coding of attribute ``a``.
+    """
+    width = len(relation.schema)
+    num_rows = len(relation)
+    codes = np.empty((width, num_rows), dtype=np.int64)
+    for attribute in range(width):
+        codes[attribute], _ = encode_column(
+            relation.column(attribute), nulls_equal=nulls_equal
+        )
+    return codes

@@ -211,6 +211,19 @@ class DepMiner:
         Optional callback ``(stage, done, total) -> None | bool`` invoked
         from the long inner loops; returning ``False`` aborts the run
         with :class:`repro.obs.ProgressAborted`.
+    backend:
+        ``"python"`` (default) runs the classic row-at-a-time pipeline;
+        ``"columnar"`` runs :mod:`repro.columnar` — integer-coded NumPy
+        columns, lexsort grouping, batch agree-set intersection and
+        lane-packed cmax derivation — with bit-for-bit the same cover
+        (the oracle-conformance suite asserts it; see
+        ``docs/columnar.md``).  The columnar backend ignores
+        ``agree_algorithm`` (its resolution is inherently vectorized)
+        and resolves the default ``"kernel"`` transversal method to the
+        kernel's NumPy ``"vectorized"`` backend.  When NumPy is missing
+        the miner logs a warning and falls back to ``"python"``;
+        :func:`repro.columnar.require_numpy` is the strict, typed
+        (:class:`repro.columnar.ColumnarUnavailableError`) probe.
     """
 
     #: The default transversal algorithm (the layered kernel; see
@@ -229,7 +242,8 @@ class DepMiner:
                  shard_timeout: Optional[float] = None,
                  tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 progress: Optional[ProgressCallback] = None):
+                 progress: Optional[ProgressCallback] = None,
+                 backend: str = "python"):
         if build_armstrong not in ("real-world", "classical", "none", "strict"):
             raise ReproError(
                 f"build_armstrong must be 'real-world', 'classical', "
@@ -243,6 +257,20 @@ class DepMiner:
                 f"transversal_algorithm={transversal_algorithm!r} conflict; "
                 f"pass only one (they are aliases)"
             )
+        if backend not in ("python", "columnar"):
+            raise ReproError(
+                f"backend must be 'python' or 'columnar'; got {backend!r}"
+            )
+        if backend == "columnar":
+            from repro.columnar import numpy_available
+
+            if not numpy_available():
+                logger.warning(
+                    "backend='columnar' needs NumPy; falling back to the "
+                    "pure-Python backend (install the repro[fast] extra)"
+                )
+                backend = "python"
+        self.backend = backend
         self.agree_algorithm = agree_algorithm
         self.max_couples = max_couples
         # `transversal_method` is the historical name of the option and
@@ -304,10 +332,15 @@ class DepMiner:
         metrics = self.metrics if self.metrics is not None else NULL_METRICS
         mark = tracer.mark()
 
-        attrs = {"width": len(relation.schema), "rows": len(relation)}
+        attrs = {"width": len(relation.schema), "rows": len(relation),
+                 "backend": self.backend}
         if self.cache is not None:
             attrs["cached"] = True
         with tracer.span("depminer.run", **attrs):
+            if self.backend == "columnar":
+                from repro.columnar.pipeline import run_columnar
+
+                return run_columnar(self, relation, tracer, metrics, mark)
             if self.cache is not None:
                 return self._run_cached(relation, tracer, metrics, mark)
             with tracer.span("strip", phase=True) as strip_span:

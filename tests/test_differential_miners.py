@@ -3,87 +3,34 @@
 Four independent implementations mine the same seeded random relations:
 
 * **DepMiner** — all three agree-set algorithms, chunked and unchunked,
-  serial and sharded (``jobs=2``);
+  serial and sharded (``jobs=2``), plus the full backend ∈ {python,
+  columnar} × jobs × cache on/off conformance grid;
 * **TANE** — levelwise partition refinement (a completely different
   search strategy);
 * **FDEP** — negative-cover specialisation;
 * **brute force** — exhaustive subset enumeration, the ground truth.
 
-If any algorithm, chunk boundary, or shard boundary mishandled a single
-couple or candidate, its canonical cover would diverge from the oracle
-on at least one of the ~50 relations below.
+If any algorithm, chunk boundary, shard boundary, backend stage, or
+cache replay mishandled a single couple or candidate, its canonical
+cover would diverge from the oracle on at least one of the ~50
+relations below.  The corpus, grids and assertions live in
+``tests/oracle.py`` so other suites (backend conformance, property
+tests) reuse them.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core.depminer import DepMiner
 from repro.datagen.synthetic import generate_relation
-from repro.datasets import (
-    course_schedule_relation,
-    paper_example_relation,
-    supplier_parts_relation,
+from tests.oracle import (
+    SWEEP,
+    assert_all_miners_agree,
+    assert_backend_grid_agrees,
+    corpus_relations,
 )
-from repro.fd.bruteforce import bruteforce_minimal_fds
-from repro.fdep import Fdep
-from repro.tane.armstrong_ext import tane_with_armstrong
 
-# (num_attributes, num_tuples, correlation) — kept narrow enough for the
-# brute-force oracle and small enough that the whole sweep stays fast.
-WORKLOADS = [
-    (3, 12, None),
-    (4, 20, None),
-    (4, 30, 0.5),
-    (5, 25, None),
-    (5, 40, 0.3),
-    (5, 15, 0.7),
-    (6, 30, 0.3),
-    (6, 20, None),
-]
-SEEDS = range(6)
-SWEEP = [
-    pytest.param(attrs, rows, corr, seed,
-                 id=f"a{attrs}-r{rows}-c{corr}-s{seed}")
-    for attrs, rows, corr in WORKLOADS
-    for seed in SEEDS
-]
-
-
-def canonical_cover(fds):
-    return sorted((fd.lhs.mask, fd.rhs_index) for fd in fds)
-
-
-def depminer_variants(relation):
-    """Every DepMiner configuration that must reproduce the oracle."""
-    yield "couples", DepMiner(agree_algorithm="couples",
-                              build_armstrong="none")
-    yield "couples-chunked", DepMiner(agree_algorithm="couples",
-                                      max_couples=3,
-                                      build_armstrong="none")
-    yield "identifiers", DepMiner(agree_algorithm="identifiers",
-                                  build_armstrong="none")
-    yield "vectorized", DepMiner(agree_algorithm="vectorized",
-                                 build_armstrong="none")
-    yield "couples-jobs2", DepMiner(agree_algorithm="couples", jobs=2,
-                                    build_armstrong="none")
-    yield "identifiers-jobs2", DepMiner(agree_algorithm="identifiers",
-                                        jobs=2, build_armstrong="none")
-
-
-def assert_all_miners_agree(relation):
-    oracle = canonical_cover(bruteforce_minimal_fds(relation))
-    assert canonical_cover(tane_with_armstrong(relation).fds) == oracle, (
-        "TANE diverged from the brute-force oracle"
-    )
-    assert canonical_cover(Fdep().run(relation).fds) == oracle, (
-        "FDEP diverged from the brute-force oracle"
-    )
-    for label, miner in depminer_variants(relation):
-        cover = canonical_cover(miner.run(relation).fds)
-        assert cover == oracle, (
-            f"DepMiner[{label}] diverged from the brute-force oracle"
-        )
+CORPUS = list(corpus_relations())
 
 
 class TestSeededRandomSweep:
@@ -91,36 +38,16 @@ class TestSeededRandomSweep:
     def test_all_miners_agree(self, attrs, rows, corr, seed):
         relation = generate_relation(attrs, rows, correlation=corr,
                                      seed=seed)
-        assert_all_miners_agree(relation)
+        oracle = assert_all_miners_agree(relation)
+        assert_backend_grid_agrees(relation, oracle=oracle)
 
 
-class TestBundledDatasets:
-    def test_paper_example(self):
-        assert_all_miners_agree(paper_example_relation())
+class TestCorpusRelations:
+    """Bundled datasets and degenerate shapes, same oracle check."""
 
-    def test_course_schedule(self):
-        assert_all_miners_agree(course_schedule_relation())
-
-    def test_supplier_parts(self):
-        assert_all_miners_agree(supplier_parts_relation())
-
-
-class TestDegenerateRelations:
-    def test_constant_relation(self):
-        from repro.core.attributes import Schema
-        from repro.core.relation import Relation
-
-        relation = Relation.from_rows(
-            Schema(["A", "B", "C"]), [(1, 1, 1)] * 5
-        )
-        assert_all_miners_agree(relation)
-
-    def test_key_only_relation(self):
-        from repro.core.attributes import Schema
-        from repro.core.relation import Relation
-
-        relation = Relation.from_rows(
-            Schema(["A", "B", "C"]),
-            [(i, i % 2, i % 3) for i in range(9)],
-        )
-        assert_all_miners_agree(relation)
+    @pytest.mark.parametrize(
+        "label,relation", CORPUS, ids=[label for label, _ in CORPUS]
+    )
+    def test_all_miners_agree(self, label, relation):
+        oracle = assert_all_miners_agree(relation)
+        assert_backend_grid_agrees(relation, oracle=oracle)

@@ -231,7 +231,7 @@ class TestDepMinerInstrumentation:
                       "armstrong"):
             assert phase in names
         (root,) = tracer.roots()
-        assert root.attrs == {"width": 5, "rows": 7}
+        assert root.attrs == {"width": 5, "rows": 7, "backend": "python"}
 
     def test_error_path_keeps_partial_trace(self):
         # This relation has no real-world Armstrong relation, so the

@@ -319,6 +319,44 @@ def test_cover_is_invariant_under_duplicate_row_insertion(relation, data):
     assert padded_result.cmax_sets == original.cmax_sets
 
 
+def test_wide_relation_crosses_the_uint64_lane_boundary():
+    """Nothing above generates schemas wider than a handful of
+    attributes, so the 63-bit uint64 lane packing shared by the fast
+    agree-set path, the columnar backend and the transversal kernel
+    was never exercised past its first lane.  This 70-attribute fixture
+    produces agree sets with bits on both sides of bit 63 and pins the
+    multi-lane mask reassembly: serial, sharded and (where NumPy is
+    available) columnar runs must all emit the identical cover, and
+    every mined FD must genuinely hold and be left-minimal."""
+    from tests.oracle import wide_lane_boundary_relation
+
+    relation = wide_lane_boundary_relation()
+    assert len(relation.schema) == 70
+    serial = DepMiner(build_armstrong="none").run(relation)
+    assert any(mask >> 63 for mask in serial.agree_sets), (
+        "the fixture must straddle bit 63 or it pins nothing"
+    )
+    sharded = DepMiner(jobs=2, build_armstrong="none").run(relation)
+    assert sharded.agree_sets == serial.agree_sets
+    assert _canonical_cover(sharded.fds) == _canonical_cover(serial.fds)
+    from repro.columnar import numpy_available
+
+    if numpy_available():
+        columnar = DepMiner(backend="columnar",
+                            build_armstrong="none").run(relation)
+        assert columnar.agree_sets == serial.agree_sets
+        assert _canonical_cover(columnar.fds) == _canonical_cover(
+            serial.fds
+        )
+    for fd in serial.fds[:20]:
+        assert fd.holds_in(relation)
+        for attribute in fd.lhs.indices():
+            shrunk = fd.lhs.remove(attribute)
+            assert not relation.satisfies(
+                shrunk, relation.schema.from_mask(fd.rhs_mask)
+            )
+
+
 @settings(max_examples=15, deadline=None)
 @given(relations(max_width=4, max_rows=14))
 def test_sharded_execution_matches_serial_on_arbitrary_relations(relation):
