@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test test-parallel bench bench-cache bench-transversal \
-	bench-columnar bench-regress cache-smoke trace-smoke \
+	bench-columnar bench-ingest bench-regress cache-smoke trace-smoke \
 	transversal-smoke faults-smoke telemetry-smoke experiments \
 	experiments-paper examples clean
 
@@ -48,6 +48,15 @@ bench-columnar:
 	$(PYTHON) -m pytest benchmarks/bench_columnar.py -q
 	$(PYTHON) benchmarks/bench_columnar.py BENCH_columnar.json
 
+# The streaming-ingest speedup guard: asserts the >= 3x end-to-end
+# CSV -> cover floor over the materializing relation_from_csv path
+# (with bit-identical covers and Armstrong relations across the
+# ingest-path x backend x jobs grid, and warm-cache replays served
+# without building the Relation), then records the timings.
+bench-ingest:
+	$(PYTHON) -m pytest benchmarks/bench_ingest.py -q
+	$(PYTHON) benchmarks/bench_ingest.py BENCH_ingest.json
+
 # End-to-end kernel smoke: mine the reduction fixture (duplicated
 # columns + a near-duplicate row pair) with --transversal kernel and
 # assert the reduce spans and reduction counters in the trace.
@@ -84,7 +93,8 @@ cache-smoke:
 		.cache-smoke/warm.jsonl .cache-smoke/append.jsonl
 
 # The noise-aware perf-regression gate: re-runs the obs / cache /
-# transversal bench suites against the committed BENCH_*.json baselines
+# transversal / columnar / ingest bench suites against the committed
+# BENCH_*.json baselines
 # (speedup ratios, overhead budgets, per-phase fractions) and drops one
 # RunManifest per suite into results/telemetry/.  Fails with REGRESSED
 # lines naming the phase or ratio that moved.

@@ -14,7 +14,12 @@ relative to the checked-in baseline documents:
   bit-identical transversal families;
 - **columnar** (``BENCH_columnar.json``) — the columnar backend's
   whole-pipeline speedup over the pure-Python path, plus bit-identical
-  FD covers across backend × jobs cells.
+  FD covers across backend × jobs cells;
+- **ingest** (``BENCH_ingest.json``) — the streaming CSV→cover
+  speedup over the materializing ``relation_from_csv`` path, plus
+  bit-identical covers/Armstrong relations across ingest path ×
+  backend × jobs cells and a warm-cache replay that must be served
+  without building the ``Relation``.
 
 Every suite additionally runs an instrumented **probe**: a full
 ``DepMiner`` pipeline under a :class:`~repro.obs.Tracer` and
@@ -67,12 +72,13 @@ from repro.obs import (  # noqa: E402
     Tracer,
 )
 
-SUITES = ("obs", "cache", "transversal", "columnar")
+SUITES = ("obs", "cache", "transversal", "columnar", "ingest")
 BASELINE_FILES = {
     "obs": "BENCH_obs.json",
     "cache": "BENCH_cache.json",
     "transversal": "BENCH_transversal.json",
     "columnar": "BENCH_columnar.json",
+    "ingest": "BENCH_ingest.json",
 }
 
 #: A measured speedup may sag to this fraction of its committed value
@@ -124,11 +130,19 @@ def run_probe(suite: str, workload: Dict[str, Any],
     Keeping the fastest probe (by root-span duration) makes the phase
     fractions comparable across machines and repeats — the slow probes
     are the ones a scheduler preempted.
+
+    The **ingest** probe streams the bench CSV through ``ingest_csv``
+    under the same tracer instead of mining a pre-built relation, so
+    its committed phase fractions pin the ``ingest.read`` /
+    ``ingest.factorize`` stage profile alongside the mining phases.
     """
-    relation = generate_relation(
-        workload["attrs"], workload["rows"],
-        correlation=workload["correlation"], seed=0,
-    )
+    csv_path = workload.get("csv")
+    relation = None
+    if csv_path is None:
+        relation = generate_relation(
+            workload["attrs"], workload["rows"],
+            correlation=workload["correlation"], seed=0,
+        )
     backend = workload.get("backend", "python")
     best: Optional[RunManifest] = None
     for _ in range(PROBE_RUNS):
@@ -137,8 +151,14 @@ def run_probe(suite: str, workload: Dict[str, Any],
         sampler = ResourceSampler(tracer=tracer)
         sampler.start()
         try:
+            if csv_path is not None:
+                from repro.columnar.ingest import ingest_csv
+
+                source = ingest_csv(csv_path, tracer=tracer)
+            else:
+                source = relation
             DepMiner(build_armstrong="none", backend=backend,
-                     tracer=tracer, metrics=metrics).run(relation)
+                     tracer=tracer, metrics=metrics).run(source)
         finally:
             sampler.stop()
         manifest = RunManifest.build(
@@ -160,12 +180,15 @@ def probe_workload(suite: str, bench) -> Dict[str, Any]:
     workload = {
         "attrs": bench.ATTRS,
         "rows": bench.ROWS,
-        "correlation": bench.CORRELATION,
+        "correlation": getattr(bench, "CORRELATION", None),
     }
-    if suite == "columnar":
+    if suite in ("columnar", "ingest"):
         # Probe the columnar pipeline itself, so the committed phase
         # fractions pin the columnar stage profile, not the python one.
         workload["backend"] = "columnar"
+    if suite == "ingest":
+        # Stream the bench CSV so the probe covers the ingest phases.
+        workload["csv"] = str(bench.workload_csv())
     return workload
 
 
@@ -331,11 +354,46 @@ def run_columnar(gate: Gate, baseline: Dict[str, Any]) -> Dict[str, Any]:
     return report
 
 
+def run_ingest(gate: Gate, baseline: Dict[str, Any]) -> Dict[str, Any]:
+    from benchmarks import bench_ingest as bench
+
+    measured = bench.measure()
+    report = bench.report(measured)
+    gate.check(
+        "covers.ingest_paths_identical", report["covers_identical"],
+        "legacy and streaming ingest paths emit identical FD covers",
+    )
+    gate.check(
+        "outputs.paths_backends_jobs_identical",
+        report["outputs_identical_across_paths_backends_and_jobs"],
+        "covers and Armstrong relations identical across the "
+        "ingest-path x backend x jobs conformance grid",
+    )
+    warm = report["warm_cache"]
+    gate.check(
+        "warm_cache.full_hit_without_materialization",
+        warm["full_hit"] == 1 and not warm["materialized"]
+        and warm["covers_identical"] and warm["armstrong_identical"],
+        "warm replay served from the cache before the Relation exists",
+    )
+    if check_workload(gate, baseline, report):
+        floors = baseline.get("floors", {})
+        committed = baseline.get("speedup", {})
+        check_ratio(
+            gate, "streaming_vs_legacy",
+            report["speedup"]["streaming_vs_legacy"],
+            committed.get("streaming_vs_legacy", 0.0),
+            floors.get("streaming_vs_legacy", 0.0),
+        )
+    return report
+
+
 SUITE_RUNNERS = {
     "obs": run_obs,
     "cache": run_cache,
     "transversal": run_transversal,
     "columnar": run_columnar,
+    "ingest": run_ingest,
 }
 
 
@@ -347,6 +405,7 @@ def bench_module(suite: str):
         "cache": "benchmarks.bench_cache",
         "transversal": "benchmarks.bench_transversal_kernel",
         "columnar": "benchmarks.bench_columnar",
+        "ingest": "benchmarks.bench_ingest",
     }[suite])
 
 

@@ -36,7 +36,7 @@ bookkeeping linear in the appended batch.
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.attributes import Schema
 from repro.core.relation import Relation
@@ -44,6 +44,7 @@ from repro.core.relation import Relation
 __all__ = [
     "RelationFingerprint",
     "fingerprint_relation",
+    "fingerprint_from_codes",
     "stage_key",
     "PipelineKeys",
 ]
@@ -188,6 +189,51 @@ class RelationFingerprint:
         self._sum = (self._sum + sum(map(_mix, accs))) & _MASK
         self._count += batch
 
+    def update_codes(self, codes: Sequence[Sequence[int]],
+                     uniques: Sequence[Sequence[Any]]) -> None:
+        """Fold a factorized batch (the columnar ingest layout).
+
+        ``codes`` holds one dense code sequence per column and
+        ``uniques`` the decoded value of each code, exactly as
+        :func:`repro.columnar.encode.encode_column` produces them.
+        Each distinct value is digested once (off its ``uniques`` slot)
+        and rows are mixed by code lookup, so the result equals
+        :meth:`update_rows` over the decoded rows without ever
+        materializing them.  Works on plain sequences — NumPy arrays
+        are accepted but not required.
+        """
+        salts = self._salts
+        if len(codes) != len(salts) or len(uniques) != len(salts):
+            raise ValueError(
+                f"expected {len(salts)} coded columns, "
+                f"got {len(codes)} codes / {len(uniques)} uniques"
+            )
+        if not salts:
+            return
+        batch: Optional[int] = None
+        accs: List[int] = []
+        for index in range(len(salts)):
+            column = codes[index]
+            column = column.tolist() if hasattr(column, "tolist") \
+                else list(column)
+            if batch is None:
+                batch = len(column)
+                accs = [0] * batch
+            elif len(column) != batch:
+                raise ValueError("ragged coded column batch")
+            salt = salts[index]
+            memo = self._memos[index]
+            digests = []
+            for value in uniques[index]:
+                digest = memo.get(value)
+                if digest is None:
+                    digest = memo[value] = _value_digest(value)
+                digests.append(digest ^ salt)
+            for row, code in enumerate(column):
+                accs[row] = (accs[row] * _PRIME + digests[code]) & _MASK
+        self._sum = (self._sum + sum(map(_mix, accs))) & _MASK
+        self._count += batch or 0
+
     @property
     def key(self) -> str:
         """The content key: a hex blake2b digest of schema + row multiset."""
@@ -222,6 +268,23 @@ def fingerprint_relation(relation: Relation,
     fingerprint.update_columns(
         [relation.column(i) for i in range(len(relation.schema))]
     )
+    return fingerprint.key
+
+
+def fingerprint_from_codes(codes: Sequence[Sequence[int]],
+                           uniques: Sequence[Sequence[Any]],
+                           schema: Schema,
+                           nulls_equal: bool = True) -> str:
+    """The content key straight from a factorized code matrix.
+
+    Equal to ``fingerprint_relation`` of the decoded relation — the
+    hypothesis suite pins the equality and the shared row-permutation
+    invariance — but computed without materializing any row, which is
+    what lets a streaming ingest serve cache full-hits before a
+    :class:`~repro.core.relation.Relation` exists.
+    """
+    fingerprint = RelationFingerprint(schema, nulls_equal)
+    fingerprint.update_codes(codes, uniques)
     return fingerprint.key
 
 

@@ -29,6 +29,16 @@ Parallelism: with ``jobs > 1`` the delta couples are resolved in chunks
 through the same :class:`~repro.parallel.executor.ShardedExecutor`
 shard kinds (``agree.couples`` / ``agree.identifiers``) as a cold
 parallel run, against tables built from the updated partitions.
+
+With a columnar-backend miner the delta enters as **code-matrix
+slices**: per-attribute encoder dicts (seeded from the initial
+relation's factorization — reused verbatim from a
+:class:`~repro.columnar.ingest.CodedRelation` when the null semantics
+match) assign codes to appended rows, each batch appends one
+``(width, new)`` int64 slice, and the delta couples resolve through
+the vectorized :func:`repro.columnar.agree.resolve_couples` (sharded
+into ranges under ``jobs > 1``) instead of the per-couple Python
+resolution.
 """
 
 from __future__ import annotations
@@ -70,15 +80,18 @@ class IncrementalMiner:
     Parameters
     ----------
     relation:
-        The initial relation; it is cold-mined once at construction
+        The initial relation — a :class:`Relation` or a
+        :class:`~repro.columnar.ingest.CodedRelation` from the
+        streaming ingest path; it is cold-mined once at construction
         time (through the wrapped miner, so a configured cache can
-        already short-circuit that run).
+        already short-circuit that run, and a coded relation feeds the
+        columnar backend without re-encoding).
     miner:
         An optional pre-configured :class:`DepMiner`; every keyword
         option is forwarded to a fresh one otherwise.
     """
 
-    def __init__(self, relation: Relation, miner: Optional[DepMiner] = None,
+    def __init__(self, relation, miner: Optional[DepMiner] = None,
                  **miner_options: Any):
         if miner is not None and miner_options:
             raise ReproError(
@@ -87,6 +100,10 @@ class IncrementalMiner:
         self.miner = miner if miner is not None else DepMiner(**miner_options)
         from repro.cache.fingerprint import RelationFingerprint
 
+        coded = None if isinstance(relation, Relation) else relation
+        source = relation  # what the cold mine runs on (coded stays coded)
+        if coded is not None:
+            relation = coded.to_relation()
         self._schema = relation.schema
         self._width = len(self._schema)
         self._columns: List[List[Any]] = [
@@ -109,7 +126,8 @@ class IncrementalMiner:
             self._schema, self.miner.nulls_equal
         )
         self._fingerprint.update_columns(self._columns)
-        self._result = self.miner.run(relation)
+        self._init_codes(coded)
+        self._result = self.miner.run(source)
         self._agree: Set[int] = set(self._result.agree_sets)
         self._stats: Dict[str, int] = dict(self._result.stats)
 
@@ -202,6 +220,86 @@ class IncrementalMiner:
 
     # -- internals -----------------------------------------------------------
 
+    def _init_codes(self, coded) -> None:
+        """Seed the columnar delta state (encoders + code matrix).
+
+        Only for a columnar-backend miner with NumPy present; the
+        pure-Python delta path keeps ``_code_chunks`` at ``None``.  A
+        matching :class:`CodedRelation` donates its factorization
+        verbatim; otherwise the columns are encoded once here.
+        """
+        self._code_chunks = None
+        if self.miner.backend != "columnar":
+            return
+        from repro.columnar import numpy_available
+
+        if not numpy_available():
+            return
+        import numpy as np
+
+        nulls_equal = self.miner.nulls_equal
+        if coded is not None and coded.nulls_equal == nulls_equal:
+            codes = np.asarray(coded.codes, dtype=np.int64)
+            uniques = [coded.uniques(a) for a in range(self._width)]
+        else:
+            from repro.columnar.encode import encode_column
+
+            per_column = [
+                encode_column(column, nulls_equal=nulls_equal)
+                for column in self._columns
+            ]
+            codes = (
+                np.vstack([c for c, _ in per_column])
+                if per_column
+                else np.empty((0, self._num_rows), dtype=np.int64)
+            )
+            uniques = [list(u) for _, u in per_column]
+        self._encoders: List[Dict[Any, int]] = []
+        self._next_code: List[int] = []
+        for values in uniques:
+            encoder: Dict[Any, int] = {}
+            for code, value in enumerate(values):
+                if value is None and not nulls_equal:
+                    continue  # SQL nulls: every null cell keeps a fresh code
+                encoder.setdefault(value, code)
+            self._encoders.append(encoder)
+            self._next_code.append(len(values))
+        self._code_chunks = [codes]
+
+    def _absorb_codes(self, rows: List[Tuple[Any, ...]]) -> None:
+        """Encode *rows* through the persistent per-attribute encoders
+        and append the resulting ``(width, new)`` code-matrix slice."""
+        if self._code_chunks is None:
+            return
+        import numpy as np
+
+        nulls_equal = self.miner.nulls_equal
+        chunk = np.empty((self._width, len(rows)), dtype=np.int64)
+        for offset, row in enumerate(rows):
+            for attribute, value in enumerate(row):
+                if value is None and not nulls_equal:
+                    code = self._next_code[attribute]
+                    self._next_code[attribute] += 1
+                else:
+                    encoder = self._encoders[attribute]
+                    code = encoder.get(value)
+                    if code is None:
+                        code = self._next_code[attribute]
+                        encoder[value] = code
+                        self._next_code[attribute] += 1
+                chunk[attribute, offset] = code
+        self._code_chunks.append(chunk)
+
+    def _codes(self):
+        """The grown code matrix; chunks consolidate on first use."""
+        import numpy as np
+
+        if len(self._code_chunks) > 1:
+            self._code_chunks = [
+                np.concatenate(self._code_chunks, axis=1)
+            ]
+        return self._code_chunks[0]
+
     def _absorb(self, rows: List[Tuple[Any, ...]]) -> List[Set[Any]]:
         """Fold *rows* into the columns, groups and fingerprint.
 
@@ -222,6 +320,7 @@ class IncrementalMiner:
                 touched[attribute].add(value)
         self._num_rows = base + len(rows)
         self._fingerprint.update_rows(rows)
+        self._absorb_codes(rows)
         return touched
 
     def _delta_couples(self, touched: List[Set[Any]],
@@ -280,6 +379,24 @@ class IncrementalMiner:
         if not couples:
             return set()
         miner = self.miner
+        if self._code_chunks is not None:
+            # Columnar backend: the delta resolves against the grown
+            # code matrix with the vectorized couple resolution (range
+            # shards under jobs > 1), same masks as the Python paths.
+            import numpy as np
+
+            from repro.columnar.agree import resolve_couples
+            from repro.columnar.grouping import class_matrix
+
+            ec = class_matrix(self._codes())
+            pairs = np.asarray(couples, dtype=np.int64)
+            left, right = pairs[:, 0], pairs[:, 1]
+            executor = miner._make_executor(tracer, metrics)
+            if executor is not None:
+                from repro.parallel.shards import parallel_columnar_couples
+
+                return parallel_columnar_couples(ec, left, right, executor)
+            return resolve_couples(ec, left, right)
         if miner.agree_algorithm == "identifiers":
             kind = "agree.identifiers"
             shared: Dict[str, Any] = {

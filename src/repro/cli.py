@@ -343,6 +343,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("csv", help="input CSV file")
     report.add_argument(
+        "--backend",
+        choices=("python", "columnar"),
+        default="python",
+        help="mining backend for the profiling run; columnar also "
+             "switches the CSV load to the streaming ingest path "
+             "(identical output; falls back to python when NumPy is "
+             "missing)",
+    )
+    report.add_argument(
         "--output", "-o", default=None,
         help="write the markdown report here (default: stdout)",
     )
@@ -450,14 +459,35 @@ def _command_discover(args: argparse.Namespace) -> int:
     return result
 
 
+def _load_mining_input(args: argparse.Namespace, cache, tracer):
+    """CSV → mining input: the streaming columnar ingest when the
+    columnar backend is active (a :class:`CodedRelation`, factorized
+    chunk by chunk, fingerprinted in the same pass when a cache is
+    configured, no ``Relation`` built up front), the classic
+    ``relation_from_csv`` path otherwise."""
+    if getattr(args, "backend", "python") == "columnar":
+        from repro.columnar import numpy_available
+
+        if numpy_available():
+            from repro.columnar.ingest import ingest_csv
+
+            return ingest_csv(
+                args.csv,
+                nulls_equal=not getattr(args, "sql_nulls", False),
+                fingerprint=cache is not None,
+                tracer=tracer,
+            )
+    return relation_from_csv(args.csv)
+
+
 def _run_discover(args: argparse.Namespace, tracer, metrics,
                   progress, sampler=None) -> int:
-    relation = relation_from_csv(args.csv)
     cache = None
     if args.cache_dir:
         from repro.cache import ArtifactStore
 
         cache = ArtifactStore(cache_dir=args.cache_dir)
+    relation = _load_mining_input(args, cache, tracer)
     miner = DepMiner(
         agree_algorithm=args.algorithm,
         max_couples=args.max_couples,
@@ -527,8 +557,12 @@ def _run_discover(args: argparse.Namespace, tracer, metrics,
     if getattr(args, "telemetry_path", None):
         from repro.obs import relation_summary
 
+        # A CodedRelation materializes here, and only here: telemetry
+        # summaries are row-wise by contract.
+        summarized = relation.to_relation() \
+            if hasattr(relation, "to_relation") else relation
         relation_info = relation_summary(
-            relation, nulls_equal=not args.sql_nulls, source=args.csv
+            summarized, nulls_equal=not args.sql_nulls, source=args.csv
         )
     _finish_obs(
         args, result.trace, metrics,
@@ -714,9 +748,16 @@ def _command_report(args: argparse.Namespace) -> int:
     name = Path(args.csv).stem
     tracer, metrics, progress, sampler = _obs_hooks(args)
     with _fault_context(args, metrics) as fault_plan:
-        relation = relation_from_csv(args.csv)
-        miner = DepMiner(tracer=tracer, metrics=metrics, progress=progress)
-        report = profile_relation(relation, name=name, miner=miner)
+        loaded = _load_mining_input(args, None, tracer)
+        if hasattr(loaded, "to_relation"):
+            relation, source = loaded.to_relation(), loaded
+        else:
+            relation, source = loaded, None
+        miner = DepMiner(backend=args.backend, tracer=tracer,
+                         metrics=metrics, progress=progress)
+        report = profile_relation(
+            relation, name=name, miner=miner, source=source
+        )
     _report_injections(fault_plan)
     markdown = report.to_markdown()
     if args.output:

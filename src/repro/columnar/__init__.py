@@ -15,7 +15,14 @@ the same Dep-Miner stages column-at-a-time on integer-coded arrays:
   lane-packed ``uint64`` bitmasks, feeding the lane-packed transversal
   kernel of :mod:`repro.hypergraph.kernel`;
 - :mod:`repro.columnar.pipeline` — the end-to-end run behind
-  ``DepMiner(backend="columnar")`` (cache- and executor-aware).
+  ``DepMiner(backend="columnar")`` (cache- and executor-aware);
+- :mod:`repro.columnar.ingest` — chunked streaming CSV → code matrix
+  (:func:`ingest_csv` / :class:`CodedRelation`): factorization, type
+  inference and the relation fingerprint in one pass, with the Python
+  ``Relation`` materialized lazily only when a row-wise consumer asks;
+- :mod:`repro.columnar.armstrong` — the Armstrong constructions as
+  NumPy broadcasts over the max-union bitsets, bit-identical to
+  :mod:`repro.core.armstrong`.
 
 The backend is extensionally identical to the pure-Python path — the
 oracle-conformance suite (``tests/oracle.py``) holds the covers equal
@@ -47,6 +54,12 @@ __all__ = [
     "columnar_agree_sets",
     "maximal_sets_packed",
     "run_columnar",
+    "CodedRelation",
+    "ingest_csv",
+    "coded_from_relation",
+    "classical_armstrong_columnar",
+    "real_world_armstrong_columnar",
+    "is_armstrong_for_columnar",
 ]
 
 
@@ -89,6 +102,12 @@ _LAZY = {
     "columnar_agree_sets": "repro.columnar.agree",
     "maximal_sets_packed": "repro.columnar.cmax",
     "run_columnar": "repro.columnar.pipeline",
+    "CodedRelation": "repro.columnar.ingest",
+    "ingest_csv": "repro.columnar.ingest",
+    "coded_from_relation": "repro.columnar.ingest",
+    "classical_armstrong_columnar": "repro.columnar.armstrong",
+    "real_world_armstrong_columnar": "repro.columnar.armstrong",
+    "is_armstrong_for_columnar": "repro.columnar.armstrong",
 }
 
 

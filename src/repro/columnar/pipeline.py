@@ -65,10 +65,20 @@ def resolved_transversal_method(miner) -> str:
     return miner.transversal_method
 
 
-def run_columnar(miner, relation: Relation, tracer: Tracer,
+def run_columnar(miner, relation, tracer: Tracer,
                  metrics: MetricsRegistry, mark: int):
-    """Execute the full columnar pipeline for *miner* on *relation*."""
+    """Execute the full columnar pipeline for *miner* on *relation*.
+
+    *relation* is a :class:`Relation` or a
+    :class:`repro.columnar.ingest.CodedRelation`.  A coded relation
+    skips the ``columnar.encode`` re-walk (its code matrix feeds the
+    grouping stage directly when the null semantics match) and is
+    fingerprinted from the codes, so a warm cover hit is served without
+    ever materializing a ``Relation`` — the Armstrong step reads
+    domains off the code matrix too.
+    """
     require_numpy()
+    coded = None if isinstance(relation, Relation) else relation
     schema = relation.schema
     num_rows = len(relation)
     stats: Dict[str, int] = {}
@@ -82,9 +92,13 @@ def run_columnar(miner, relation: Relation, tracer: Tracer,
         from repro.cache.fingerprint import PipelineKeys, fingerprint_relation
 
         with tracer.span("cache.fingerprint"):
-            keys = PipelineKeys.for_miner(
-                fingerprint_relation(relation, miner.nulls_equal), miner
-            )
+            if coded is not None:
+                relation_key = coded.fingerprint_key(miner.nulls_equal)
+            else:
+                relation_key = fingerprint_relation(
+                    relation, miner.nulls_equal
+                )
+            keys = PipelineKeys.for_miner(relation_key, miner)
             guard = guard_digest(schema.names, num_rows)
         with tracer.span("cache.lookup", stage="cover"):
             bundle = store.get("cover", keys.cover, guard, metrics=metrics)
@@ -114,8 +128,19 @@ def run_columnar(miner, relation: Relation, tracer: Tracer,
             )
 
     with tracer.span("strip", phase=True, backend="columnar") as strip_span:
-        with tracer.span("columnar.encode"):
-            codes = encode_relation(relation, nulls_equal=miner.nulls_equal)
+        if coded is not None and coded.nulls_equal == miner.nulls_equal:
+            # Ingest already factorized under these null semantics; the
+            # code matrix is the encode stage's output, verbatim.
+            codes = coded.codes
+        else:
+            if coded is not None:
+                # Semantics mismatch (e.g. ingested nulls_equal=True,
+                # mined with SQL nulls): re-encode from the values.
+                relation = coded.to_relation()
+            with tracer.span("columnar.encode"):
+                codes = encode_relation(
+                    relation, nulls_equal=miner.nulls_equal
+                )
         with tracer.span("columnar.group"):
             ec = class_matrix(codes)
         stripped = num_stripped_classes(ec)

@@ -320,8 +320,14 @@ class DepMiner:
             tracer=tracer, metrics=metrics, progress=self.progress,
         )
 
-    def run(self, relation: Relation) -> DepMinerResult:
+    def run(self, relation) -> DepMinerResult:
         """Execute the full pipeline on *relation*.
+
+        *relation* is a :class:`Relation` or — from the streaming ingest
+        path — a :class:`repro.columnar.ingest.CodedRelation`.  A coded
+        relation feeds the columnar backend directly (no ``Relation`` is
+        materialized unless the Armstrong step needs domain values); the
+        pure-Python backend materializes it first.
 
         With a :attr:`cache` configured the run first fingerprints the
         relation and reuses every cached artefact the fingerprint and
@@ -332,6 +338,7 @@ class DepMiner:
         metrics = self.metrics if self.metrics is not None else NULL_METRICS
         mark = tracer.mark()
 
+        coded = None if isinstance(relation, Relation) else relation
         attrs = {"width": len(relation.schema), "rows": len(relation),
                  "backend": self.backend}
         if self.cache is not None:
@@ -341,6 +348,8 @@ class DepMiner:
                 from repro.columnar.pipeline import run_columnar
 
                 return run_columnar(self, relation, tracer, metrics, mark)
+            if coded is not None:
+                relation = coded.to_relation()
             if self.cache is not None:
                 return self._run_cached(relation, tracer, metrics, mark)
             with tracer.span("strip", phase=True) as strip_span:
@@ -637,17 +646,23 @@ class DepMiner:
         classical = None
         with tracer.span("armstrong", phase=True, mode=self.build_armstrong):
             if self.build_armstrong != "none":
-                classical = classical_armstrong(schema, union)
-                if self.build_armstrong in ("real-world", "strict"):
-                    if relation is None:
-                        if self.build_armstrong == "strict":
-                            raise ReproError(
-                                "strict real-world Armstrong generation needs "
-                                "the initial relation, not just its partitions"
-                            )
-                    elif self.build_armstrong == "strict" or \
-                            real_world_armstrong_exists(relation, union):
-                        armstrong = real_world_armstrong(relation, union)
+                if self.backend == "columnar":
+                    armstrong, classical = self._armstrong_columnar(
+                        schema, union, relation, tracer
+                    )
+                else:
+                    classical = classical_armstrong(schema, union)
+                    if self.build_armstrong in ("real-world", "strict"):
+                        if relation is None:
+                            if self.build_armstrong == "strict":
+                                raise ReproError(
+                                    "strict real-world Armstrong generation "
+                                    "needs the initial relation, not just "
+                                    "its partitions"
+                                )
+                        elif self.build_armstrong == "strict" or \
+                                real_world_armstrong_exists(relation, union):
+                            armstrong = real_world_armstrong(relation, union)
                 if armstrong is not None:
                     metrics.gauge("armstrong.tuples", len(armstrong))
 
@@ -668,6 +683,39 @@ class DepMiner:
             stats=stats,
             trace=tracer,
         )
+
+    def _armstrong_columnar(self, schema: Schema, union, relation,
+                            tracer: Tracer):
+        """Step 5 on the columnar backend: the vectorized constructions
+        of :mod:`repro.columnar.armstrong`, bit-identical to the
+        row-wise ones.  *relation* may be a :class:`Relation`, a
+        :class:`repro.columnar.ingest.CodedRelation` (domains read off
+        the code matrix, no materialization), or ``None``.
+        """
+        from repro.columnar.armstrong import (
+            classical_armstrong_columnar,
+            existence_deficits,
+            real_world_armstrong_columnar,
+        )
+
+        armstrong = None
+        with tracer.span("armstrong.build", construction="classical"):
+            classical = classical_armstrong_columnar(schema, union)
+        if self.build_armstrong in ("real-world", "strict"):
+            if relation is None:
+                if self.build_armstrong == "strict":
+                    raise ReproError(
+                        "strict real-world Armstrong generation needs "
+                        "the initial relation, not just its partitions"
+                    )
+            elif self.build_armstrong == "strict" or \
+                    not existence_deficits(relation, union):
+                with tracer.span("armstrong.build",
+                                 construction="real-world"):
+                    armstrong = real_world_armstrong_columnar(
+                        relation, union
+                    )
+        return armstrong, classical
 
 
 def discover(relation: Relation, **options) -> DepMinerResult:

@@ -153,10 +153,17 @@ class ProfileReport:
 
 
 def profile_relation(relation: Relation, name: str = "relation",
-                     miner: Optional[DepMiner] = None) -> ProfileReport:
-    """Run the full profiling workflow over one relation."""
+                     miner: Optional[DepMiner] = None,
+                     source=None) -> ProfileReport:
+    """Run the full profiling workflow over one relation.
+
+    *source* optionally carries the mining-side view of the same data —
+    a :class:`repro.columnar.ingest.CodedRelation` from the streaming
+    ingest path — so a columnar miner runs on the code matrix while the
+    row-wise profiling stages keep using *relation*.
+    """
     miner = miner or DepMiner()
-    mining = miner.run(relation)
+    mining = miner.run(source if source is not None else relation)
     schema = relation.schema
     cover = minimal_cover(mining.fds)
     keys = candidate_keys(cover, schema, limit=_KEY_ENUMERATION_LIMIT)

@@ -29,6 +29,7 @@ from __future__ import annotations
 import csv
 import math
 import re
+from itertools import chain
 from pathlib import Path
 from typing import Any, List, Optional, Sequence, Union
 
@@ -117,6 +118,12 @@ def read_csv(path: Union[str, Path], name: Optional[str] = None,
              null_tokens: Sequence[str] = DEFAULT_NULL_TOKENS) -> Table:
     """Load a CSV file into a :class:`~repro.storage.table.Table`.
 
+    The file is consumed in a single streaming pass: the header is
+    validated as soon as the first row arrives (duplicate names raise
+    the usual :class:`StorageError` listing every offender, before the
+    body is read at all) and data rows are bucketed into columns as the
+    reader yields them — nothing is materialized twice.
+
     Without a header row, columns are named ``col1..colN``.  Ragged rows
     and duplicate header names raise :class:`StorageError` with the
     offending line number / column names; real IO errors are wrapped in
@@ -131,30 +138,35 @@ def read_csv(path: Union[str, Path], name: Optional[str] = None,
         with path.open(newline="") as raw:
             handle = wrap_text_stream("storage.read", raw, path=str(path))
             reader = csv.reader(handle, delimiter=delimiter)
-            rows = list(reader)
+            first = next((row for row in reader if row), None)
+            if first is None:
+                raise StorageError(f"CSV file {path} is empty")
+            if has_header:
+                header, data = first, reader
+            else:
+                header = [f"col{i + 1}" for i in range(len(first))]
+                data = chain([first], reader)
+            _check_header(header, path)
+            width = len(header)
+            columns: List[List[Optional[str]]] = [[] for _ in range(width)]
+            # Blank lines are skipped without advancing the reported
+            # line number (it counts retained rows, as it always has).
+            line_number = 1 if has_header else 0
+            for row in data:
+                if not row:
+                    continue
+                line_number += 1
+                if len(row) != width:
+                    raise StorageError(
+                        f"{path}:{line_number}: expected {width} fields, "
+                        f"got {len(row)}"
+                    )
+                for bucket, token in zip(columns, row):
+                    bucket.append(
+                        None if token in null_set else _unescape(token)
+                    )
     except OSError as error:
         raise StorageError(f"cannot read {path}: {error}") from error
-    rows = [row for row in rows if row]  # skip completely blank lines
-    if not rows:
-        raise StorageError(f"CSV file {path} is empty")
-    if has_header:
-        header, data = rows[0], rows[1:]
-    else:
-        header = [f"col{i + 1}" for i in range(len(rows[0]))]
-        data = rows
-    _check_header(header, path)
-    width = len(header)
-    columns: List[List[Optional[str]]] = [[] for _ in range(width)]
-    for line_number, row in enumerate(data, start=2 if has_header else 1):
-        if len(row) != width:
-            raise StorageError(
-                f"{path}:{line_number}: expected {width} fields, "
-                f"got {len(row)}"
-            )
-        for bucket, token in zip(columns, row):
-            bucket.append(
-                None if token in null_set else _unescape(token)
-            )
     if infer_types:
         columns = [_parse_column(bucket) for bucket in columns]
     table_name = name if name is not None else path.stem

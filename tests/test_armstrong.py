@@ -257,3 +257,72 @@ class TestEdgeCases:
         assert not is_armstrong_for(all_dupes, result.max_union)
         # ... but it is (vacuously) Armstrong for an empty MAX
         assert is_armstrong_for(all_dupes, [])
+
+
+class TestSizeBounds:
+    """`armstrong_size` / `minimum_armstrong_size_bounds` edge cases:
+    empty max-union, single-attribute schemas, the all-attributes
+    union, and the C(n,2) >= |GEN| lower-bound arithmetic."""
+
+    def test_empty_max_union(self):
+        from repro.core.armstrong import minimum_armstrong_size_bounds
+
+        # No generators: a single tuple is already Armstrong, and both
+        # constructions emit exactly one row.
+        assert armstrong_size([]) == 1
+        assert minimum_armstrong_size_bounds([]) == (1, 1)
+        schema = Schema.of_width(2)
+        assert len(classical_armstrong(schema, [])) == 1
+
+    def test_single_attribute_schema(self):
+        from repro.core.armstrong import minimum_armstrong_size_bounds
+
+        # Width 1: the only possible generator is the empty set (the
+        # universe {A} is never a maximal set).  One generator needs
+        # two disagreeing tuples, and the construction uses |MAX|+1 = 2.
+        union = [0]
+        assert armstrong_size(union) == 2
+        assert minimum_armstrong_size_bounds(union) == (2, 2)
+        schema = Schema.of_width(1)
+        relation = classical_armstrong(schema, union)
+        assert list(relation.rows()) == [(0,), (1,)]
+        from repro.core.armstrong import is_armstrong_for
+
+        assert is_armstrong_for(relation, union)
+
+    def test_all_attributes_union(self):
+        from repro.core.armstrong import minimum_armstrong_size_bounds
+
+        # MAX containing every proper subset of width 3 that is maximal
+        # under some attribute: take the three 2-subsets.  |GEN| = 3
+        # needs C(3,2) = 3 >= 3 -> lower bound 3; upper bound 4.
+        union = [0b011, 0b101, 0b110]
+        assert armstrong_size(union) == 4
+        assert minimum_armstrong_size_bounds(union) == (3, 4)
+
+    def test_lower_bound_is_least_n_with_enough_pairs(self):
+        from repro.core.armstrong import minimum_armstrong_size_bounds
+
+        # C(n,2): 1, 3, 6, 10 ... the lower bound steps exactly there.
+        assert minimum_armstrong_size_bounds([0b1])[0] == 2
+        assert minimum_armstrong_size_bounds([0b1, 0b10])[0] == 3
+        assert minimum_armstrong_size_bounds([0b1, 0b10, 0b100])[0] == 3
+        four = [0b0001, 0b0010, 0b0100, 0b1000]
+        assert minimum_armstrong_size_bounds(four) == (4, 5)
+        ten = [1 << i for i in range(10)]
+        lower, upper = minimum_armstrong_size_bounds(ten)
+        assert lower == 5 and upper == 11  # C(5,2) = 10
+        assert all(
+            lower * (lower - 1) // 2 >= len(gen)
+            for gen, (lower, _) in [
+                (ten, minimum_armstrong_size_bounds(ten))
+            ]
+        )
+
+    def test_bounds_bracket_the_constructions(self, paper_relation):
+        from repro.core.armstrong import minimum_armstrong_size_bounds
+
+        result = DepMiner().run(paper_relation)
+        lower, upper = minimum_armstrong_size_bounds(result.max_union)
+        assert lower <= len(result.armstrong) <= upper
+        assert upper == armstrong_size(result.max_union)

@@ -1,0 +1,199 @@
+"""Differential tests: vectorized Armstrong vs the row-wise builders.
+
+The columnar constructions in :mod:`repro.columnar.armstrong` promise
+**bit-identical** output to :mod:`repro.core.armstrong` — same rows,
+same column values, same Python value types, same existence errors —
+across the whole oracle corpus (``tests/oracle.py``), the seeded
+sweep, and the 70-attribute lane-boundary relation whose masks cross
+bit 63.  ``is_armstrong_for_columnar`` must agree with the row-wise
+check on accepting *and* rejecting candidates, and the relations a
+columnar ``DepMiner`` emits must equal the python backend's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.columnar import numpy_available
+from repro.core.armstrong import (
+    classical_armstrong,
+    is_armstrong_for,
+    real_world_armstrong,
+    real_world_existence_deficits,
+)
+from repro.core.depminer import DepMiner
+from repro.datagen.synthetic import generate_relation
+from repro.errors import ArmstrongExistenceError
+from tests.oracle import corpus_relations, wide_lane_boundary_relation
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(),
+    reason="the vectorized Armstrong constructions need NumPy",
+)
+
+if numpy_available():
+    from repro.columnar.armstrong import (
+        classical_armstrong_columnar,
+        existence_deficits,
+        is_armstrong_for_columnar,
+        real_world_armstrong_columnar,
+    )
+    from repro.columnar.ingest import coded_from_relation
+
+
+def assert_bit_identical(left, right):
+    assert left.schema.names == right.schema.names
+    assert len(left) == len(right)
+    for attribute in range(len(left.schema)):
+        a, b = left.column(attribute), right.column(attribute)
+        assert a == b
+        for x, y in zip(a, b):
+            assert type(x) is type(y), (attribute, x, y)
+
+
+def max_union_of(relation):
+    return DepMiner(build_armstrong="none").run(relation).max_union
+
+
+def corpus_cases():
+    cases = [
+        pytest.param(relation, id=label)
+        for label, relation in corpus_relations()
+    ]
+    cases.append(pytest.param(wide_lane_boundary_relation(), id="wide-70"))
+    cases.extend(
+        pytest.param(
+            generate_relation(attrs, rows, correlation=corr, seed=seed),
+            id=f"gen-a{attrs}-r{rows}-c{corr}-s{seed}",
+        )
+        for attrs, rows, corr, seed in [
+            (3, 12, None, 0), (5, 25, None, 1), (6, 30, 0.3, 2),
+            (5, 40, 0.3, 3), (4, 20, 0.7, 4),
+        ]
+    )
+    return cases
+
+
+@pytest.mark.parametrize("relation", corpus_cases())
+class TestDifferentialConstructions:
+    def test_classical_is_bit_identical(self, relation):
+        union = max_union_of(relation)
+        legacy = classical_armstrong(relation.schema, union)
+        vectorized = classical_armstrong_columnar(relation.schema, union)
+        assert_bit_identical(legacy, vectorized)
+        assert is_armstrong_for(vectorized, union)
+        assert is_armstrong_for_columnar(vectorized, union)
+
+    def test_real_world_is_bit_identical_or_same_error(self, relation):
+        union = max_union_of(relation)
+        deficits = real_world_existence_deficits(relation, union)
+        assert existence_deficits(relation, union) == deficits
+        coded = coded_from_relation(relation)
+        assert existence_deficits(coded, union) == deficits
+        if deficits:
+            with pytest.raises(ArmstrongExistenceError) as legacy_err:
+                real_world_armstrong(relation, union)
+            with pytest.raises(ArmstrongExistenceError) as vector_err:
+                real_world_armstrong_columnar(relation, union)
+            assert str(legacy_err.value) == str(vector_err.value)
+            assert legacy_err.value.failing_attributes == \
+                vector_err.value.failing_attributes
+        else:
+            legacy = real_world_armstrong(relation, union)
+            assert_bit_identical(
+                legacy, real_world_armstrong_columnar(relation, union)
+            )
+            # Domains read straight off a code matrix give the same
+            # relation — no materialization needed.
+            assert_bit_identical(
+                legacy, real_world_armstrong_columnar(coded, union)
+            )
+            assert is_armstrong_for_columnar(legacy, union)
+
+    def test_is_armstrong_for_agrees(self, relation):
+        union = max_union_of(relation)
+        candidate = classical_armstrong(relation.schema, union)
+        assert is_armstrong_for(candidate, union) == \
+            is_armstrong_for_columnar(candidate, union) is True
+        # The input relation itself (may or may not be Armstrong).
+        assert is_armstrong_for(relation, union) == \
+            is_armstrong_for_columnar(relation, union)
+        # Dropping a generator must flip both verdicts identically.
+        if len(union) > 1:
+            truncated = union[:-1]
+            assert is_armstrong_for(candidate, truncated) == \
+                is_armstrong_for_columnar(candidate, truncated)
+
+
+class TestMinerIntegration:
+    @pytest.mark.parametrize(
+        "relation",
+        [pytest.param(r, id=label) for label, r in corpus_relations()],
+    )
+    def test_columnar_miner_emits_identical_armstrong(self, relation):
+        python_result = DepMiner(backend="python").run(relation)
+        columnar_result = DepMiner(backend="columnar").run(relation)
+        assert_bit_identical(
+            python_result.classical_armstrong,
+            columnar_result.classical_armstrong,
+        )
+        if python_result.armstrong is None:
+            assert columnar_result.armstrong is None
+        else:
+            assert_bit_identical(
+                python_result.armstrong, columnar_result.armstrong
+            )
+
+    def test_armstrong_build_child_spans(self):
+        from repro.datasets import paper_example_relation
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        DepMiner(backend="columnar", tracer=tracer).run(
+            paper_example_relation()
+        )
+        builds = tracer.find("armstrong.build")
+        constructions = {span.attrs["construction"] for span in builds}
+        assert constructions == {"classical", "real-world"}
+
+    def test_strict_mode_raises_identically(self):
+        from repro.core.attributes import Schema
+        from repro.core.relation import Relation
+
+        deficient = Relation.from_rows(
+            Schema.of_width(3), [(0, 0, 0), (1, 0, 1), (1, 1, 0)]
+        )
+        errors = []
+        for backend in ("python", "columnar"):
+            with pytest.raises(ArmstrongExistenceError) as excinfo:
+                DepMiner(backend=backend,
+                         build_armstrong="strict").run(deficient)
+            errors.append(str(excinfo.value))
+        assert errors[0] == errors[1]
+
+
+class TestEdgeShapes:
+    def test_empty_union_single_zero_row(self):
+        from repro.core.attributes import Schema
+
+        schema = Schema.of_width(3)
+        relation = classical_armstrong_columnar(schema, [])
+        assert list(relation.rows()) == [(0, 0, 0)]
+
+    def test_single_attribute(self):
+        from repro.core.attributes import Schema
+
+        schema = Schema.of_width(1)
+        relation = classical_armstrong_columnar(schema, [0])
+        assert list(relation.rows()) == [(0,), (1,)]
+        assert is_armstrong_for_columnar(relation, [0])
+
+    def test_empty_candidate_and_single_row(self):
+        from repro.core.attributes import Schema
+        from repro.core.relation import Relation
+
+        schema = Schema.of_width(2)
+        single = Relation.from_rows(schema, [(1, 2)])
+        assert is_armstrong_for(single, []) == \
+            is_armstrong_for_columnar(single, [])
+        assert not is_armstrong_for_columnar(single, [0b01])

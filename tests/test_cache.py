@@ -301,6 +301,70 @@ class TestFingerprint:
         with pytest.raises(ValueError):
             fingerprint.update_rows([(1,)])
 
+    def test_codes_path_no_numpy_needed(self):
+        # fingerprint_from_codes is pure Python: plain list codes work.
+        from repro.cache.fingerprint import fingerprint_from_codes
+
+        schema = Schema(["a", "b"])
+        relation = self.relation([(1, "x"), (2, "x"), (1, "y")],
+                                 names=("a", "b"))
+        codes = [[0, 1, 0], [0, 0, 1]]
+        uniques = [[1, 2], ["x", "y"]]
+        assert fingerprint_from_codes(codes, uniques, schema) == \
+            fingerprint_relation(relation)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_fingerprint_from_codes_equals_row_fingerprint(self, data):
+        """The satellite property: hashing through a factorized
+        (codes, uniques) view equals the row-level fingerprint, and
+        stays row-permutation invariant, under both null semantics."""
+        from repro.cache.fingerprint import fingerprint_from_codes
+
+        width = data.draw(st.integers(1, 4), label="width")
+        num_rows = data.draw(st.integers(0, 12), label="rows")
+        value_pool = [None, "x", "y", "01", "1", 1, 2, 1.5, ""]
+        rows = data.draw(
+            st.lists(
+                st.tuples(*[st.sampled_from(value_pool)] * width),
+                min_size=num_rows, max_size=num_rows,
+            ),
+            label="rows_data",
+        )
+        nulls_equal = data.draw(st.booleans(), label="nulls_equal")
+        schema = Schema.of_width(width)
+        relation = Relation.from_rows(schema, rows)
+        codes, uniques = [], []
+        for attribute in range(width):
+            encoder, column_codes, column_uniques = {}, [], []
+            for value in relation.column(attribute):
+                if value is None and not nulls_equal:
+                    code = len(column_uniques)  # fresh per null cell
+                    column_uniques.append(None)
+                else:
+                    code = encoder.get(value)
+                    if code is None:
+                        code = len(column_uniques)
+                        encoder[value] = code
+                        column_uniques.append(value)
+                column_codes.append(code)
+            codes.append(column_codes)
+            uniques.append(column_uniques)
+        expected = fingerprint_relation(relation, nulls_equal)
+        assert fingerprint_from_codes(
+            codes, uniques, schema, nulls_equal=nulls_equal
+        ) == expected
+        # Row-permutation invariance carries over to the codes path.
+        permutation = data.draw(
+            st.permutations(range(num_rows)), label="perm"
+        )
+        shuffled = [
+            [column[row] for row in permutation] for column in codes
+        ]
+        assert fingerprint_from_codes(
+            shuffled, uniques, schema, nulls_equal=nulls_equal
+        ) == expected
+
     def test_stage_keys_depend_on_config(self):
         key = "deadbeef" * 4
         assert stage_key(key, "agree", algorithm="couples") != \

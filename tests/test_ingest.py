@@ -1,0 +1,319 @@
+"""Differential tests for the streaming columnar ingest path.
+
+The contract of :mod:`repro.columnar.ingest` is *pinned equality* with
+the two-step legacy path — ``read_csv`` (null mapping, unescaping,
+typed column inference, error reporting) followed by ``encode_column``
+(first-occurrence code order, fresh codes per ``None`` under SQL null
+semantics).  Every test here compares the streaming reader against
+that composition on the same bytes:
+
+* code matrices, uniques *and the Python types of the decoded values*
+  are equal, across chunk sizes (including ``chunk_rows=1``, so every
+  chunk boundary is exercised) and both null semantics;
+* ``StorageError`` messages are byte-identical — ragged rows (with the
+  blank-line line-numbering quirk), duplicate headers (validated from
+  the first chunk), empty and missing files;
+* the single-pass fingerprint equals ``fingerprint_relation`` of the
+  materialized relation;
+* laziness: mining through ``DepMiner(backend="columnar")`` — cold and
+  warm-cache — never materializes the ``Relation``, and warm cover
+  hits are served straight from the fingerprint.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.columnar import numpy_available
+from repro.errors import StorageError
+from repro.storage.csv_io import DEFAULT_NULL_TOKENS, read_csv
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(),
+    reason="the streaming ingest path needs NumPy",
+)
+
+if numpy_available():
+    from repro.columnar.encode import encode_column
+    from repro.columnar.ingest import (
+        CodedRelation,
+        coded_from_relation,
+        ingest_csv,
+    )
+
+#: Tokens chosen to stress every semantic corner: null tokens, escaped
+#: null lookalikes, canonical vs non-canonical numerics, zero-padded
+#: ints that merge after typing, floats that stay distinct as text,
+#: >18-digit ints (past the vectorized-parse window), non-ASCII digits,
+#: and the nan/inf family that must stay textual.
+ADVERSARIAL_TOKENS = [
+    "", "NULL", "null", "NA", "N/A", "\\NULL", "\\x", "\\\\y",
+    "0", "1", "01", "007", "-3", "+4", "12", "100",
+    "1.0", "1.00", ".5", "5.", "1e3", "1E3", "-0", "+0",
+    "999999999999999999999", "²3", "nan", "inf", "1_0", " 7 ",
+    "abc", "a,b", 'he said "hi"', "x\\ny",
+]
+
+
+def write_csv_text(tmp_path, text, name="data.csv"):
+    path = tmp_path / name
+    path.write_text(text, newline="")
+    return path
+
+
+def random_csv(rng, width, rows):
+    header = ",".join(f"c{i}" for i in range(width))
+    body = "\n".join(
+        ",".join(
+            '"%s"' % rng.choice(ADVERSARIAL_TOKENS).replace('"', '""')
+            for _ in range(width)
+        )
+        for _ in range(rows)
+    )
+    return header + "\n" + body + "\n"
+
+
+def legacy_coded(path, nulls_equal=True, **options):
+    """The pinned two-step path: read_csv + encode_column per column."""
+    table = read_csv(path, **options)
+    relation = table.to_relation()
+    width = len(relation.schema)
+    per_column = [
+        encode_column(relation.column(a), nulls_equal=nulls_equal)
+        for a in range(width)
+    ]
+    return relation, per_column
+
+
+def assert_matches_legacy(path, nulls_equal=True, chunk_rows=None,
+                          **options):
+    relation, per_column = legacy_coded(
+        path, nulls_equal=nulls_equal, **options
+    )
+    kwargs = dict(options)
+    if chunk_rows is not None:
+        kwargs["chunk_rows"] = chunk_rows
+    coded = ingest_csv(path, nulls_equal=nulls_equal, **kwargs)
+    assert coded.schema.names == relation.schema.names
+    assert len(coded) == len(relation)
+    for attribute, (codes, uniques) in enumerate(per_column):
+        assert coded.codes[attribute].tolist() == list(codes)
+        got = coded.uniques(attribute)
+        assert got == list(uniques)
+        for mine, theirs in zip(got, uniques):
+            assert type(mine) is type(theirs), (attribute, mine, theirs)
+    materialized = coded.to_relation()
+    for attribute in range(len(relation.schema)):
+        assert materialized.column(attribute) == relation.column(attribute)
+    return coded, relation
+
+
+class TestDifferentialFactorization:
+    @pytest.mark.parametrize("nulls_equal", [True, False])
+    @pytest.mark.parametrize("chunk_rows", [None, 1, 3])
+    def test_adversarial_grid(self, tmp_path, nulls_equal, chunk_rows):
+        rng = random.Random(20260809)
+        path = write_csv_text(tmp_path, random_csv(rng, 5, 37))
+        assert_matches_legacy(
+            path, nulls_equal=nulls_equal, chunk_rows=chunk_rows
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fuzz_sweep(self, tmp_path, seed):
+        rng = random.Random(seed)
+        width = rng.randint(1, 6)
+        rows = rng.randint(0, 40)
+        path = write_csv_text(tmp_path, random_csv(rng, width, rows))
+        for nulls_equal in (True, False):
+            assert_matches_legacy(
+                path, nulls_equal=nulls_equal,
+                chunk_rows=rng.choice([1, 2, 7, None]),
+            )
+
+    def test_pure_integer_columns_fast_path(self, tmp_path):
+        # All-digit columns take the vectorized UCS4 parse; values must
+        # come back as Python ints in first-occurrence order.
+        path = write_csv_text(
+            tmp_path, "a,b\n10,01\n7,1\n10,007\n0,-2\n"
+        )
+        coded, _ = assert_matches_legacy(path)
+        assert coded.uniques(0) == [10, 7, 0]
+        assert all(type(u) is int for u in coded.uniques(0))
+        # "01" and "1" are one integer after inference; "007" is 7.
+        assert coded.uniques(1) == [1, 7, -2]
+
+    def test_no_header_and_no_inference(self, tmp_path):
+        path = write_csv_text(tmp_path, "1,x\n\n2,y\n1,x\n")
+        assert_matches_legacy(path, has_header=False)
+        assert_matches_legacy(path, has_header=False, infer_types=False)
+        coded = ingest_csv(path, has_header=False, infer_types=False)
+        assert coded.schema.names == ("col1", "col2")
+        assert coded.uniques(0) == ["1", "2"]
+
+    def test_custom_null_tokens_and_delimiter(self, tmp_path):
+        path = write_csv_text(tmp_path, "a;b\n-;1\nx;-\n")
+        assert_matches_legacy(
+            path, delimiter=";", null_tokens=("-",)
+        )
+        coded = ingest_csv(path, delimiter=";", null_tokens=("-",))
+        assert coded.uniques(0) == [None, "x"]
+
+    def test_escaped_null_lookalikes_round_trip(self, tmp_path):
+        from repro.storage.csv_io import write_csv
+        from repro.storage.table import Table
+
+        table = Table.from_rows(
+            "t", ["a", "b"],
+            [(None, "NULL"), ("\\x", "x"), ("NA", None)],
+        )
+        path = tmp_path / "escaped.csv"
+        write_csv(table, path)
+        coded, relation = assert_matches_legacy(path)
+        assert list(coded.to_relation().rows()) == list(
+            table.to_relation().rows()
+        )
+
+
+class TestErrorParity:
+    def both_errors(self, path, **options):
+        messages = []
+        for loader in (read_csv, ingest_csv):
+            with pytest.raises(StorageError) as excinfo:
+                loader(path, **options)
+            messages.append(str(excinfo.value))
+        assert messages[0] == messages[1]
+        return messages[0]
+
+    def test_ragged_row(self, tmp_path):
+        path = write_csv_text(tmp_path, "a,b\n1,2\n3\n")
+        assert self.both_errors(path) == \
+            f"{path}:3: expected 2 fields, got 1"
+
+    def test_ragged_row_line_numbers_skip_blanks(self, tmp_path):
+        # Blank lines vanish without advancing the reported line number
+        # — a long-standing quirk both readers must share.
+        path = write_csv_text(tmp_path, "a,b\n1,2\n\n\n3,4,5\n")
+        assert self.both_errors(path) == \
+            f"{path}:3: expected 2 fields, got 3"
+
+    def test_duplicate_headers_listed_sorted(self, tmp_path):
+        path = write_csv_text(tmp_path, "b,a,b,a,c\n1,2,3,4,5\n")
+        assert self.both_errors(path) == \
+            f"{path}: duplicate column name(s): a, b"
+
+    def test_duplicate_header_raises_before_body_is_read(self, tmp_path):
+        # Streaming readers validate the header from the first chunk:
+        # a ragged body row must not mask the duplicate-header error.
+        path = write_csv_text(tmp_path, "a,a\n1\n")
+        assert "duplicate column name(s): a" in self.both_errors(path)
+
+    def test_empty_and_blank_only_files(self, tmp_path):
+        for text in ("", "\n\n\n"):
+            path = write_csv_text(tmp_path, text, name="e.csv")
+            assert self.both_errors(path) == f"CSV file {path} is empty"
+
+    def test_missing_file(self, tmp_path):
+        path = tmp_path / "nope.csv"
+        assert self.both_errors(path) == f"CSV file not found: {path}"
+
+    def test_bad_chunk_rows(self, tmp_path):
+        path = write_csv_text(tmp_path, "a\n1\n")
+        with pytest.raises(StorageError):
+            ingest_csv(path, chunk_rows=0)
+
+
+class TestLaziness:
+    def test_relation_is_not_built_until_asked(self, tmp_path):
+        path = write_csv_text(tmp_path, "a,b\n1,2\n3,4\n")
+        coded = ingest_csv(path)
+        assert not coded.materialized
+        first = coded.to_relation()
+        assert coded.materialized
+        assert coded.to_relation() is first  # memoized
+
+    def test_fingerprint_without_materialization(self, tmp_path):
+        from repro.cache.fingerprint import fingerprint_relation
+
+        path = write_csv_text(tmp_path, "a,b\n1,x\n1,y\n2,x\n")
+        for nulls_equal in (True, False):
+            coded = ingest_csv(path, nulls_equal=nulls_equal,
+                               fingerprint=True)
+            key = coded.fingerprint_key()
+            assert not coded.materialized
+            assert key == fingerprint_relation(
+                coded.to_relation(), nulls_equal
+            )
+
+    def test_cold_columnar_mine_never_materializes(self, tmp_path):
+        from repro.core.depminer import DepMiner
+
+        path = write_csv_text(tmp_path, "a,b,c\n1,x,0\n2,x,0\n1,y,1\n")
+        coded = ingest_csv(path)
+        result = DepMiner(backend="columnar").run(coded)
+        assert not coded.materialized
+        assert result.fds
+
+    def test_warm_cover_hit_served_before_materialization(self, tmp_path):
+        from repro.cache import ArtifactStore
+        from repro.core.depminer import DepMiner
+        from repro.obs import MetricsRegistry
+
+        path = write_csv_text(
+            tmp_path, "a,b,c\n1,x,0\n2,x,0\n1,y,1\n2,y,1\n"
+        )
+        store = ArtifactStore(tmp_path / "cache")
+        cold = DepMiner(backend="columnar", cache=store).run(
+            ingest_csv(path, fingerprint=True)
+        )
+        warm_input = ingest_csv(path, fingerprint=True)
+        metrics = MetricsRegistry()
+        warm = DepMiner(
+            backend="columnar", cache=store, metrics=metrics
+        ).run(warm_input)
+        assert metrics.counters.get("cache.full_hit") == 1
+        assert not warm_input.materialized
+        assert [(fd.lhs.mask, fd.rhs_index) for fd in warm.fds] == \
+            [(fd.lhs.mask, fd.rhs_index) for fd in cold.fds]
+        assert list(warm.armstrong.rows()) == list(cold.armstrong.rows())
+
+    def test_ingest_spans_are_emitted(self, tmp_path):
+        from repro.obs import Tracer
+
+        path = write_csv_text(tmp_path, "a,b\n1,2\n")
+        tracer = Tracer()
+        ingest_csv(path, fingerprint=True, tracer=tracer)
+        names = [span.name for span in tracer.finished_spans()]
+        assert "ingest.read" in names
+        assert "ingest.factorize" in names
+        assert "ingest.fingerprint" in names
+
+
+class TestCodedRelation:
+    def test_coded_from_relation_round_trips(self):
+        from repro.core.attributes import Schema
+        from repro.core.relation import Relation
+
+        relation = Relation.from_rows(
+            Schema(["a", "b"]), [(1, None), (1, "x"), (2, None)]
+        )
+        for nulls_equal in (True, False):
+            coded = coded_from_relation(relation, nulls_equal=nulls_equal)
+            assert isinstance(coded, CodedRelation)
+            assert coded.to_relation() is relation
+            codes, uniques = encode_column(
+                relation.column(1), nulls_equal=nulls_equal
+            )
+            assert coded.codes[1].tolist() == list(codes)
+            assert coded.uniques(1) == list(uniques)
+
+    def test_distinct_values_match_relation(self, tmp_path):
+        path = write_csv_text(tmp_path, "a,b\n2,x\n1,x\n2,y\n")
+        coded = ingest_csv(path)
+        relation = read_csv(path).to_relation()
+        for attribute in range(2):
+            assert coded.distinct_values(attribute) == \
+                relation.distinct_values(attribute)
+            assert coded.distinct_count(attribute) == \
+                len(set(relation.column(attribute)))
