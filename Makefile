@@ -3,9 +3,9 @@
 PYTHON ?= python
 
 .PHONY: install test test-parallel bench bench-cache bench-transversal \
-	bench-columnar bench-ingest bench-regress cache-smoke trace-smoke \
-	transversal-smoke faults-smoke telemetry-smoke experiments \
-	experiments-paper examples clean
+	bench-columnar bench-ingest bench-serve bench-regress cache-smoke \
+	trace-smoke transversal-smoke faults-smoke telemetry-smoke \
+	serve-smoke experiments experiments-paper examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -57,6 +57,14 @@ bench-ingest:
 	$(PYTHON) -m pytest benchmarks/bench_ingest.py -q
 	$(PYTHON) benchmarks/bench_ingest.py BENCH_ingest.json
 
+# The discovery-daemon speedup guard: asserts a warm session answers a
+# cover query >= 20x faster than a cold one-shot process (and >= 2x an
+# in-process cold mine), with the served cover bit-identical to
+# DepMiner.run, then records the timings.
+bench-serve:
+	$(PYTHON) -m pytest benchmarks/bench_serve.py -q
+	$(PYTHON) benchmarks/bench_serve.py BENCH_serve.json
+
 # End-to-end kernel smoke: mine the reduction fixture (duplicated
 # columns + a near-duplicate row pair) with --transversal kernel and
 # assert the reduce spans and reduction counters in the trace.
@@ -92,9 +100,18 @@ cache-smoke:
 	$(PYTHON) scripts/check_trace.py .cache-smoke/cold.jsonl \
 		.cache-smoke/warm.jsonl .cache-smoke/append.jsonl
 
+# End-to-end service smoke: boot a real `repro serve` process on an
+# ephemeral port, drive register -> append -> cover/keys/armstrong over
+# HTTP (cover checked against a cold in-process run), assert the warm
+# repeat-registration cache hit, the typed 404 error document and the
+# per-request manifests, then shut down gracefully.
+serve-smoke:
+	$(PYTHON) scripts/check_serve.py
+	$(PYTHON) scripts/check_serve.py --backend columnar
+
 # The noise-aware perf-regression gate: re-runs the obs / cache /
-# transversal / columnar / ingest bench suites against the committed
-# BENCH_*.json baselines
+# transversal / columnar / ingest / serve bench suites against the
+# committed BENCH_*.json baselines
 # (speedup ratios, overhead budgets, per-phase fractions) and drops one
 # RunManifest per suite into results/telemetry/.  Fails with REGRESSED
 # lines naming the phase or ratio that moved.

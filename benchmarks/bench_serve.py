@@ -1,0 +1,204 @@
+"""Speedup guard for the discovery daemon (``repro serve``).
+
+Measures three ways of answering "what is the FD cover of this
+relation?":
+
+- **cold_process** — the stateless baseline the daemon replaces: one
+  ``python -m repro.cli discover`` subprocess per question, paying
+  interpreter start-up, CSV parse and a full mine every time;
+- **cold_mine** — a fresh in-process ``DepMiner.run`` per question
+  (what an application embedding the library pays without sessions);
+- **warm_session** — a ``GET /sessions/<id>/cover`` round trip against
+  a live daemon holding the relation in a warm session: full HTTP
+  stack included, but the mine happened once at registration.
+
+The tests assert the acceptance floors of the service work: a warm
+session answers ≥ 20× faster than a cold process and ≥ 2× faster than
+even an in-process cold mine, and the served cover is bit-identical to
+``DepMiner.run``.  Timings are min-of-repeats.
+
+The workload is environment-parameterised::
+
+    REPRO_BENCH_SERVE_ROWS=2000 REPRO_BENCH_SERVE_ATTRS=8 \
+        PYTHONPATH=src python benchmarks/bench_serve.py [BENCH_serve.json]
+
+Run as a script to (re)generate the committed ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core.depminer import DepMiner
+from repro.datagen.synthetic import generate_relation
+from repro.service import ReproServiceServer, ServiceClient, ServiceConfig
+from repro.storage.csv_io import relation_to_csv
+
+ATTRS = int(os.environ.get("REPRO_BENCH_SERVE_ATTRS", "8"))
+ROWS = int(os.environ.get("REPRO_BENCH_SERVE_ROWS", "2000"))
+CORRELATION = float(os.environ.get("REPRO_BENCH_SERVE_CORRELATION", "0.9"))
+REPEATS = int(os.environ.get("REPRO_BENCH_SERVE_REPEATS", "3"))
+
+MIN_PROCESS_SPEEDUP = 20.0
+MIN_MINE_SPEEDUP = 2.0
+
+
+def _workload():
+    return generate_relation(ATTRS, ROWS, correlation=CORRELATION, seed=0)
+
+
+def _cover_names(result) -> List[tuple]:
+    return sorted((tuple(fd.lhs.names), fd.rhs) for fd in result.fds)
+
+
+def _served_cover(document) -> List[tuple]:
+    return sorted((tuple(fd["lhs"]), fd["rhs"])
+                  for fd in document["fds"])
+
+
+class _LiveServer:
+    """An in-process daemon on an ephemeral port, for the warm path."""
+
+    def __init__(self):
+        self.server = ReproServiceServer(ServiceConfig(port=0))
+        self.thread = threading.Thread(
+            target=self.server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+        )
+        self.thread.start()
+        self.client = ServiceClient(
+            f"http://127.0.0.1:{self.server.port}", timeout=120.0
+        )
+
+    def stop(self) -> None:
+        self.server.shutdown()
+        self.thread.join()
+        self.server.server_close()
+
+
+def measure(repeats: int = REPEATS) -> Dict[str, object]:
+    """Min-of-*repeats* seconds per path, plus the covers they produce.
+
+    The warm session is registered once (that mine is the cold run it
+    amortises); the timed request is the cover query alone.  The cold
+    process is timed end-to-end — start-up cost is precisely what a
+    long-lived daemon exists to avoid paying per question.
+    """
+    relation = _workload()
+    best = {"cold_process": float("inf"), "cold_mine": float("inf"),
+            "warm_session": float("inf")}
+    covers = {}
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+        csv_path = Path(tmp) / "workload.csv"
+        relation_to_csv(relation, csv_path)
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+
+        live = _LiveServer()
+        try:
+            registered = live.client.register(
+                "bench", csv_path=str(csv_path)
+            )
+            session_id = registered["session"]["id"]
+            for _ in range(repeats):
+                start = time.perf_counter()
+                subprocess.run(
+                    [sys.executable, "-m", "repro.cli", "discover",
+                     str(csv_path)],
+                    env=env, check=True, stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL,
+                )
+                best["cold_process"] = min(
+                    best["cold_process"], time.perf_counter() - start
+                )
+
+                start = time.perf_counter()
+                result = DepMiner(build_armstrong="none").run(relation)
+                best["cold_mine"] = min(
+                    best["cold_mine"], time.perf_counter() - start
+                )
+                covers["cold_mine"] = _cover_names(result)
+
+                start = time.perf_counter()
+                served = live.client.cover(session_id)
+                best["warm_session"] = min(
+                    best["warm_session"], time.perf_counter() - start
+                )
+                covers["warm_session"] = _served_cover(served["cover"])
+        finally:
+            live.stop()
+
+    return {"seconds": best, "covers": covers}
+
+
+def report(measured: Dict[str, object]) -> Dict[str, object]:
+    seconds = measured["seconds"]
+    return {
+        "workload": {
+            "attrs": ATTRS,
+            "rows": ROWS,
+            "correlation": CORRELATION,
+            "repeats": REPEATS,
+        },
+        "seconds": {name: round(value, 6)
+                    for name, value in seconds.items()},
+        "speedup": {
+            "warm_session_vs_cold_process": round(
+                seconds["cold_process"] / seconds["warm_session"], 2
+            ),
+            "warm_session_vs_cold_mine": round(
+                seconds["cold_mine"] / seconds["warm_session"], 2
+            ),
+        },
+        "floors": {
+            "warm_session_vs_cold_process": MIN_PROCESS_SPEEDUP,
+            "warm_session_vs_cold_mine": MIN_MINE_SPEEDUP,
+        },
+    }
+
+
+def test_served_cover_is_exact():
+    covers = measure(repeats=1)["covers"]
+    assert covers["warm_session"] == covers["cold_mine"]
+
+
+def test_warm_session_speedup_floors():
+    seconds = measure()["seconds"]
+    process_speedup = seconds["cold_process"] / seconds["warm_session"]
+    mine_speedup = seconds["cold_mine"] / seconds["warm_session"]
+    assert process_speedup >= MIN_PROCESS_SPEEDUP, (
+        f"warm session only {process_speedup:.1f}x faster than a cold "
+        f"process (cold {seconds['cold_process']:.4f}s, warm "
+        f"{seconds['warm_session']:.4f}s; floor {MIN_PROCESS_SPEEDUP}x)"
+    )
+    assert mine_speedup >= MIN_MINE_SPEEDUP, (
+        f"warm session only {mine_speedup:.1f}x faster than an "
+        f"in-process cold mine (cold {seconds['cold_mine']:.4f}s, warm "
+        f"{seconds['warm_session']:.4f}s; floor {MIN_MINE_SPEEDUP}x)"
+    )
+
+
+def main(argv: List[str]) -> int:
+    path = argv[0] if argv else "BENCH_serve.json"
+    document = report(measure())
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(document, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -19,7 +19,10 @@ relative to the checked-in baseline documents:
   speedup over the materializing ``relation_from_csv`` path, plus
   bit-identical covers/Armstrong relations across ingest path ×
   backend × jobs cells and a warm-cache replay that must be served
-  without building the ``Relation``.
+  without building the ``Relation``;
+- **serve** (``BENCH_serve.json``) — the discovery daemon's
+  warm-session cover query against a cold one-shot process and an
+  in-process cold mine, plus a bit-identical served cover.
 
 Every suite additionally runs an instrumented **probe**: a full
 ``DepMiner`` pipeline under a :class:`~repro.obs.Tracer` and
@@ -72,13 +75,14 @@ from repro.obs import (  # noqa: E402
     Tracer,
 )
 
-SUITES = ("obs", "cache", "transversal", "columnar", "ingest")
+SUITES = ("obs", "cache", "transversal", "columnar", "ingest", "serve")
 BASELINE_FILES = {
     "obs": "BENCH_obs.json",
     "cache": "BENCH_cache.json",
     "transversal": "BENCH_transversal.json",
     "columnar": "BENCH_columnar.json",
     "ingest": "BENCH_ingest.json",
+    "serve": "BENCH_serve.json",
 }
 
 #: A measured speedup may sag to this fraction of its committed value
@@ -388,12 +392,34 @@ def run_ingest(gate: Gate, baseline: Dict[str, Any]) -> Dict[str, Any]:
     return report
 
 
+def run_serve(gate: Gate, baseline: Dict[str, Any]) -> Dict[str, Any]:
+    from benchmarks import bench_serve as bench
+
+    measured = bench.measure()
+    report = bench.report(measured)
+    covers = measured["covers"]
+    gate.check(
+        "covers.served_identical",
+        covers["warm_session"] == covers["cold_mine"],
+        "warm daemon session serves the cold DepMiner.run cover",
+    )
+    if check_workload(gate, baseline, report):
+        floors = baseline.get("floors", {})
+        committed = baseline.get("speedup", {})
+        for name in ("warm_session_vs_cold_process",
+                     "warm_session_vs_cold_mine"):
+            check_ratio(gate, name, report["speedup"][name],
+                        committed.get(name, 0.0), floors.get(name, 0.0))
+    return report
+
+
 SUITE_RUNNERS = {
     "obs": run_obs,
     "cache": run_cache,
     "transversal": run_transversal,
     "columnar": run_columnar,
     "ingest": run_ingest,
+    "serve": run_serve,
 }
 
 
@@ -406,6 +432,7 @@ def bench_module(suite: str):
         "transversal": "benchmarks.bench_transversal_kernel",
         "columnar": "benchmarks.bench_columnar",
         "ingest": "benchmarks.bench_ingest",
+        "serve": "benchmarks.bench_serve",
     }[suite])
 
 

@@ -11,9 +11,10 @@ invariants the per-record validator cannot see: at least one span, a
 meta header carrying the producing command, parents exported before
 their children (tree order), no orphaned parent references, every span
 closed (error spans included), child depth one below its parent, and
-child intervals contained in their parent's within a small tolerance
-(back-dated worker spans relayed via ``Tracer.record`` may overhang by
-scheduling jitter).  Exits non-zero with one line per problem.
+child intervals contained *exactly* in their parent's —
+``Tracer.record`` clamps back-dated worker spans to the parent's
+window, so containment needs no tolerance.  Exits non-zero with one
+line per problem.
 """
 
 from __future__ import annotations
@@ -61,11 +62,6 @@ def check_file(path: Path) -> list:
     return problems
 
 
-#: Child spans relayed from worker processes (``Tracer.record``) are
-#: back-dated onto the parent clock; allow this much overhang.
-CONTAINMENT_EPS = 5e-3
-
-
 def check_span_tree(spans: list, by_id: dict) -> list:
     """Structural invariants of the whole span tree.
 
@@ -73,7 +69,8 @@ def check_span_tree(spans: list, by_id: dict) -> list:
       error span that never popped would surface here;
     - a child's ``depth`` is exactly one below its parent's;
     - a child's ``[start, end]`` interval lies inside its parent's,
-      within :data:`CONTAINMENT_EPS`.
+      exactly (``Tracer.record`` clamps relayed worker spans to the
+      parent window, so no tolerance is needed).
     """
     problems = []
     for span in spans:
@@ -99,13 +96,11 @@ def check_span_tree(spans: list, by_id: dict) -> list:
                 f"{label} has depth {span.get('depth')} under parent "
                 f"{parent.get('id')} at depth {parent.get('depth')}"
             )
-        if parent.get("start") is not None and \
-                start < parent["start"] - CONTAINMENT_EPS:
+        if parent.get("start") is not None and start < parent["start"]:
             problems.append(
                 f"{label} starts before its parent {parent.get('id')}"
             )
-        if parent.get("end") is not None and \
-                end > parent["end"] + CONTAINMENT_EPS:
+        if parent.get("end") is not None and end > parent["end"]:
             problems.append(
                 f"{label} ends after its parent {parent.get('id')}"
             )

@@ -30,6 +30,11 @@ through the same :class:`~repro.parallel.executor.ShardedExecutor`
 shard kinds (``agree.couples`` / ``agree.identifiers``) as a cold
 parallel run, against tables built from the updated partitions.
 
+Concurrency: appends are serialized on a per-instance mutex (the
+long-lived service keeps one ``IncrementalMiner`` per session and feeds
+it from worker threads); a re-entrant ``append`` on the same thread
+raises :class:`~repro.errors.CacheError`.
+
 With a columnar-backend miner the delta enters as **code-matrix
 slices**: per-attribute encoder dicts (seeded from the initial
 relation's factorization — reused verbatim from a
@@ -43,6 +48,7 @@ resolution.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from itertools import combinations
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
@@ -54,7 +60,7 @@ from repro.core.agree_sets import (
 )
 from repro.core.depminer import DepMiner, DepMinerResult
 from repro.core.relation import Relation
-from repro.errors import ReproError
+from repro.errors import CacheError, ReproError
 from repro.obs import NULL_METRICS, MetricsRegistry, Tracer, get_logger
 from repro.partitions.database import StrippedPartitionDatabase
 from repro.partitions.partition import StrippedPartition
@@ -126,6 +132,13 @@ class IncrementalMiner:
             self._schema, self.miner.nulls_equal
         )
         self._fingerprint.update_columns(self._columns)
+        # append() mutates the value -> rows maps, the columns and the
+        # fingerprint across many non-atomic steps; the mutex serializes
+        # overlapping appends (concurrent service sessions) and the
+        # owner check turns a re-entrant call — which would deadlock on
+        # the non-reentrant lock — into a typed error.
+        self._append_lock = threading.Lock()
+        self._append_owner: Optional[int] = None
         self._init_codes(coded)
         self._result = self.miner.run(source)
         self._agree: Set[int] = set(self._result.agree_sets)
@@ -159,7 +172,30 @@ class IncrementalMiner:
         Equivalent to ``DepMiner.run`` on the concatenated relation, but
         only the delta couples are swept and only the derivation tail is
         recomputed.
+
+        Thread-safe: overlapping calls from different threads are
+        serialized on a per-instance mutex (each sees the state the
+        previous append left, exactly as if the batches had arrived in
+        that order).  A *re-entrant* call — ``append`` invoked from
+        within an append on the same thread, e.g. from a progress
+        callback — raises :class:`~repro.errors.CacheError` instead of
+        deadlocking.
         """
+        if self._append_owner == threading.get_ident():
+            raise CacheError(
+                "re-entrant IncrementalMiner.append: append() was called "
+                "from within an append on the same thread (e.g. from a "
+                "progress or metrics callback); queue the rows and append "
+                "them after the current call returns"
+            )
+        with self._append_lock:
+            self._append_owner = threading.get_ident()
+            try:
+                return self._append_locked(rows)
+            finally:
+                self._append_owner = None
+
+    def _append_locked(self, rows: Sequence[Sequence[Any]]) -> DepMinerResult:
         rows = [tuple(row) for row in rows]
         for row in rows:
             if len(row) != self._width:

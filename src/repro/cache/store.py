@@ -30,6 +30,15 @@ miner.  The fault sites ``cache.disk_read`` / ``cache.disk_write``
 torn reads via byte truncation, so the quarantine and the atomic-write
 crash window stay exercised by tests.
 
+The store is *thread-safe*: one process-wide instance can serve any
+number of concurrent sessions (the shape of ``repro serve``).  A single
+:class:`threading.RLock` guards the memory-tier ``OrderedDict`` (whose
+``get``/``move_to_end``/``popitem`` sequences are not atomic on their
+own), the ``stats`` counters, and the IO-failure/quarantine state; disk
+reads and writes deliberately run *outside* the lock (they are
+per-entry atomic via ``os.replace`` and the decode-time guard check),
+so a slow disk never serializes memory-tier hits.
+
 The store only holds plain codec-representable payloads (ints, strings,
 containers); the pack/unpack helpers of :mod:`repro.cache.artifacts`
 translate between those and the pipeline's object types, building fresh
@@ -48,6 +57,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
@@ -109,30 +119,39 @@ class ArtifactStore:
         self._memory: "OrderedDict[Tuple[str, str], Tuple[bytes, Any]]" = \
             OrderedDict()
         self.stats: Dict[str, int] = {name: 0 for name in _COUNTER_NAMES}
+        # One reentrant lock for every shared mutable: the LRU dict, the
+        # stats counters and the quarantine state.  Reentrant because
+        # locked sections count events (_count) and log evictions.
+        self._lock = threading.RLock()
 
     # -- helpers -------------------------------------------------------------
 
     def _count(self, name: str, metrics: MetricsRegistry) -> None:
-        self.stats[name] += 1
+        with self._lock:
+            self.stats[name] += 1
         metrics.inc(name)
 
     def _note_io_failure(self, operation: str, error: BaseException,
                          metrics: MetricsRegistry) -> None:
         """Count a real disk IO error; quarantine the tier at threshold."""
-        self._io_failures += 1
+        with self._lock:
+            self._io_failures += 1
+            failures = self._io_failures
+            quarantine_now = (not self._quarantined
+                              and failures >= self._max_disk_failures)
+            if quarantine_now:
+                self._quarantined = True
         self._count("cache.io_error", metrics)
         logger.warning(
             "cache disk %s failed (%d/%d before quarantine): %s",
-            operation, self._io_failures, self._max_disk_failures, error,
+            operation, failures, self._max_disk_failures, error,
         )
-        if not self._quarantined and \
-                self._io_failures >= self._max_disk_failures:
-            self._quarantined = True
+        if quarantine_now:
             self._count("cache.quarantined", metrics)
             logger.error(
                 "cache disk tier quarantined after %d IO errors; "
                 "continuing memory-only for this session (%s)",
-                self._io_failures, self._dir,
+                failures, self._dir,
             )
 
     def _path(self, kind: str, key: str) -> Path:
@@ -151,17 +170,21 @@ class ArtifactStore:
         entries that fail to decode are deleted and miss
         (``cache.disk_corrupt``).
         """
-        entry = self._memory.get((kind, key))
-        if entry is not None:
-            stored_guard, payload = entry
-            if stored_guard != guard:
-                self._count("cache.guard_reject", metrics)
-                self._count("cache.miss", metrics)
-                return None
-            self._memory.move_to_end((kind, key))
-            self._count("cache.memory_hit", metrics)
-            self._count("cache.hit", metrics)
-            return payload
+        with self._lock:
+            entry = self._memory.get((kind, key))
+            if entry is not None:
+                stored_guard, payload = entry
+                if stored_guard != guard:
+                    self._count("cache.guard_reject", metrics)
+                    self._count("cache.miss", metrics)
+                    return None
+                # The lookup and the LRU promotion must be one atomic
+                # step: a concurrent put() may evict this very entry
+                # between them, and move_to_end would raise KeyError.
+                self._memory.move_to_end((kind, key))
+                self._count("cache.memory_hit", metrics)
+                self._count("cache.hit", metrics)
+                return payload
 
         if self.disk_enabled:
             payload = self._load_disk(kind, key, guard, metrics)
@@ -256,18 +279,22 @@ class ArtifactStore:
                   metrics: MetricsRegistry) -> None:
         if not self._max_memory:
             return
-        self._memory[(kind, key)] = (guard, payload)
-        self._memory.move_to_end((kind, key))
-        while len(self._memory) > self._max_memory:
-            evicted_key, _ = self._memory.popitem(last=False)
-            self._count("cache.evict", metrics)
-            logger.debug("evicted %s-%s from the memory tier", *evicted_key)
+        with self._lock:
+            self._memory[(kind, key)] = (guard, payload)
+            self._memory.move_to_end((kind, key))
+            while len(self._memory) > self._max_memory:
+                evicted_key, _ = self._memory.popitem(last=False)
+                self._count("cache.evict", metrics)
+                logger.debug(
+                    "evicted %s-%s from the memory tier", *evicted_key
+                )
 
     # -- maintenance ---------------------------------------------------------
 
     def invalidate(self, kind: str, key: str) -> None:
         """Drop one entry from both tiers (missing entries are fine)."""
-        self._memory.pop((kind, key), None)
+        with self._lock:
+            self._memory.pop((kind, key), None)
         if self._dir is not None:
             try:
                 self._path(kind, key).unlink()
@@ -276,7 +303,8 @@ class ArtifactStore:
 
     def clear(self) -> None:
         """Empty the memory tier and delete every disk entry."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
         if self._dir is not None and self._dir.is_dir():
             for path in self._dir.glob("*.rpc"):
                 try:
@@ -300,7 +328,8 @@ class ArtifactStore:
 
     def __len__(self) -> int:
         """Entries currently held in the memory tier."""
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def __repr__(self) -> str:
         if self._dir is None:

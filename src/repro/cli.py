@@ -448,6 +448,48 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "example", help="run the paper's worked example (section 2-4)"
     )
+
+    serve = subparsers.add_parser(
+        "serve", help="run the long-lived discovery daemon "
+                      "(HTTP+JSON, concurrent sessions; docs/service.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port; 0 picks an ephemeral port, printed at startup",
+    )
+    serve.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="artifact-store disk tier shared by every session "
+             "(default: memory-only)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=64,
+        help="concurrent session bound; full + nothing idle -> HTTP 429",
+    )
+    serve.add_argument(
+        "--session-ttl", type=float, default=3600.0, metavar="SECONDS",
+        help="evict sessions idle this long (<= 0 disables eviction)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1,
+        help="default worker processes per mining request (0 = all cores)",
+    )
+    serve.add_argument(
+        "--backend", choices=("python", "columnar"), default="python",
+        help="default mining backend for new sessions",
+    )
+    serve.add_argument(
+        "--telemetry-dir", metavar="DIR",
+        help="write one run manifest per request into DIR",
+    )
+    serve.add_argument(
+        "--fault-plan", metavar="PLAN.json",
+        help="run the whole server under a reliability fault plan",
+    )
     return parser
 
 
@@ -827,6 +869,23 @@ def _command_inds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        max_sessions=args.max_sessions,
+        session_ttl=args.session_ttl,
+        jobs=args.jobs,
+        backend=args.backend,
+        telemetry_dir=args.telemetry_dir,
+        fault_plan=args.fault_plan,
+    )
+    return serve(config)
+
+
 _COMMANDS = {
     "discover": _command_discover,
     "armstrong": _command_armstrong,
@@ -839,6 +898,7 @@ _COMMANDS = {
     "inds": _command_inds,
     "trace": _command_trace,
     "example": _command_example,
+    "serve": _command_serve,
 }
 
 

@@ -70,3 +70,34 @@ class CacheCodecError(CacheError):
     """A serialized cache artefact failed to decode (corruption, version
     or guard mismatch).  Internal to the cache: the store converts this
     into a miss."""
+
+
+class ServiceError(ReproError):
+    """A discovery-service request was malformed or cannot be satisfied.
+
+    The server answers with :attr:`http_status` and a structured JSON
+    error body (see :mod:`repro.service.protocol`); subclasses override
+    the default 400, and an instance can carry its own via the
+    ``http_status`` keyword.
+    """
+
+    http_status = 400
+
+    def __init__(self, message: str, http_status=None):
+        super().__init__(message)
+        if http_status is not None:
+            self.http_status = int(http_status)
+
+
+class SessionNotFoundError(ServiceError):
+    """The requested session id is unknown (expired, evicted or never
+    registered)."""
+
+    http_status = 404
+
+
+class SessionLimitError(ServiceError):
+    """The session registry is full and nothing was idle enough to
+    evict; retry later or raise ``--max-sessions``."""
+
+    http_status = 429

@@ -191,7 +191,13 @@ class Tracer:
         child, so the parent re-records each shard from the duration
         reported through the result queue.  The synthetic span becomes a
         child of the currently open span (if any) and ends *now*, i.e.
-        ``start`` is back-dated by *seconds*.
+        ``start`` is back-dated by *seconds* — but never past the
+        parent's own start: a relayed shard that (by pool scheduling
+        jitter) reports more seconds than its parent has been open is
+        clamped to the parent's window, so child intervals always nest
+        exactly and trace validators need no containment tolerance.
+        The full reported duration survives in ``attrs["seconds"]``
+        whenever the clamp shortens the span.
         """
         if not self.enabled:
             return None
@@ -209,6 +215,10 @@ class Tracer:
         span.end = time.perf_counter()
         span.start = span.end - seconds
         span.start_unix = time.time() - seconds
+        if parent is not None and span.start < parent.start:
+            attrs.setdefault("seconds", seconds)
+            span.start = parent.start
+            span.start_unix = max(span.start_unix, parent.start_unix)
         with self._lock:
             self.spans.append(span)
         return span

@@ -1,0 +1,31 @@
+"""The long-lived discovery service (``repro serve``).
+
+A stdlib-only HTTP+JSON daemon that keeps registered relations warm
+across requests: per-session incremental miners, a shared artifact
+store for cross-session (and cross-restart, with ``--cache-dir``)
+cover reuse, typed structured errors, per-request traces and
+manifests.  See ``docs/service.md``.
+"""
+
+from repro.service.client import RemoteServiceError, ServiceClient
+from repro.service.protocol import PROTOCOL_VERSION, SERVICE_NAME
+from repro.service.server import (
+    ReproServiceServer,
+    ServiceApp,
+    ServiceConfig,
+    serve,
+)
+from repro.service.sessions import Session, SessionRegistry
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SERVICE_NAME",
+    "RemoteServiceError",
+    "ReproServiceServer",
+    "ServiceApp",
+    "ServiceClient",
+    "ServiceConfig",
+    "Session",
+    "SessionRegistry",
+    "serve",
+]

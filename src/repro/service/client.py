@@ -1,0 +1,161 @@
+"""A tiny stdlib client for the discovery daemon.
+
+Used by the test suite, ``scripts/check_serve.py`` and
+``benchmarks/bench_serve.py``; applications are equally welcome to
+speak the JSON protocol directly (``docs/service.md``).
+
+Server-side typed errors are re-raised client-side as
+:class:`RemoteServiceError` carrying the HTTP status and the original
+error type name, so ``except ReproError`` keeps working across the
+wire.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.service.protocol import PROTOCOL_VERSION
+
+__all__ = ["RemoteServiceError", "ServiceClient"]
+
+
+class RemoteServiceError(ReproError):
+    """The daemon answered with a structured error document."""
+
+    def __init__(self, message: str, status: int,
+                 error_type: str = "InternalError"):
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type
+
+    def __str__(self) -> str:
+        return (f"[{self.status} {self.error_type}] "
+                f"{super().__str__()}")
+
+
+class ServiceClient:
+    """Blocking JSON-over-HTTP client, one instance per server."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def request(self, method: str, route: str,
+                payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + route, data=body, headers=headers,
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                document = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raw = error.read().decode("utf-8", "replace")
+            try:
+                document = json.loads(raw)
+            except json.JSONDecodeError:
+                raise RemoteServiceError(
+                    raw.strip() or error.reason, error.code
+                ) from None
+            detail = document.get("error", {})
+            raise RemoteServiceError(
+                detail.get("message", error.reason), error.code,
+                detail.get("type", "InternalError"),
+            ) from None
+        except urllib.error.URLError as error:
+            raise RemoteServiceError(
+                f"cannot reach {self.base_url}: {error.reason}", 0,
+                "ConnectionError",
+            ) from None
+        except (OSError, http.client.HTTPException) as error:
+            # The connection died mid-response (e.g. the daemon closed
+            # the socket while shutting down) — urllib only wraps
+            # errors raised before the response starts.
+            raise RemoteServiceError(
+                f"connection to {self.base_url} failed: {error!r}", 0,
+                "ConnectionError",
+            ) from None
+        protocol = document.get("protocol")
+        if protocol is not None and protocol > PROTOCOL_VERSION:
+            raise RemoteServiceError(
+                f"server speaks protocol {protocol}, this client "
+                f"understands {PROTOCOL_VERSION}", 0, "ProtocolError",
+            )
+        return document
+
+    # -- endpoints -----------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self.request("GET", "/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("GET", "/stats")
+
+    def register(self, name: str = "relation", *,
+                 csv_path: Optional[str] = None,
+                 csv_text: Optional[str] = None,
+                 attributes: Optional[Sequence[str]] = None,
+                 rows: Optional[Sequence[Sequence[Any]]] = None,
+                 options: Optional[Dict[str, Any]] = None
+                 ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"name": name}
+        if csv_path is not None:
+            payload["csv_path"] = csv_path
+        if csv_text is not None:
+            payload["csv_text"] = csv_text
+        if rows is not None:
+            payload["rows"] = [list(row) for row in rows]
+        if attributes is not None:
+            payload["attributes"] = list(attributes)
+        if options:
+            payload["options"] = options
+        return self.request("POST", "/sessions", payload)
+
+    def sessions(self) -> List[Dict[str, Any]]:
+        return self.request("GET", "/sessions")["sessions"]
+
+    def session(self, session_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/sessions/{session_id}")
+
+    def append(self, session_id: str,
+               rows: Sequence[Sequence[Any]]) -> Dict[str, Any]:
+        return self.request("POST", f"/sessions/{session_id}/append",
+                            {"rows": [list(row) for row in rows]})
+
+    def cover(self, session_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/sessions/{session_id}/cover")
+
+    def keys(self, session_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/sessions/{session_id}/keys")
+
+    def armstrong(self, session_id: str,
+                  construction: Optional[str] = None,
+                  max_rows: Optional[int] = None) -> Dict[str, Any]:
+        route = f"/sessions/{session_id}/armstrong"
+        params = []
+        if construction is not None:
+            params.append(f"construction={construction}")
+        if max_rows is not None:
+            params.append(f"max_rows={max_rows}")
+        if params:
+            route += "?" + "&".join(params)
+        return self.request("GET", route)
+
+    def close(self, session_id: str) -> Dict[str, Any]:
+        return self.request("DELETE", f"/sessions/{session_id}")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request("POST", "/shutdown")

@@ -1,0 +1,278 @@
+"""Thread-safety regressions exposed by the discovery daemon.
+
+The service (``repro serve``) was the first caller to hammer the cache
+layer from many threads at once, and it surfaced three latent races,
+each pinned here by a test that fails on the pre-fix code:
+
+- the :class:`~repro.cache.store.ArtifactStore` memory tier mutated a
+  shared ``OrderedDict`` (``move_to_end`` in ``get``, ``popitem`` in
+  ``put``) without a lock — concurrent gets against an evicting put
+  raised ``KeyError``/``RuntimeError`` and corrupted the LRU order;
+- :meth:`~repro.cache.incremental.IncrementalMiner.append` mutates the
+  value→rows maps, the column store and the fingerprint across many
+  non-atomic steps — two overlapping appends interleaved those steps
+  and produced a cover disagreeing with a cold run;
+- :meth:`~repro.obs.tracer.Tracer.record` back-dated relayed shard
+  spans with ``start = now - seconds``, letting a span start before
+  the parent that contains it (``scripts/check_trace.py`` used to
+  carry an epsilon just to tolerate this).
+
+The stress tests shrink the thread scheduler's switch interval and the
+LRU capacity so the races fire within a few thousand iterations on a
+single core.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+import pytest
+
+from repro.cache import ArtifactStore, IncrementalMiner, guard_digest
+from repro.core.attributes import Schema
+from repro.core.depminer import DepMiner
+from repro.core.relation import Relation
+from repro.errors import CacheError
+from repro.obs.tracer import Tracer
+
+
+@pytest.fixture
+def tight_switching():
+    """Force frequent thread preemption so races fire quickly."""
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    try:
+        yield
+    finally:
+        sys.setswitchinterval(previous)
+
+
+def run_threads(workers):
+    """Start *workers* together, join them, re-raise the first failure."""
+    failures = []
+    barrier = threading.Barrier(len(workers))
+
+    def wrap(worker):
+        barrier.wait()
+        try:
+            worker()
+        except BaseException as error:  # noqa: BLE001 - relayed to pytest
+            failures.append(error)
+
+    threads = [threading.Thread(target=wrap, args=(worker,))
+               for worker in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if failures:
+        raise failures[0]
+
+
+# -- ArtifactStore memory tier ----------------------------------------------
+
+
+class TestStoreStress:
+    def test_concurrent_get_put_under_eviction(self, tight_switching):
+        """Gets racing evicting puts on a tiny LRU never blow up.
+
+        Pre-fix, ``get``'s lookup → ``move_to_end`` pair raced ``put``'s
+        ``popitem`` eviction: the entry vanished between the two steps
+        and ``move_to_end`` raised ``KeyError`` (or the OrderedDict
+        detected concurrent mutation mid-rebalance).
+        """
+        guard = guard_digest(("a", "b"), 10)
+        keys = [f"k{i}" for i in range(3)]
+        rounds = 20000
+
+        # Three repeats with a fresh store each: on the unlocked store a
+        # single repeat trips the KeyError most of the time; three push
+        # the miss probability below a few percent.
+        for _ in range(3):
+            store = ArtifactStore(cache_dir=None, max_memory_entries=2)
+
+            def reader():
+                for i in range(rounds):
+                    payload = store.get("stress", keys[i % 3], guard)
+                    if payload is not None:
+                        assert payload == {"value": keys[i % 3]}
+
+            def writer():
+                for i in range(rounds):
+                    key = keys[i % 3]
+                    store.put("stress", key, guard, {"value": key})
+
+            run_threads([reader, reader, reader,
+                         writer, writer, writer])
+            # the LRU bound survived the stampede
+            assert len(store) <= 2
+            stats = dict(store.stats)
+            assert stats["cache.put"] == 3 * rounds
+            assert stats["cache.hit"] == stats["cache.memory_hit"]
+            assert stats["cache.hit"] + stats["cache.miss"] == 3 * rounds
+
+    def test_concurrent_invalidate_and_clear(self, tight_switching):
+        """invalidate/clear racing put never corrupts the tier."""
+        store = ArtifactStore(cache_dir=None, max_memory_entries=4)
+        guard = guard_digest(("a", "b"), 10)
+
+        def writer():
+            for i in range(2000):
+                store.put("inv", f"k{i % 8}", guard, {"value": i})
+
+        def invalidator():
+            for i in range(2000):
+                if i % 50 == 0:
+                    store.clear()
+                else:
+                    store.invalidate("inv", f"k{i % 8}")
+
+        run_threads([writer, writer, invalidator])
+        assert len(store) <= 4
+
+
+# -- IncrementalMiner.append -------------------------------------------------
+
+
+def _seed_relation():
+    rows = [(i % 3, f"v{i % 4}", i % 2) for i in range(12)]
+    return Relation.from_rows(Schema(["a", "b", "c"]), rows)
+
+
+def _batches(start, count, step):
+    return [[(start + i, f"v{(start + i) % 5}", (start + i) % 3)
+             for i in range(j, j + step)]
+            for j in range(0, count, step)]
+
+
+def cover_of(result):
+    return sorted((fd.lhs.mask, fd.rhs) for fd in result.fds)
+
+
+class TestIncrementalAppendConcurrency:
+    def test_two_thread_appends_match_cold_run(self, tight_switching):
+        """Concurrent appends serialize; the final cover is exact.
+
+        Pre-fix the two appends interleaved their partition-map /
+        column / fingerprint updates, so the final state disagreed with
+        *any* serial order of the same batches.
+        """
+        miner = IncrementalMiner(_seed_relation())
+        left = _batches(100, 24, 4)
+        right = _batches(200, 24, 4)
+
+        run_threads([
+            lambda: [miner.append(batch) for batch in left],
+            lambda: [miner.append(batch) for batch in right],
+        ])
+
+        all_rows = (list(_seed_relation().rows())
+                    + [row for batch in left for row in batch]
+                    + [row for batch in right for row in batch])
+        assert miner.num_rows == len(all_rows)
+        # Covers are a property of the row *set*; both interleavings of
+        # the batches must land on the cold answer.
+        cold = DepMiner().run(
+            Relation.from_rows(Schema(["a", "b", "c"]), sorted(all_rows))
+        )
+        assert cover_of(miner.result) == cover_of(cold)
+        # and the fingerprint still matches a cold fingerprint of the
+        # grown relation (row order within the store is canonicalized)
+        grown = miner.relation()
+        assert sorted(grown.rows()) == sorted(all_rows)
+
+    def test_reentrant_append_raises_typed_error(self):
+        """append() from inside append() is a CacheError, not a deadlock.
+
+        The documented trap: a progress/metrics callback fired during
+        the delta re-mine calls back into ``append`` on the same
+        thread.  The non-reentrant lock would deadlock; the owner check
+        converts it into a typed error instead.
+        """
+        miner = IncrementalMiner(_seed_relation())
+        inner = miner.miner.derive_from_agree_sets
+        seen = {}
+
+        def reentrant(*args, **kwargs):
+            # simulate a callback that appends mid-append
+            with pytest.raises(CacheError) as excinfo:
+                miner.append([(99, "v9", 9)])
+            seen["error"] = excinfo.value
+            return inner(*args, **kwargs)
+
+        miner.miner.derive_from_agree_sets = reentrant
+        miner.append([(50, "v0", 1)])
+        assert "re-entrant" in str(seen["error"])
+        # the outer append completed despite the rejected inner one
+        assert miner.num_rows == 13
+
+    def test_cross_thread_appends_do_not_raise(self):
+        """A second thread's append waits instead of raising."""
+        miner = IncrementalMiner(_seed_relation())
+        run_threads([
+            lambda: miner.append([(61, "v1", 0)]),
+            lambda: miner.append([(62, "v2", 1)]),
+        ])
+        assert miner.num_rows == 14
+
+
+# -- Tracer.record clamping --------------------------------------------------
+
+
+class TestRecordClamp:
+    def test_backdated_span_clamped_to_parent_window(self):
+        """A relayed span longer than its parent's life is clamped."""
+        tracer = Tracer()
+        with tracer.span("parent", phase=True) as parent:
+            # a worker reports 100s of wall clock, but the parent span
+            # opened only microseconds ago
+            tracer.record("parallel.shard", seconds=100.0, kind="agree")
+        shard = next(s for s in tracer.finished_spans()
+                     if s.name == "parallel.shard")
+        assert shard.start >= parent.start
+        assert shard.start_unix >= parent.start_unix
+        assert shard.end <= parent.end
+        # the true duration survives for analysis tools
+        assert shard.attrs["seconds"] == pytest.approx(100.0)
+
+    def test_short_span_not_clamped(self):
+        """A span that fits inside the parent keeps its real start."""
+        import time
+
+        tracer = Tracer()
+        with tracer.span("parent", phase=True):
+            time.sleep(0.02)
+            tracer.record("parallel.shard", seconds=0.005)
+        parent = next(s for s in tracer.finished_spans()
+                      if s.name == "parent")
+        shard = next(s for s in tracer.finished_spans()
+                     if s.name == "parallel.shard")
+        assert shard.start > parent.start
+        assert shard.end - shard.start == pytest.approx(0.005, abs=1e-3)
+
+    def test_exported_trace_passes_exact_containment(self, tmp_path):
+        """The strict (epsilon-free) check_trace accepts clamped spans."""
+        import json
+        import subprocess
+        import sys as _sys
+        from pathlib import Path
+
+        from repro.obs import export_jsonl
+
+        tracer = Tracer()
+        with tracer.span("root", phase=True):
+            tracer.record("parallel.shard", seconds=50.0, kind="lhs",
+                          shard=0, status="ok")
+            tracer.record("parallel.shard", seconds=0.001, kind="lhs",
+                          shard=1, status="ok")
+        trace_path = tmp_path / "trace.jsonl"
+        export_jsonl(trace_path, tracer=tracer,
+                     meta={"command": "pytest thread-safety"})
+        script = (Path(__file__).resolve().parent.parent
+                  / "scripts" / "check_trace.py")
+        proc = subprocess.run(
+            [_sys.executable, str(script), str(trace_path)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
