@@ -3,9 +3,10 @@
 PYTHON ?= python
 
 .PHONY: install test test-parallel bench bench-cache bench-transversal \
-	bench-columnar bench-ingest bench-serve bench-regress cache-smoke \
-	trace-smoke transversal-smoke faults-smoke telemetry-smoke \
-	serve-smoke experiments experiments-paper examples clean
+	bench-columnar bench-ingest bench-serve bench-parallel bench-regress \
+	cache-smoke trace-smoke transversal-smoke faults-smoke \
+	telemetry-smoke serve-smoke experiments experiments-paper examples \
+	clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -64,6 +65,14 @@ bench-ingest:
 bench-serve:
 	$(PYTHON) -m pytest benchmarks/bench_serve.py -q
 	$(PYTHON) benchmarks/bench_serve.py BENCH_serve.json
+
+# The persistent-pool dispatch guard: asserts a warm persistent-pool +
+# shm request answers >= 3x faster than the per-call pool (and shm
+# context dispatch >= 1.5x faster than pickled context), with covers
+# bit-identical across dispatch modes, then records the timings.
+bench-parallel:
+	$(PYTHON) -m pytest benchmarks/bench_parallel_scaling.py -q
+	$(PYTHON) benchmarks/bench_parallel_scaling.py BENCH_parallel.json
 
 # End-to-end kernel smoke: mine the reduction fixture (duplicated
 # columns + a near-duplicate row pair) with --transversal kernel and

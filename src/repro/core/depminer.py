@@ -57,7 +57,12 @@ from repro.obs import (
     Tracer,
     get_logger,
 )
-from repro.parallel.executor import ShardedExecutor, resolve_jobs
+from repro.parallel.executor import (
+    PersistentPool,
+    ShardedExecutor,
+    resolve_jobs,
+    resolve_start_method,
+)
 from repro.partitions.database import StrippedPartitionDatabase
 
 __all__ = ["DepMiner", "DepMinerResult", "discover_fds", "discover"]
@@ -200,6 +205,29 @@ class DepMiner:
     shard_timeout:
         Optional per-shard timeout in seconds for ``jobs > 1``
         (:class:`repro.parallel.ShardTimeoutError` aborts the run).
+    mp_context:
+        Multiprocessing start method for the worker pool: ``"fork"``,
+        ``"spawn"`` (or any method the platform offers).  ``None``
+        (default) prefers fork where available.  An unavailable method
+        raises :class:`repro.parallel.MpContextError` immediately.
+    pool_mode:
+        ``"persistent"`` (default) runs every pooled map of this miner
+        on one lazily-built, reusable worker pool — reused across
+        ``run()`` calls, which is what makes repeated daemon-style
+        requests cheap — with the heavy shared context published
+        zero-copy through the shared-memory arena.  ``"ephemeral"``
+        restores the legacy pool-per-map behaviour.  Identical output
+        either way (the oracle grid asserts it).
+    shm:
+        Shared-memory arena switch: ``None`` (auto, default) uses
+        :mod:`multiprocessing.shared_memory` whenever available,
+        ``False`` forces classic pickling, ``True`` insists on the
+        arena where available.
+    pool:
+        An externally-owned :class:`repro.parallel.PersistentPool` to
+        run on (the service shares one across sessions).  Worker count
+        must match ``jobs``.  Without it the miner lazily builds and
+        owns its own; :meth:`close` releases it.
     tracer:
         Optional :class:`repro.obs.Tracer` collecting the phase spans;
         when omitted each run uses a fresh private tracer, retrievable
@@ -240,6 +268,10 @@ class DepMiner:
                  cache=None,
                  jobs: int = 1,
                  shard_timeout: Optional[float] = None,
+                 mp_context: Optional[str] = None,
+                 pool_mode: str = "persistent",
+                 shm: Optional[bool] = None,
+                 pool: Optional[PersistentPool] = None,
                  tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  progress: Optional[ProgressCallback] = None,
@@ -289,6 +321,23 @@ class DepMiner:
         self.cache = cache
         self.jobs = resolve_jobs(jobs)
         self.shard_timeout = shard_timeout
+        # Validate eagerly: a bad --mp-context should fail at
+        # construction, not in the middle of a mining run.
+        self.mp_context = resolve_start_method(mp_context)
+        if pool_mode not in ("persistent", "ephemeral"):
+            raise ReproError(
+                f"pool_mode must be 'persistent' or 'ephemeral'; "
+                f"got {pool_mode!r}"
+            )
+        self.pool_mode = pool_mode
+        self.shm = shm
+        if pool is not None and pool.jobs != self.jobs:
+            raise ReproError(
+                f"external pool has {pool.jobs} worker(s) but the miner "
+                f"wants jobs={self.jobs}"
+            )
+        self._pool = pool
+        self._owns_pool = False
         self.tracer = tracer
         self.metrics = metrics
         self.progress = progress
@@ -312,13 +361,39 @@ class DepMiner:
 
         One executor per run, shared by the agree-set chunks and the
         per-attribute lhs fan-out; ``jobs=1`` keeps every call serial.
+        In persistent mode every executor runs on the *miner's* one
+        :class:`~repro.parallel.PersistentPool` (built lazily on the
+        first pooled map, injected into incremental-append resolution
+        too), so repeated ``run()`` calls stop paying pool spin-up.
         """
         if self.jobs <= 1:
             return None
+        pool = None
+        if self.pool_mode == "persistent":
+            if self._pool is None or self._pool.closed:
+                self._pool = PersistentPool(
+                    self.jobs, mp_context=self.mp_context
+                )
+                self._owns_pool = True
+            pool = self._pool
         return ShardedExecutor(
             jobs=self.jobs, shard_timeout=self.shard_timeout,
+            mp_context=self.mp_context, pool=pool,
+            pool_mode=self.pool_mode, shm=self.shm,
             tracer=tracer, metrics=metrics, progress=self.progress,
         )
+
+    @property
+    def pool(self) -> Optional[PersistentPool]:
+        """The miner's persistent worker pool (``None`` until a pooled
+        map builds the lazily-owned one, or the injected one)."""
+        return self._pool
+
+    def close(self) -> None:
+        """Release the owned worker pool (no-op for injected pools and
+        serial miners; safe to call repeatedly)."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
 
     def run(self, relation) -> DepMinerResult:
         """Execute the full pipeline on *relation*.

@@ -3,7 +3,10 @@
 A :class:`ResourceSampler` runs a daemon thread that periodically
 records the process's resident set size (and, when ``tracemalloc`` is
 tracing, the traced heap) together with the pipeline phase that was
-active at sample time.  Its :meth:`~ResourceSampler.summary` — peak and
+active at sample time.  Each sample also sums the RSS of the process's
+live direct children (:func:`children_rss_bytes`), so worker-pool
+memory — which lives outside the parent — shows up in the summary's
+``children_rss_peak_bytes`` / ``rss_total_peak_bytes`` fields.  Its :meth:`~ResourceSampler.summary` — peak and
 per-phase memory — is what :class:`repro.obs.manifest.RunManifest`
 embeds under ``"resources"``.
 
@@ -36,7 +39,7 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
-__all__ = ["ResourceSampler", "rss_bytes"]
+__all__ = ["ResourceSampler", "children_rss_bytes", "rss_bytes"]
 
 #: Bytes per page for the ``/proc/self/statm`` fast path.
 try:
@@ -64,6 +67,55 @@ def rss_bytes() -> Optional[int]:
 
         peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
         # ru_maxrss is KiB on Linux, bytes on macOS.
+        return peak if sys.platform == "darwin" else peak * 1024
+    except Exception:  # pragma: no cover - exotic platforms
+        return None
+
+
+def _child_pids() -> Optional[List[int]]:
+    """Direct child PIDs from ``/proc/self/task/*/children``, or ``None``
+    when that interface is unavailable (non-Linux)."""
+    try:
+        task_ids = os.listdir("/proc/self/task")
+    except OSError:
+        return None
+    pids: List[int] = []
+    for task in task_ids:
+        try:
+            with open(f"/proc/self/task/{task}/children", "rb") as handle:
+                pids.extend(int(pid) for pid in handle.read().split())
+        except (OSError, ValueError):
+            continue
+    return pids
+
+
+def children_rss_bytes() -> Optional[int]:
+    """Summed resident set size of live direct children, in bytes.
+
+    Worker-pool memory lives in the *children* of the mining process, so
+    the parent's own RSS wildly understates a parallel run.  Sums the
+    current ``/proc/<pid>/statm`` RSS over the direct children named by
+    ``/proc/self/task/*/children`` (racy against pool churn, but each
+    read is atomic and a vanished child is simply skipped).  Where
+    ``/proc`` is unavailable, falls back to
+    ``getrusage(RUSAGE_CHILDREN).ru_maxrss`` — the *peak* RSS of any
+    single **reaped** child, which is monotone but zero until a child
+    exits.  Returns ``None`` only when neither source exists.
+    """
+    pids = _child_pids()
+    if pids is not None:
+        total = 0
+        for pid in pids:
+            try:
+                with open(f"/proc/{pid}/statm", "rb") as handle:
+                    total += int(handle.read().split()[1]) * _PAGE_SIZE
+            except (OSError, IndexError, ValueError):
+                continue
+        return total
+    try:  # pragma: no cover - non-Linux fallback
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
         return peak if sys.platform == "darwin" else peak * 1024
     except Exception:  # pragma: no cover - exotic platforms
         return None
@@ -100,9 +152,12 @@ class ResourceSampler:
         self.interval = interval
         self.tracer = tracer
         self.trace_allocations = trace_allocations
-        #: ``(perf_counter, rss_bytes | None, traced_bytes | None, phase)``
+        #: ``(perf_counter, rss_bytes | None, traced_bytes | None, phase,
+        #: children_rss_bytes | None)`` — the last slot sums the live
+        #: direct children (worker pools), so parallel runs account for
+        #: the memory that left the parent process.
         self.samples: List[Tuple[float, Optional[int], Optional[int],
-                                 Optional[str]]] = []
+                                 Optional[str], Optional[int]]] = []
         self._lock = threading.Lock()
         self._stop_event = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -172,7 +227,8 @@ class ResourceSampler:
             phase = getattr(self.tracer, "active_phase", None)
         with self._lock:
             self.samples.append(
-                (time.perf_counter(), rss_bytes(), traced, phase)
+                (time.perf_counter(), rss_bytes(), traced, phase,
+                 children_rss_bytes())
             )
 
     # -- span attachment ----------------------------------------------------
@@ -202,8 +258,13 @@ class ResourceSampler:
             samples = list(self.samples)
         rss_values = [s[1] for s in samples if s[1] is not None]
         traced_values = [s[2] for s in samples if s[2] is not None]
+        children_values = [s[4] for s in samples if s[4] is not None]
+        total_values = [
+            s[1] + s[4] for s in samples
+            if s[1] is not None and s[4] is not None
+        ]
         per_phase: Dict[str, Dict[str, Any]] = {}
-        for _stamp, rss, traced, phase in samples:
+        for _stamp, rss, traced, phase, _children in samples:
             if phase is None:
                 continue
             bucket = per_phase.setdefault(
@@ -238,6 +299,13 @@ class ResourceSampler:
             "rss_delta_bytes": (
                 peak - self._rss_start
                 if peak is not None and self._rss_start is not None else None
+            ),
+            "children_rss_peak_bytes": (
+                max(children_values) if children_values else None
+            ),
+            "rss_total_peak_bytes": (
+                max(total_values) if total_values
+                else (peak if peak is not None else None)
             ),
             "tracemalloc_peak_bytes": (
                 max(traced_values) if traced_values else None

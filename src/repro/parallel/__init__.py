@@ -8,22 +8,34 @@ package is the ``--jobs N`` machinery that exploits it:
   :class:`Shard` work descriptors, a bounded in-flight window, a
   per-shard timeout, cancellation through the progress-callback
   channel, and worker observability (seconds + counters) relayed back
-  through the result queue;
-- :mod:`repro.parallel.shards` — the two pipeline integrations:
+  through the result queue.  Pooled maps run on a lazily-built
+  :class:`PersistentPool` reused across maps, runs and service
+  requests (``pool_mode="ephemeral"`` restores the legacy
+  one-pool-per-map behaviour);
+- :mod:`repro.parallel.shm` — :class:`SharedArrayArena`: zero-copy
+  publication of the heavy read-only shard context (code/class
+  matrices, packed agree bitsets, pickled-once blobs) through
+  ``multiprocessing.shared_memory``, with graceful inline fallback
+  when NumPy or shared memory is unavailable;
+- :mod:`repro.parallel.shards` — the pipeline integrations:
   :func:`parallel_agree_sets` (couple chunks resolved against shared
-  read-only row → class-index tables) and :func:`parallel_cmax_lhs`
-  (``CMAX_SET`` + transversal search fanned out per RHS attribute).
+  read-only row → class-index tables), the columnar couple-range
+  variant, and :func:`parallel_cmax_lhs` (``CMAX_SET`` + transversal
+  search fanned out per RHS attribute).
 
 ``jobs=1`` — the default of every entry point — is *exactly* today's
 serial pipeline; any ``jobs`` value yields bit-for-bit identical FD
 covers, agree sets, cmax sets and Armstrong relations (held by the
-differential suite in ``tests/test_parallel.py``).  See
+differential suite in ``tests/test_parallel.py`` and the
+backend × jobs × shm × pool-mode oracle grid).  See
 ``docs/parallel.md`` for the design notes.
 """
 
 from __future__ import annotations
 
 from repro.parallel.executor import (
+    MpContextError,
+    PersistentPool,
     Shard,
     ShardedExecutor,
     ShardError,
@@ -31,17 +43,24 @@ from repro.parallel.executor import (
     ShardTimeoutError,
     register_shard_kind,
     resolve_jobs,
+    resolve_start_method,
 )
 from repro.parallel.shards import parallel_agree_sets, parallel_cmax_lhs
+from repro.parallel.shm import SharedArrayArena, shm_available
 
 __all__ = [
+    "MpContextError",
+    "PersistentPool",
     "Shard",
     "ShardOutcome",
     "ShardError",
     "ShardTimeoutError",
     "ShardedExecutor",
+    "SharedArrayArena",
     "register_shard_kind",
     "resolve_jobs",
+    "resolve_start_method",
+    "shm_available",
     "parallel_agree_sets",
     "parallel_cmax_lhs",
 ]

@@ -31,6 +31,22 @@ primitive both integrations share:
   (:meth:`~repro.obs.MetricsRegistry.inc`) and histograms
   (:meth:`~repro.obs.MetricsRegistry.merge_histogram`) into its own
   registry and emits one progress step per completed shard;
+- **persistent worker pool** — pooled maps run on a lazily-created
+  :class:`PersistentPool` that is *reused* across ``map()`` calls (and,
+  when the pool is injected by ``DepMiner`` or the service, across
+  whole runs and requests), so daemon-style traffic stops paying pool
+  spin-up per call (counter ``parallel.pool_reuse``, span
+  ``parallel.pool_build`` on builds/rebuilds).  The legacy
+  one-pool-per-map behaviour remains available as
+  ``pool_mode="ephemeral"``.
+- **zero-copy shared context** — the persistent path publishes each
+  map's heavy read-only context through a
+  :class:`~repro.parallel.shm.SharedArrayArena` (counter
+  ``parallel.shm_bytes``, span ``parallel.arena``): NumPy arrays map
+  into workers zero-copy, large Python structures pickle once into a
+  shared blob, and per-task messages stay tiny.  Workers cache the
+  decoded context per map *generation*, and everything degrades to
+  plain pickling when shared memory or NumPy is unavailable.
 - **retry, poisoning, degradation** — a failed shard attempt is retried
   with exponential backoff and keyed jitter
   (:class:`~repro.reliability.RetryPolicy`, counter ``parallel.retry``)
@@ -55,9 +71,12 @@ identical to ``jobs=1``.  See ``docs/parallel.md``.
 from __future__ import annotations
 
 import os
+import threading
 import time
 import traceback
-from collections import deque
+import uuid
+import weakref
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -70,10 +89,19 @@ from repro.obs import (
     emit_progress,
     get_logger,
 )
-from repro.reliability.faults import FaultPlan, activate_plan, current_plan, fault_point
+from repro.parallel.shm import SharedArrayArena, decode_shared, shm_available
+from repro.reliability.faults import (
+    FaultPlan,
+    activate_plan,
+    current_plan,
+    deactivate_plan,
+    fault_point,
+)
 from repro.reliability.retry import RetryPolicy
 
 __all__ = [
+    "MpContextError",
+    "PersistentPool",
     "Shard",
     "ShardOutcome",
     "ShardError",
@@ -81,6 +109,7 @@ __all__ = [
     "ShardedExecutor",
     "register_shard_kind",
     "resolve_jobs",
+    "resolve_start_method",
 ]
 
 logger = get_logger(__name__)
@@ -92,6 +121,31 @@ class ShardError(ReproError):
 
 class ShardTimeoutError(ShardError):
     """A shard exceeded the per-shard timeout; the pool was terminated."""
+
+
+class MpContextError(ReproError):
+    """The requested multiprocessing start method is unavailable here."""
+
+
+def resolve_start_method(method: Optional[str]) -> Optional[str]:
+    """Validate an ``mp_context`` name against this platform.
+
+    ``None`` (auto: prefer ``fork``, fall back to ``spawn``) passes
+    through; anything else must be one of
+    :func:`multiprocessing.get_all_start_methods` or a typed
+    :class:`MpContextError` is raised.
+    """
+    if method is None:
+        return None
+    import multiprocessing
+
+    available = multiprocessing.get_all_start_methods()
+    if method not in available:
+        raise MpContextError(
+            f"multiprocessing start method {method!r} is not available "
+            f"on this platform (available: {', '.join(available)})"
+        )
+    return method
 
 
 @dataclass(frozen=True)
@@ -124,6 +178,11 @@ class ShardOutcome:
 
 #: Registered shard functions: ``kind -> fn(shared, payload, metrics)``.
 SHARD_KINDS: Dict[str, Callable[[Any, Any, MetricsRegistry], Any]] = {}
+
+#: When the arena cannot publish anything and the inline context is
+#: bigger than this, a persistent map falls back to the ephemeral path
+#: (one initializer pickle per worker beats one per task).
+_INLINE_CONTEXT_LIMIT = 256 * 1024
 
 
 def register_shard_kind(name: str):
@@ -167,6 +226,47 @@ def _worker_init(shared: Any, fault_plan: Optional[Dict[str, Any]] = None) -> No
         # The parent's active plan travels as a plain dict; the copy
         # starts with fresh per-site call counters (one per process).
         activate_plan(FaultPlan.from_dict(fault_plan))
+
+
+#: Persistent-pool workers have no per-map initializer, so each task
+#: carries a tiny context descriptor instead: a *generation* id (one
+#: per ``map()``), the arena-encoded shared context, and the fault
+#: plan.  Workers decode each generation once and cache the result —
+#: the cache holds a few generations so concurrent service maps do not
+#: thrash each other's attachments.
+_WORKER_CONTEXTS: "OrderedDict[str, Any]" = OrderedDict()
+_WORKER_CONTEXT_LIMIT = 4
+_WORKER_PLAN_GENERATION: Optional[str] = None
+
+
+def _worker_shared_for(ctx: Dict[str, Any]) -> Any:
+    """Resolve a task's shared context in a (single-threaded) worker.
+
+    First sight of a generation decodes the arena handles (attaching
+    shared-memory segments zero-copy) and switches the process's fault
+    plan to the generation's — fresh per-site counters per map, the
+    same semantics the ephemeral pool's initializer had.  Later tasks
+    of the same generation hit the cache.
+    """
+    global _WORKER_PLAN_GENERATION
+    generation = ctx["generation"]
+    entry = _WORKER_CONTEXTS.get(generation)
+    if entry is None:
+        entry = decode_shared(ctx["shared"])
+        _WORKER_CONTEXTS[generation] = entry
+        while len(_WORKER_CONTEXTS) > _WORKER_CONTEXT_LIMIT:
+            _, evicted = _WORKER_CONTEXTS.popitem(last=False)
+            evicted.close()
+    else:
+        _WORKER_CONTEXTS.move_to_end(generation)
+    if _WORKER_PLAN_GENERATION != generation:
+        plan = ctx.get("fault_plan")
+        if plan is not None:
+            activate_plan(FaultPlan.from_dict(plan))
+        else:
+            deactivate_plan()
+        _WORKER_PLAN_GENERATION = generation
+    return entry.shared
 
 
 def _reliability_counters(local: MetricsRegistry) -> Dict[str, float]:
@@ -221,6 +321,24 @@ def _run_shard(shard: Shard) -> ShardOutcome:
     return _attempt_shard(_WORKER_SHARED, shard, pool=True)
 
 
+def _run_shard_ctx(ctx: Dict[str, Any], shard: Shard) -> ShardOutcome:
+    """Persistent-pool task entry: resolve the context, run the shard.
+
+    Context resolution failures (a segment that vanished, a corrupt
+    blob) report through the usual :class:`ShardOutcome` error channel
+    as retryable failures, so the parent's retry/degrade machinery —
+    not a raw exception through ``AsyncResult.get`` — handles them.
+    """
+    try:
+        shared = _worker_shared_for(ctx)
+    except Exception:
+        return ShardOutcome(
+            index=shard.index, error=traceback.format_exc(),
+            retryable=True,
+        )
+    return _attempt_shard(shared, shard, pool=True)
+
+
 def _shard_function(kind: str):
     try:
         return SHARD_KINDS[kind]
@@ -233,6 +351,136 @@ def _shard_function(kind: str):
             return SHARD_KINDS[kind]
         except KeyError:
             raise ReproError(f"unknown shard kind {kind!r}") from None
+
+
+# -- the persistent pool -----------------------------------------------------
+
+def _shutdown_pool(pool) -> None:
+    """Finalizer target: tear a pool down without referencing its owner."""
+    try:
+        pool.terminate()
+        pool.join()
+    except Exception:  # noqa: BLE001 - interpreter may be shutting down
+        pass
+
+
+class PersistentPool:
+    """A lazily-built, health-checked, reusable ``multiprocessing.Pool``.
+
+    The pool is created on first :meth:`ensure` and then *reused* by
+    every subsequent pooled map — across ``ShardedExecutor.map()``
+    calls, across ``DepMiner.run()`` invocations (the miner owns one
+    pool per instance), and across service requests (``repro serve``
+    owns one pool per daemon).  A pool that poisons, times out or loses
+    its IPC machinery is terminated and flagged broken
+    (:meth:`mark_broken`); the *next* ``ensure()`` transparently
+    rebuilds it, so one sick request never strands the daemon in
+    degraded mode.
+
+    Thread-safe: ``ensure``/``mark_broken``/``close`` serialize on a
+    lock, and ``multiprocessing.Pool.apply_async`` is itself safe to
+    call from concurrent service threads.  Cleanup is triple-covered:
+    explicit :meth:`close`, a :func:`weakref.finalize` per built pool
+    (which also fires at interpreter exit), and terminate-on-rebuild.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 mp_context: Optional[str] = None):
+        self.jobs = resolve_jobs(jobs if jobs is not None else 1)
+        self.mp_context = resolve_start_method(mp_context)
+        self._lock = threading.Lock()
+        self._pool = None
+        self._finalizer = None
+        self._broken = False
+        self._closed = False
+        self.builds = 0
+        self.reuses = 0
+        self.maps = 0
+
+    def _context(self):
+        import multiprocessing
+
+        method = self.mp_context
+        if method is None:
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else "spawn"
+        return multiprocessing.get_context(method)
+
+    def ensure(self):
+        """Return ``(pool, reused)`` — building or rebuilding if needed."""
+        with self._lock:
+            if self._closed:
+                raise ReproError("persistent pool is closed")
+            if self._pool is not None and not self._broken:
+                self.reuses += 1
+                return self._pool, True
+            self._terminate_locked()
+            try:
+                # Start the resource tracker *before* forking workers so
+                # they inherit it: a worker whose first tracker contact
+                # is a shared-memory attach would otherwise spawn its
+                # own tracker, which then "cleans up" (and warns about)
+                # segments the parent owns and already unlinked.
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
+            except Exception:  # noqa: BLE001 - tracker is best-effort
+                pass
+            self._pool = self._context().Pool(processes=self.jobs)
+            self._finalizer = weakref.finalize(
+                self, _shutdown_pool, self._pool
+            )
+            self.builds += 1
+            self._broken = False
+            return self._pool, False
+
+    def mark_broken(self) -> None:
+        """Terminate now; the next :meth:`ensure` rebuilds."""
+        with self._lock:
+            self._broken = True
+            self._terminate_locked()
+
+    def _terminate_locked(self) -> None:
+        pool, self._pool = self._pool, None
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if pool is not None:
+            _shutdown_pool(pool)
+
+    def close(self) -> None:
+        """Tear the pool down for good (idempotent)."""
+        with self._lock:
+            self._closed = True
+            self._broken = False
+            self._terminate_locked()
+
+    @property
+    def live(self) -> bool:
+        """Is a healthy pool currently running?"""
+        return self._pool is not None and not self._broken
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats(self) -> Dict[str, Any]:
+        """The pool-lifecycle numbers surfaced on ``/stats``."""
+        return {
+            "workers": self.jobs,
+            "mp_context": self.mp_context or "auto",
+            "live": self.live,
+            "builds": self.builds,
+            "reuses": self.reuses,
+            "maps": self.maps,
+        }
+
+    def __repr__(self) -> str:
+        state = "live" if self.live else (
+            "closed" if self._closed else "idle"
+        )
+        return (f"PersistentPool({self.jobs} workers, {state}, "
+                f"{self.builds} build(s), {self.reuses} reuse(s))")
 
 
 # -- the executor ------------------------------------------------------------
@@ -254,7 +502,25 @@ class ShardedExecutor:
     mp_context:
         ``multiprocessing`` start method; default prefers ``"fork"``
         (cheap copy-on-write sharing of the read-only context) and
-        falls back to ``"spawn"`` where fork is unavailable.
+        falls back to ``"spawn"`` where fork is unavailable.  An
+        unavailable explicit method raises :class:`MpContextError`.
+    pool:
+        An externally-owned :class:`PersistentPool` to run pooled maps
+        on (``DepMiner`` and the service share one across runs and
+        requests).  Default ``None``: the executor lazily builds its
+        own on first pooled map and reuses it across its ``map()``
+        calls.  Worker counts must match ``jobs``.
+    pool_mode:
+        ``"persistent"`` (default) reuses the pool across maps and
+        ships context through the shared-memory arena;
+        ``"ephemeral"`` restores the legacy one-pool-per-map behaviour
+        (context via the pool initializer).
+    shm:
+        Shared-memory arena switch for the persistent path: ``None``
+        (auto) publishes large arrays/blobs whenever
+        :mod:`multiprocessing.shared_memory` is usable, ``False``
+        forces inline pickling, ``True`` insists on the arena where
+        available.  Results are identical either way.
     max_pending:
         Bound on in-flight shards (the result-queue budget); default
         ``2 × jobs``.
@@ -290,6 +556,9 @@ class ShardedExecutor:
                  retry_backoff: float = 0.05,
                  poison_threshold: int = 8,
                  degrade: bool = True,
+                 pool: Optional[PersistentPool] = None,
+                 pool_mode: str = "persistent",
+                 shm: Optional[bool] = None,
                  tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  progress: Optional[ProgressCallback] = None):
@@ -297,7 +566,21 @@ class ShardedExecutor:
         if shard_timeout is not None and shard_timeout <= 0:
             raise ReproError("shard_timeout must be positive or None")
         self.shard_timeout = shard_timeout
-        self.mp_context = mp_context
+        self.mp_context = resolve_start_method(mp_context)
+        if pool_mode not in ("persistent", "ephemeral"):
+            raise ReproError(
+                f"pool_mode must be 'persistent' or 'ephemeral'; "
+                f"got {pool_mode!r}"
+            )
+        self.pool_mode = pool_mode
+        self.shm = shm
+        if pool is not None and pool.jobs != self.jobs:
+            raise ReproError(
+                f"external pool has {pool.jobs} worker(s) but the "
+                f"executor wants {self.jobs}"
+            )
+        self._pool = pool
+        self._owns_pool = False
         if max_pending is not None and max_pending < 1:
             raise ReproError("max_pending must be a positive integer or None")
         self.max_pending = max_pending
@@ -319,6 +602,38 @@ class ShardedExecutor:
     def degraded(self) -> bool:
         """Has this executor fallen back to serial execution for good?"""
         return self._degraded
+
+    @property
+    def pool(self) -> Optional[PersistentPool]:
+        """The persistent pool this executor runs on (``None`` until a
+        pooled map builds the lazily-owned one)."""
+        return self._pool
+
+    @property
+    def shm_active(self) -> bool:
+        """Would a pooled map here publish context through the arena?
+
+        Orchestrators use this to decide input-dependent encodings
+        (e.g. packing agree masks into a uint64 matrix) before calling
+        :meth:`map`.
+        """
+        return (not self.serial and not self._degraded
+                and self.pool_mode == "persistent"
+                and self.shm is not False
+                and shm_available())
+
+    def _persistent_pool(self) -> PersistentPool:
+        if self._pool is None or self._pool.closed:
+            self._pool = PersistentPool(self.jobs,
+                                        mp_context=self.mp_context)
+            self._owns_pool = True
+        return self._pool
+
+    def close(self) -> None:
+        """Release the owned persistent pool (no-op for injected pools,
+        which their owner — miner or service — closes)."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
 
     def map(self, kind: str, payloads: Sequence[Any],
             shared: Any = None,
@@ -405,10 +720,23 @@ class ShardedExecutor:
 
     def _map_pool(self, shards: List[Shard], shared: Any,
                   stage: str) -> List[Any]:
+        if self.pool_mode == "ephemeral":
+            return self._map_pool_ephemeral(shards, shared, stage)
+        return self._map_pool_persistent(shards, shared, stage)
+
+    def _run_pooled(self, pool, task, shards: List[Shard],
+                    stage: str):
+        """The windowed submit/collect loop both pool paths share.
+
+        *task* maps a shard to its ``(function, args)`` submission —
+        the ephemeral path ships bare shards (context sits in the
+        worker initializer), the persistent path prepends the
+        per-generation context descriptor.  Returns
+        ``(results, completed, done, degrade_reason)``; failures that
+        cannot degrade raise.
+        """
         import multiprocessing
 
-        context = self._pool_context()
-        processes = min(self.jobs, len(shards))
         window = self.max_pending or 2 * self.jobs
         total = len(shards)
         results: List[Any] = [None] * total
@@ -417,87 +745,97 @@ class ShardedExecutor:
         failures = 0  # failed attempts across the whole map (poison detector)
         done = 0
         degrade_reason: Optional[str] = None
-        plan = current_plan()
-        pool = context.Pool(
-            processes=processes, initializer=_worker_init,
-            initargs=(shared, plan.to_dict() if plan is not None else None),
-        )
+        pending: deque = deque()
 
         def submit(shard: Shard) -> None:
             attempts[shard.index] = attempts.get(shard.index, 0) + 1
-            pending.append((shard, pool.apply_async(_run_shard, (shard,))))
+            function, args = task(shard)
+            pending.append((shard, pool.apply_async(function, args)))
 
-        try:
-            pending: deque = deque()
-            queue = iter(shards[window:])
-            for shard in shards[:window]:
-                submit(shard)
-            while pending:
-                shard, handle = pending.popleft()
-                try:
-                    outcome = handle.get(self.shard_timeout)
-                except multiprocessing.TimeoutError:
-                    raise ShardTimeoutError(
-                        f"shard {shard.index} ({shard.kind}) exceeded the "
-                        f"{self.shard_timeout:g}s per-shard timeout"
-                    ) from None
-                except (OSError, EOFError) as error:
-                    # The pool's IPC machinery died (worker crash, broken
-                    # pipe): the pool is unusable, degrade or raise.
+        queue = iter(shards[window:])
+        for shard in shards[:window]:
+            submit(shard)
+        while pending:
+            shard, handle = pending.popleft()
+            try:
+                outcome = handle.get(self.shard_timeout)
+            except multiprocessing.TimeoutError:
+                raise ShardTimeoutError(
+                    f"shard {shard.index} ({shard.kind}) exceeded the "
+                    f"{self.shard_timeout:g}s per-shard timeout"
+                ) from None
+            except (OSError, EOFError) as error:
+                # The pool's IPC machinery died (worker crash, broken
+                # pipe): the pool is unusable, degrade or raise.
+                if not self.degrade:
+                    raise ShardError(
+                        f"worker pool failed while running shard "
+                        f"{shard.index} ({shard.kind}): {error}"
+                    ) from error
+                degrade_reason = f"worker pool failure: {error}"
+                break
+            if outcome.error is not None:
+                failures += 1
+                self._absorb(outcome, shard, done, total, stage,
+                             progress_step=False)
+                if failures >= self.poison_threshold:
+                    self._count("parallel.poisoned")
+                    logger.warning(
+                        "worker pool poisoned: %d failed attempts in "
+                        "one map (threshold %d)", failures,
+                        self.poison_threshold,
+                    )
                     if not self.degrade:
                         raise ShardError(
-                            f"worker pool failed while running shard "
-                            f"{shard.index} ({shard.kind}): {error}"
-                        ) from error
-                    degrade_reason = f"worker pool failure: {error}"
-                    break
-                if outcome.error is not None:
-                    failures += 1
-                    self._absorb(outcome, shard, done, total, stage,
-                                 progress_step=False)
-                    if failures >= self.poison_threshold:
-                        self._count("parallel.poisoned")
-                        logger.warning(
-                            "worker pool poisoned: %d failed attempts in "
-                            "one map (threshold %d)", failures,
-                            self.poison_threshold,
+                            f"worker pool poisoned after {failures} "
+                            f"failed attempts; last failure in shard "
+                            f"{shard.index} ({shard.kind}):\n"
+                            f"{outcome.error}"
                         )
-                        if not self.degrade:
-                            raise ShardError(
-                                f"worker pool poisoned after {failures} "
-                                f"failed attempts; last failure in shard "
-                                f"{shard.index} ({shard.kind}):\n"
-                                f"{outcome.error}"
-                            )
-                        degrade_reason = (
-                            f"pool poisoned ({failures} failed attempts)"
-                        )
-                        break
-                    if (outcome.retryable
-                            and attempts[shard.index]
-                            <= self.retry_policy.retries):
-                        self._note_retry(shard, attempts[shard.index],
-                                         outcome.error.strip()
-                                         .splitlines()[-1])
-                        submit(shard)
-                        continue
-                    if outcome.retryable and self.degrade:
-                        degrade_reason = (
-                            f"shard {shard.index} ({shard.kind}) failed "
-                            f"{attempts[shard.index]} attempt(s)"
-                        )
-                        break
-                    raise ShardError(
-                        f"shard {shard.index} ({shard.kind}) failed in a "
-                        f"worker:\n{outcome.error}"
+                    degrade_reason = (
+                        f"pool poisoned ({failures} failed attempts)"
                     )
-                done += 1
-                completed[outcome.index] = True
-                self._absorb(outcome, shard, done, total, stage)
-                results[outcome.index] = outcome.value
-                for next_shard in queue:
-                    submit(next_shard)
                     break
+                if (outcome.retryable
+                        and attempts[shard.index]
+                        <= self.retry_policy.retries):
+                    self._note_retry(shard, attempts[shard.index],
+                                     outcome.error.strip()
+                                     .splitlines()[-1])
+                    submit(shard)
+                    continue
+                if outcome.retryable and self.degrade:
+                    degrade_reason = (
+                        f"shard {shard.index} ({shard.kind}) failed "
+                        f"{attempts[shard.index]} attempt(s)"
+                    )
+                    break
+                raise ShardError(
+                    f"shard {shard.index} ({shard.kind}) failed in a "
+                    f"worker:\n{outcome.error}"
+                )
+            done += 1
+            completed[outcome.index] = True
+            self._absorb(outcome, shard, done, total, stage)
+            results[outcome.index] = outcome.value
+            for next_shard in queue:
+                submit(next_shard)
+                break
+        return results, completed, done, degrade_reason
+
+    def _map_pool_ephemeral(self, shards: List[Shard], shared: Any,
+                            stage: str) -> List[Any]:
+        """The legacy path: one pool per map, context via initializer."""
+        context = self._pool_context()
+        plan = current_plan()
+        pool = context.Pool(
+            processes=min(self.jobs, len(shards)), initializer=_worker_init,
+            initargs=(shared, plan.to_dict() if plan is not None else None),
+        )
+        try:
+            results, completed, done, degrade_reason = self._run_pooled(
+                pool, lambda shard: (_run_shard, (shard,)), shards, stage,
+            )
             if degrade_reason is None:
                 pool.close()
                 pool.join()
@@ -515,6 +853,80 @@ class ShardedExecutor:
                 degrade_reason,
             )
         return results
+
+    def _map_pool_persistent(self, shards: List[Shard], shared: Any,
+                             stage: str) -> List[Any]:
+        """The reuse path: shared pool + shared-memory arena context."""
+        ppool = self._persistent_pool()
+        build_start = time.perf_counter()
+        try:
+            pool, reused = ppool.ensure()
+        except ReproError:
+            raise
+        except Exception as error:  # noqa: BLE001 - fork/spawn failure
+            if not self.degrade:
+                raise ShardError(
+                    f"could not start the worker pool: {error}"
+                ) from error
+            return self._degrade_to_serial(
+                shards, shared, stage, [None] * len(shards),
+                [False] * len(shards), 0,
+                f"pool start failed: {error}",
+            )
+        if reused:
+            self._count("parallel.pool_reuse")
+        elif self.tracer is not None:
+            self.tracer.record(
+                "parallel.pool_build", time.perf_counter() - build_start,
+                workers=ppool.jobs, mp_context=ppool.mp_context or "auto",
+                build=ppool.builds,
+            )
+        ppool.maps += 1
+        plan = current_plan()
+        arena = SharedArrayArena(metrics=self.metrics, enabled=self.shm)
+        try:
+            encode_start = time.perf_counter()
+            encoded = arena.encode(shared)
+            if arena.segments and self.tracer is not None:
+                self.tracer.record(
+                    "parallel.arena",
+                    time.perf_counter() - encode_start,
+                    segments=arena.segments,
+                    shm_bytes=arena.bytes_published,
+                )
+            if (not arena.segments
+                    and arena.inline_bytes > _INLINE_CONTEXT_LIMIT
+                    and len(shards) > self.jobs):
+                # The arena could not offload a heavy context (shm or
+                # NumPy unavailable, or shm=False): shipping it with
+                # every task would cost more than one legacy pool, so
+                # this map falls back to the initializer path.
+                return self._map_pool_ephemeral(shards, shared, stage)
+            ctx = {
+                "generation": uuid.uuid4().hex,
+                "shared": encoded,
+                "fault_plan": plan.to_dict() if plan is not None else None,
+            }
+            try:
+                results, completed, done, degrade_reason = self._run_pooled(
+                    pool, lambda shard: (_run_shard_ctx, (ctx, shard)),
+                    shards, stage,
+                )
+            except BaseException:
+                # Timeout, non-degradable failure or cancellation: the
+                # pool may hold stuck tasks — terminate it and let the
+                # next map (or request) rebuild a fresh one.
+                ppool.mark_broken()
+                raise
+            if degrade_reason is not None:
+                ppool.mark_broken()
+                return self._degrade_to_serial(
+                    shards, shared, stage, results, completed, done,
+                    degrade_reason,
+                )
+            return results
+        finally:
+            arena.close()
 
     def _degrade_to_serial(self, shards: List[Shard], shared: Any,
                            stage: str, results: List[Any],

@@ -47,6 +47,7 @@ from repro.core.attributes import Schema
 from repro.core.maximal_sets import maximal_sets_for_attribute
 from repro.errors import ReproError
 from repro.obs import get_logger
+from repro.parallel import shm
 from repro.parallel.executor import ShardedExecutor, register_shard_kind
 from repro.partitions.database import StrippedPartitionDatabase
 
@@ -65,6 +66,10 @@ CHUNKS_PER_WORKER = 4
 #: Never split below this many couples per shard (pickling a couple
 #: costs more than resolving it).
 MIN_CHUNK_COUPLES = 256
+
+#: Only pack agree masks into a shared uint64 matrix above this count;
+#: smaller lists pickle faster than they pack.
+PACK_MIN_MASKS = 256
 
 
 # -- worker functions (run in the pool; shared context via initializer) -----
@@ -118,7 +123,16 @@ def _lhs_attribute_shard(shared, payload, metrics):
     )
 
     attribute = payload
-    agree: List[int] = shared["agree"]
+    agree: Optional[List[int]] = shared.get("agree")
+    if agree is None:
+        # The parent shipped the agree masks as a packed uint64 matrix
+        # through the shared-memory arena; unpack once per worker per
+        # map generation and cache the list back into the (per-process)
+        # decoded context so sibling shards reuse it.
+        from repro.parallel.shm import unpack_masks
+
+        agree = unpack_masks(shared["agree_packed"])
+        shared["agree"] = agree
     universe: int = shared["universe"]
     width: int = shared["width"]
     method: str = shared["method"]
@@ -261,13 +275,24 @@ def parallel_cmax_lhs(agree, schema: Schema,
             "max_size is only supported by the levelwise, kernel and "
             "vectorized methods"
         )
+    agree_sorted = sorted(agree)
     shared = {
-        "agree": sorted(agree),
         "width": len(schema),
         "universe": schema.universe_mask,
         "method": method,
         "max_size": max_size,
     }
+    if (len(agree_sorted) >= PACK_MIN_MASKS
+            and getattr(executor, "shm_active", False)
+            and shm.numpy_available()):
+        # Zero-copy variant: the agree bitsets travel as one packed
+        # uint64 matrix through the arena instead of a pickled list of
+        # arbitrary-precision ints.  Workers unpack lazily (once per
+        # map generation) — unpack(pack(x)) is exact at any width, so
+        # the search sees the very same masks.
+        shared["agree_packed"] = shm.pack_masks(agree_sorted, len(schema))
+    else:
+        shared["agree"] = agree_sorted
     attributes = list(range(len(schema)))
     outcomes = executor.map(
         "lhs.attribute", attributes, shared=shared, stage="lhs.shards"

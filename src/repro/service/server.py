@@ -65,6 +65,11 @@ from repro.errors import ReproError, ServiceError
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
+from repro.parallel.executor import (
+    PersistentPool,
+    resolve_jobs,
+    resolve_start_method,
+)
 from repro.service import protocol
 from repro.service.protocol import (
     PROTOCOL_VERSION,
@@ -100,6 +105,7 @@ class ServiceConfig:
     session_ttl: float = 3600.0
     jobs: int = 1
     backend: str = "python"
+    mp_context: Optional[str] = None  # fork/spawn for the worker pool
     telemetry_dir: Optional[str] = None
     fault_plan: Optional[str] = None
     max_memory_entries: Optional[int] = None
@@ -132,6 +138,17 @@ class ServiceApp:
         self.shutdown_requested = threading.Event()
         self.telemetry_dir = (Path(config.telemetry_dir)
                               if config.telemetry_dir else None)
+        # One persistent worker pool for the whole daemon: sessions
+        # whose jobs setting matches the daemon default mine on it, so
+        # request N pays zero pool spin-up after request 1 (or after
+        # warm_pool() at startup).  resolve_start_method validates
+        # --mp-context before the socket ever binds.
+        self.pool: Optional[PersistentPool] = None
+        if resolve_jobs(config.jobs) > 1:
+            self.pool = PersistentPool(resolve_jobs(config.jobs),
+                                       mp_context=config.mp_context)
+        else:
+            resolve_start_method(config.mp_context)
         # With --fault-plan the plan is active for the app's whole
         # lifetime (activation is process-global, so request threads see
         # it), and injections count into the process-wide registry.
@@ -148,6 +165,20 @@ class ServiceApp:
 
     def _miner_defaults(self) -> Dict[str, Any]:
         return {"backend": self.config.backend, "jobs": self.config.jobs}
+
+    def warm_pool(self) -> None:
+        """Fork the worker pool before serving traffic (daemon startup),
+        so the first parallel request already finds it live."""
+        if self.pool is not None:
+            self.pool.ensure()
+
+    def _session_pool(self, options: Dict[str, Any]):
+        """The shared pool, iff the session's jobs match its worker
+        count (a session overriding ``jobs`` builds its own)."""
+        if (self.pool is not None and not self.pool.closed
+                and resolve_jobs(options.get("jobs", 1)) == self.pool.jobs):
+            return self.pool
+        return None
 
     def handle(self, method: str, route: str, query: Dict[str, str],
                payload: Dict[str, Any], tracer: Tracer,
@@ -236,6 +267,8 @@ class ServiceApp:
 
     def close(self) -> None:
         self.registry.close_all()
+        if self.pool is not None:
+            self.pool.close()
         if self._fault_context is not None:
             self._fault_context.__exit__(None, None, None)
             self._fault_context = None
@@ -260,6 +293,7 @@ class ServiceApp:
             "cache": dict(self.store.stats),
             "counters": self.metrics.snapshot()["counters"],
             "defaults": self._miner_defaults(),
+            "pool": self.pool.stats() if self.pool is not None else None,
         }
 
     def _register(self, payload: Dict[str, Any], tracer: Tracer,
@@ -274,6 +308,7 @@ class ServiceApp:
             source = self._load_source(payload, options, tracer)
             miner = DepMiner(cache=self.store, tracer=tracer,
                              metrics=metrics, build_armstrong="none",
+                             pool=self._session_pool(options),
                              **options)
             incremental = IncrementalMiner(source, miner=miner)
             return Session(session_id, name, incremental, options)
@@ -580,6 +615,7 @@ def serve(config: ServiceConfig) -> int:
         except ValueError:  # not the main thread (tests drive serve())
             break
 
+    app.warm_pool()
     print(f"serving on http://{config.host}:{server.port}", flush=True)
     try:
         server.serve_forever(poll_interval=0.1)

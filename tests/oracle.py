@@ -155,7 +155,8 @@ def depminer_variants(relation):
 
 
 def backend_grid(backends=("python", "columnar"), jobs_values=(1, 2),
-                 cache_values=(False, True)):
+                 cache_values=(False, True), shm_values=(None,),
+                 pool_modes=("persistent",)):
     """``(label, miner_factory)`` cells of the backend conformance grid.
 
     Columnar cells are emitted only when NumPy is importable — on the
@@ -164,21 +165,38 @@ def backend_grid(backends=("python", "columnar"), jobs_values=(1, 2),
     cell labels honest).  Each factory builds a fresh miner; cached
     cells share one in-memory :class:`ArtifactStore` per factory so a
     second run through the same factory exercises the warm-hit replay.
+
+    *shm_values* (``None`` = auto, ``True``/``False`` = force the
+    shared-memory arena on/off) and *pool_modes* (``"persistent"`` /
+    ``"ephemeral"``) widen the grid over the zero-copy dispatch paths;
+    the defaults keep the classic cell count.  Both collapse to a single
+    label-free cell dimension on serial (jobs=1) cells, where they are
+    no-ops.
     """
     for backend in backends:
         if backend == "columnar" and not numpy_available():
             continue
         for jobs in jobs_values:
             for cached in cache_values:
-                label = (f"{backend}-jobs{jobs}-"
-                         f"{'cache' if cached else 'nocache'}")
-                store = ArtifactStore() if cached else None
+                for shm in shm_values:
+                    for pool_mode in pool_modes:
+                        label = (f"{backend}-jobs{jobs}-"
+                                 f"{'cache' if cached else 'nocache'}")
+                        if shm is not None:
+                            label += f"-shm{'on' if shm else 'off'}"
+                        if pool_mode != "persistent":
+                            label += f"-{pool_mode}"
+                        store = ArtifactStore() if cached else None
 
-                def factory(backend=backend, jobs=jobs, store=store):
-                    return DepMiner(backend=backend, jobs=jobs,
-                                    cache=store, build_armstrong="none")
+                        def factory(backend=backend, jobs=jobs,
+                                    store=store, shm=shm,
+                                    pool_mode=pool_mode):
+                            return DepMiner(backend=backend, jobs=jobs,
+                                            cache=store, shm=shm,
+                                            pool_mode=pool_mode,
+                                            build_armstrong="none")
 
-                yield label, factory
+                        yield label, factory
 
 
 # -- assertions --------------------------------------------------------------

@@ -64,6 +64,21 @@ class TestWideLaneBoundary:
         relation = wide_lane_boundary_relation()
         assert_backend_grid_agrees(relation)
 
+    def test_shm_and_pool_mode_grid_agrees(self):
+        """backend × shm on/off × pool persistent/ephemeral, jobs=2.
+
+        The zero-copy dispatch dimensions of the tentpole: forcing the
+        shared-memory arena on (or off) and swapping the persistent
+        pool for a per-map one must never change a single bit of the
+        cover.  Cache cells are skipped — warm replay is orthogonal to
+        how shards travel."""
+        relation = wide_lane_boundary_relation()
+        assert_backend_grid_agrees(
+            relation, jobs_values=(2,), cache_values=(False,),
+            shm_values=(False, True),
+            pool_modes=("persistent", "ephemeral"),
+        )
+
     @needs_numpy
     def test_columnar_agree_sets_match_python(self):
         relation = wide_lane_boundary_relation()

@@ -7,6 +7,7 @@ import time
 import pytest
 
 from repro.obs import ResourceSampler, Tracer, rss_bytes
+from repro.obs.resources import children_rss_bytes
 
 
 class TestRssBytes:
@@ -97,6 +98,58 @@ class TestSampler:
         summary = sampler.summary()
         for key in ("samples", "interval_seconds", "duration_seconds",
                     "rss_supported", "rss_start_bytes", "rss_peak_bytes",
-                    "rss_delta_bytes", "tracemalloc_peak_bytes",
+                    "rss_delta_bytes", "children_rss_peak_bytes",
+                    "rss_total_peak_bytes", "tracemalloc_peak_bytes",
                     "per_phase"):
             assert key in summary
+
+
+class TestChildrenRss:
+    def test_returns_nonnegative_or_none(self):
+        value = children_rss_bytes()
+        assert value is None or value >= 0
+
+    def test_counts_a_live_child_process(self):
+        import multiprocessing
+
+        before = children_rss_bytes()
+        if before is None:
+            pytest.skip("no child-RSS source on this platform")
+        context = multiprocessing.get_context("fork") \
+            if "fork" in multiprocessing.get_all_start_methods() \
+            else multiprocessing.get_context()
+        event = context.Event()
+        child = context.Process(target=event.wait, args=(30,), daemon=True)
+        child.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if (children_rss_bytes() or 0) > 0:
+                    break
+                time.sleep(0.01)
+            assert (children_rss_bytes() or 0) > 0
+        finally:
+            event.set()
+            child.join(timeout=5)
+
+    def test_sampler_totals_include_children(self):
+        import multiprocessing
+
+        if children_rss_bytes() is None:
+            pytest.skip("no child-RSS source on this platform")
+        context = multiprocessing.get_context("fork") \
+            if "fork" in multiprocessing.get_all_start_methods() \
+            else multiprocessing.get_context()
+        event = context.Event()
+        child = context.Process(target=event.wait, args=(30,), daemon=True)
+        child.start()
+        try:
+            with ResourceSampler(interval=0.005) as sampler:
+                time.sleep(0.05)
+            summary = sampler.summary()
+        finally:
+            event.set()
+            child.join(timeout=5)
+        assert summary["children_rss_peak_bytes"] is not None
+        assert summary["children_rss_peak_bytes"] > 0
+        assert summary["rss_total_peak_bytes"] >= summary["rss_peak_bytes"]
